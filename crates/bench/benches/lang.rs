@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the language front-end: parsing, resolution (with
+//! linearity analysis), and fold-IR interpretation — the control-plane cost
+//! of installing a query, and the per-record ALU-model cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use perfq_lang::ir::exec_stmts;
+use perfq_lang::{base_schema, compile, fig2, parser, Value};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang_parse");
+    for q in [&fig2::LATENCY_EWMA, &fig2::PER_FLOW_LOSS_RATE] {
+        group.bench_function(q.name, |b| {
+            b.iter(|| black_box(parser::parse(black_box(q.source)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let params = fig2::default_params();
+    let mut group = c.benchmark_group("lang_compile");
+    for q in fig2::ALL {
+        group.bench_function(q.name, |b| {
+            b.iter(|| black_box(compile(black_box(q.source), &params).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fold_update(c: &mut Criterion) {
+    let prog = fig2::compile(&fig2::LATENCY_EWMA).unwrap();
+    let fold = prog.queries[0].fold().unwrap().clone();
+    let params = prog.param_values();
+    let schema = base_schema();
+    let mut row = vec![Value::Int(0); schema.len()];
+    row[schema.index_of("tin").unwrap()] = Value::Int(1_000);
+    row[schema.index_of("tout").unwrap()] = Value::Int(2_500);
+
+    let mut group = c.benchmark_group("fold_update");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ewma", |b| {
+        let mut state = fold.init_state();
+        b.iter(|| {
+            exec_stmts(&fold.body, &mut state, black_box(&row), &params).unwrap();
+            black_box(state[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_compile, bench_fold_update);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the switch/network substrate and the compiled query
+//! runtime: records per second through queues, the network event loop, and
+//! the full query dataplane.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use perfq_core::{compile_query, Runtime};
+use perfq_lang::fig2;
+use perfq_switch::{Network, NetworkConfig, OutputQueue, QueueRecord};
+use perfq_trace::{SyntheticTrace, TraceConfig};
+
+fn small_records(n: usize) -> Vec<QueueRecord> {
+    let mut net = Network::new(NetworkConfig::default());
+    let trace = SyntheticTrace::new(TraceConfig::test_small(7)).take(n);
+    net.run_collect(trace)
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let packets: Vec<_> = SyntheticTrace::new(TraceConfig::test_small(3))
+        .take(10_000)
+        .collect();
+    let mut group = c.benchmark_group("queue_offer_release");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("10k_packets", |b| {
+        b.iter(|| {
+            let mut q = OutputQueue::new(0, 10e9, 128);
+            let mut n = 0usize;
+            for p in &packets {
+                if q.offer(black_box(*p), p.arrival, 0).is_some() {
+                    n += 1;
+                }
+                n += q.release(p.arrival).len();
+            }
+            n += q.flush().len();
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let packets: Vec<_> = SyntheticTrace::new(TraceConfig::test_small(4))
+        .take(20_000)
+        .collect();
+    let mut group = c.benchmark_group("network_run");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("single_switch_20k", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NetworkConfig::default());
+            let mut n = 0usize;
+            net.run(packets.iter().copied(), |_| n += 1);
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let records = small_records(20_000);
+    let mut group = c.benchmark_group("query_runtime");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for q in [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC] {
+        group.bench_function(q.name, |b| {
+            let compiled =
+                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+            b.iter(|| {
+                let mut rt = Runtime::new(compiled.clone());
+                for r in &records {
+                    rt.process_record(black_box(r));
+                }
+                rt.finish();
+                black_box(rt.records())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_network, bench_runtime);
+criterion_main!(benches);

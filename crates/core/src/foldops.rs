@@ -1,0 +1,624 @@
+//! Fold-backed value operations for the split key-value store.
+//!
+//! This is where the paper's merge theory (§3.2) becomes executable for
+//! *arbitrary* compiled folds:
+//!
+//! * **Linear-in-state folds** (`S' = A·S + B`). The cache value carries
+//!   auxiliary state: the running coefficient product `Π A` (a k×k matrix
+//!   over the linear variables) accumulated since the key's (re)insertion,
+//!   plus — for folds whose `A`/`B` read a `w`-packet history window — a log
+//!   of the first `w` input rows and a state snapshot taken after them. The
+//!   merge then computes
+//!
+//!   ```text
+//!   S_true_after_w = replay(logged rows, from backing value)
+//!   S_corrected    = S_evicted + ΠA · (S_true_after_w − S_snapshot)
+//!   ```
+//!
+//!   which reduces to the paper's EWMA formula
+//!   `s_corrected = s_new + (1−α)^N (s_backing − s_0)` when k = 1 and w = 0.
+//!
+//! * **Pure-window folds** — the evicted value alone is correct; overwrite.
+//! * **Non-linear folds** — per-epoch values, invalid on re-eviction.
+//!
+//! The per-packet `A` matrix is extracted numerically: with the window
+//! variables pinned at their actual values, the update restricted to the
+//! linear variables is affine, so evaluating the body at the zero vector and
+//! at each basis vector yields `B` and the columns of `A`. Folds whose every
+//! update is *additive* in state (`A = I`, e.g. COUNT/SUM and guarded
+//! counters) skip extraction entirely — `ΠA` stays the identity.
+
+use perfq_kvstore::{MergeMode, ValueOps};
+use perfq_lang::ir::{exec_stmts, FoldIr, RExpr, RStmt, VarClass};
+use perfq_lang::{FoldClass, Value};
+
+/// Auxiliary merge state carried alongside the fold variables in the cache.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearAux {
+    /// Packets folded since (re)insertion.
+    pub packets: u64,
+    /// The first `window` input rows after insertion (replayed at merge).
+    pub window_log: Vec<Vec<Value>>,
+    /// State snapshot after the first `window` packets.
+    pub snapshot: Vec<Value>,
+    /// Row-major ΠA over the linear variables, accumulated after the
+    /// snapshot point. Empty when the fold is additive (ΠA = I).
+    pub prod: Vec<f64>,
+}
+
+/// A fold's state as stored in the split store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldState {
+    /// The state variables, in `FoldIr::state` order.
+    pub vars: Vec<Value>,
+    /// Merge bookkeeping (only for linear folds).
+    pub aux: Option<Box<LinearAux>>,
+}
+
+/// [`ValueOps`] implementation driving a compiled [`FoldIr`].
+#[derive(Debug, Clone)]
+pub struct FoldOps {
+    fold: FoldIr,
+    params: Vec<Value>,
+    /// Indices of `Linear`-classified variables (the mergeable vector).
+    linear_vars: Vec<usize>,
+    /// Window depth to log + replay.
+    window: u32,
+    /// True when every linear variable's update has `A = I` (pure
+    /// accumulation), so `ΠA` tracking is unnecessary.
+    additive: bool,
+    mode: MergeMode,
+}
+
+impl FoldOps {
+    /// Build ops for a compiled fold with bound parameter values.
+    #[must_use]
+    pub fn new(fold: FoldIr, params: Vec<Value>) -> Self {
+        let (mode, window) = match fold.class {
+            FoldClass::Linear { window } => (MergeMode::Merge, window),
+            FoldClass::PureWindow { .. } => (MergeMode::Overwrite, 0),
+            FoldClass::NonLinear => (MergeMode::Epochs, 0),
+        };
+        let linear_vars = fold.linear_vars();
+        let additive = mode == MergeMode::Merge
+            && linear_vars
+                .iter()
+                .all(|v| is_additive_in(&fold.body, *v, &linear_vars));
+        FoldOps {
+            fold,
+            params,
+            linear_vars,
+            window,
+            additive,
+            mode,
+        }
+    }
+
+    /// The underlying fold.
+    #[must_use]
+    pub fn fold(&self) -> &FoldIr {
+        &self.fold
+    }
+
+    /// Bound parameter values.
+    #[must_use]
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    /// Whether the additive fast path (ΠA = I) is active.
+    #[must_use]
+    pub fn is_additive(&self) -> bool {
+        self.additive
+    }
+
+    fn k(&self) -> usize {
+        self.linear_vars.len()
+    }
+
+    /// Run the fold body once (panics only on internal IR inconsistencies,
+    /// which resolution has excluded).
+    fn exec(&self, state: &mut [Value], input: &[Value]) {
+        exec_stmts(&self.fold.body, state, input, &self.params)
+            .expect("type-checked fold body cannot fail at runtime");
+        for (i, var) in self.fold.state.iter().enumerate() {
+            state[i] = state[i].coerce(var.ty);
+        }
+    }
+
+    /// Extract this packet's `A` matrix over the linear variables, with
+    /// window variables pinned to their current values.
+    ///
+    /// Numerical care: a unit basis probe would lose `A` entirely whenever
+    /// `B` is large (e.g. EWMA over a dropped packet's latency, where
+    /// `B = α·(∞ − tin) ≈ 10¹⁸` swamps `A·1` below f64 resolution). We
+    /// therefore probe with a basis scaled to dominate `|B|` and divide the
+    /// difference back down: the error in each coefficient is then
+    /// `O(ε·(1 + |A|))` regardless of `B`. Integer-typed variables use exact
+    /// integer probes (their coefficients are integers).
+    fn extract_a(&self, state: &[Value], input: &[Value]) -> Vec<f64> {
+        let k = self.k();
+        let mut base = state.to_vec();
+        for &v in &self.linear_vars {
+            base[v] = Value::zero(self.fold.state[v].ty);
+        }
+        let mut f0 = base.clone();
+        self.exec(&mut f0, input);
+        // Scale the float probe past the largest |B| component.
+        let b_max = self
+            .linear_vars
+            .iter()
+            .map(|&v| f0[v].as_f64().abs())
+            .fold(1.0_f64, f64::max);
+        let float_m = (b_max * 1048576.0).max(1048576.0); // |B|·2^20
+        const INT_M: i64 = 1 << 20;
+        let mut a = vec![0.0; k * k];
+        for (col, &vj) in self.linear_vars.iter().enumerate() {
+            let mut probe = base.clone();
+            let m = match self.fold.state[vj].ty {
+                perfq_lang::ValueType::Float => {
+                    probe[vj] = Value::Float(float_m);
+                    float_m
+                }
+                _ => {
+                    probe[vj] = Value::Int(INT_M);
+                    INT_M as f64
+                }
+            };
+            self.exec(&mut probe, input);
+            for (row, &vi) in self.linear_vars.iter().enumerate() {
+                a[row * k + col] = (probe[vi].as_f64() - f0[vi].as_f64()) / m;
+            }
+        }
+        a
+    }
+}
+
+/// `prod ← a · prod` (row-major k×k).
+fn matmul_into(prod: &mut [f64], a: &[f64], k: usize) {
+    let mut out = vec![0.0; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            let mut acc = 0.0;
+            for t in 0..k {
+                acc += a[i * k + t] * prod[t * k + j];
+            }
+            out[i * k + j] = acc;
+        }
+    }
+    prod.copy_from_slice(&out);
+}
+
+fn identity(k: usize) -> Vec<f64> {
+    let mut m = vec![0.0; k * k];
+    for i in 0..k {
+        m[i * k + i] = 1.0;
+    }
+    m
+}
+
+impl ValueOps for FoldOps {
+    type Value = FoldState;
+    type Input = [Value];
+
+    fn init(&self) -> FoldState {
+        let aux = if self.mode == MergeMode::Merge {
+            Some(Box::new(LinearAux {
+                packets: 0,
+                window_log: Vec::new(),
+                snapshot: Vec::new(),
+                prod: if self.additive {
+                    Vec::new()
+                } else {
+                    identity(self.k())
+                },
+            }))
+        } else {
+            None
+        };
+        FoldState {
+            vars: self.fold.init_state(),
+            aux,
+        }
+    }
+
+    fn update(&self, value: &mut FoldState, input: &[Value]) {
+        if let Some(aux) = value.aux.as_deref_mut() {
+            if aux.packets < u64::from(self.window) {
+                // Still inside the logged window: record the row; ΠA stays
+                // untouched (it accumulates only after the snapshot).
+                aux.window_log.push(input.to_vec());
+            } else if !self.additive {
+                let a = self.extract_a(&value.vars, input);
+                matmul_into(&mut aux.prod, &a, self.k());
+            }
+            aux.packets += 1;
+            // Execute the real update, then snapshot right after the window
+            // fills (window vars are settled from this point on).
+            exec_real(self, &mut value.vars, input);
+            if aux.packets == u64::from(self.window) {
+                aux.snapshot = value.vars.clone();
+            }
+            return;
+        }
+        exec_real(self, &mut value.vars, input);
+    }
+
+    fn merge(&self, standing: &mut FoldState, evicted: FoldState) {
+        let aux = evicted
+            .aux
+            .as_deref()
+            .expect("linear folds always carry aux state");
+        if aux.packets <= u64::from(self.window) {
+            // The entire residency is inside the log: replay it directly on
+            // the standing value — exact by construction.
+            for row in &aux.window_log {
+                exec_real(self, &mut standing.vars, row);
+            }
+            return;
+        }
+        // 1. Replay the logged window on the standing value.
+        let mut replayed = standing.vars.clone();
+        for row in &aux.window_log {
+            exec_real(self, &mut replayed, row);
+        }
+        // 2. Correct the linear components:
+        //    corrected = evicted + ΠA · (replayed − snapshot).
+        let k = self.k();
+        let init_state;
+        let snapshot: &[Value] = if self.window == 0 {
+            // No window: the "snapshot" is the initial state.
+            init_state = self.fold.init_state();
+            &init_state
+        } else {
+            &aux.snapshot
+        };
+        let mut delta = vec![0.0; k];
+        for (i, &v) in self.linear_vars.iter().enumerate() {
+            delta[i] = replayed[v].as_f64() - snapshot[v].as_f64();
+        }
+        let mut corrected = evicted.vars.clone();
+        for (i, &v) in self.linear_vars.iter().enumerate() {
+            let adj: f64 = if self.additive {
+                delta[i]
+            } else {
+                (0..k).map(|j| aux.prod[i * k + j] * delta[j]).sum()
+            };
+            corrected[v] = match self.fold.state[v].ty {
+                perfq_lang::ValueType::Float => Value::Float(evicted.vars[v].as_f64() + adj),
+                _ => Value::Int(evicted.vars[v].as_i64() + adj.round() as i64),
+            };
+        }
+        // Window variables: the evicted copy saw the most recent packets, so
+        // its values are the correct current ones (already in `corrected`).
+        standing.vars = corrected;
+        standing.aux = None;
+    }
+
+    fn merge_mode(&self) -> MergeMode {
+        self.mode
+    }
+}
+
+fn exec_real(ops: &FoldOps, state: &mut Vec<Value>, input: &[Value]) {
+    ops.exec(state, input);
+}
+
+/// Structural check: every assignment to `var` (on any path) has the shape
+/// `var ± state-free-expr` (or is absent), and no *other* variable's
+/// assignment reads `var`… the latter is unnecessary for A=I of row `var`,
+/// but cross-reads would put `var` into another row's coefficients, so we
+/// require that none of the tracked linear variables is read by a different
+/// variable's assignment. Conditions may read window state freely (they
+/// contribute to `B`'s window dependence, not to `A`).
+fn is_additive_in(body: &[RStmt], var: usize, linear_vars: &[usize]) -> bool {
+    fn expr_reads_state(e: &RExpr, vars: &[usize]) -> bool {
+        let mut found = false;
+        e.visit(&mut |n| {
+            if let RExpr::State(i) = n {
+                if vars.contains(i) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+    fn check(stmts: &[RStmt], var: usize, linear_vars: &[usize]) -> bool {
+        for s in stmts {
+            match s {
+                RStmt::Assign(target, e) => {
+                    if *target == var {
+                        // Must be State(var) + f or State(var) - f with f
+                        // reading no linear state; or f alone (A row = 0).
+                        let ok = match e {
+                            RExpr::Binary(op, l, r)
+                                if matches!(
+                                    op,
+                                    perfq_lang::ast::BinOp::Add | perfq_lang::ast::BinOp::Sub
+                                ) =>
+                            {
+                                matches!(l.as_ref(), RExpr::State(i) if *i == var)
+                                    && !expr_reads_state(r, linear_vars)
+                            }
+                            other => !expr_reads_state(other, linear_vars),
+                        };
+                        if !ok {
+                            return false;
+                        }
+                    } else if expr_reads_state(e, &[var]) {
+                        // Another variable reads `var`: cross coefficient.
+                        return false;
+                    }
+                }
+                RStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    if expr_reads_state(cond, linear_vars) {
+                        return false;
+                    }
+                    if !check(then_body, var, linear_vars) || !check(else_body, var, linear_vars) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+    // `x = x + f` keeps A=I only if assigned at most once per packet on any
+    // path; nested duplicates (x = x+1; x = x+2) still have A=I, so the
+    // per-assignment check above suffices.
+    check(body, var, linear_vars)
+}
+
+/// Classification summary used by reports.
+#[must_use]
+pub fn describe_class(fold: &FoldIr) -> String {
+    match fold.class {
+        FoldClass::Linear { window: 0 } => "linear-in-state".to_string(),
+        FoldClass::Linear { window } => format!("linear-in-state (window {window})"),
+        FoldClass::PureWindow { window } => format!("packet-window({window})"),
+        FoldClass::NonLinear => "non-linear (epoch mode)".to_string(),
+    }
+}
+
+/// Expose per-variable classes for reports.
+#[must_use]
+pub fn var_classes(fold: &FoldIr) -> Vec<(String, VarClass)> {
+    fold.state
+        .iter()
+        .zip(&fold.var_classes)
+        .map(|(v, c)| (v.name.clone(), *c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfq_kvstore::{CacheGeometry, EvictionPolicy, SplitStore};
+    use perfq_lang::{compile, fig2};
+    use perfq_packet::Nanos;
+    use perfq_lang::ResolvedKind;
+
+    fn fold_of(src: &str) -> (FoldIr, Vec<Value>) {
+        let prog = compile(src, &fig2::default_params()).unwrap();
+        let q = prog
+            .queries
+            .iter()
+            .find(|q| q.fold().is_some())
+            .expect("has a groupby");
+        match &q.kind {
+            ResolvedKind::GroupBy(g) => (g.fold.clone(), prog.param_values()),
+            ResolvedKind::Project(_) => unreachable!("found fold above"),
+        }
+    }
+
+    /// Drive a tiny 1-entry cache so every key alternation evicts, then
+    /// compare against a direct (uncached) fold over the same inputs.
+    fn run_split_and_oracle(
+        fold: FoldIr,
+        params: Vec<Value>,
+        inputs: &[(u64, Vec<Value>)],
+    ) -> (Vec<(u64, Vec<Value>)>, Vec<(u64, Vec<Value>)>) {
+        let ops = FoldOps::new(fold.clone(), params.clone());
+        let mut store: SplitStore<u64, FoldOps> = SplitStore::new(
+            CacheGeometry::fully_associative(1),
+            EvictionPolicy::Lru,
+            1,
+            ops,
+        );
+        let mut oracle: std::collections::HashMap<u64, Vec<Value>> = Default::default();
+        for (i, (key, row)) in inputs.iter().enumerate() {
+            store.observe(*key, row.as_slice(), Nanos(i as u64));
+            let state = oracle.entry(*key).or_insert_with(|| fold.init_state());
+            exec_stmts(&fold.body, state, row, &params).unwrap();
+            for (j, var) in fold.state.iter().enumerate() {
+                state[j] = state[j].coerce(var.ty);
+            }
+        }
+        store.flush();
+        let mut got: Vec<(u64, Vec<Value>)> = store
+            .backing()
+            .iter()
+            .map(|(k, e)| (*k, e.value().expect("linear keys stay valid").vars.clone()))
+            .collect();
+        got.sort_by_key(|(k, _)| *k);
+        let mut want: Vec<(u64, Vec<Value>)> = oracle.into_iter().collect();
+        want.sort_by_key(|(k, _)| *k);
+        (got, want)
+    }
+
+    #[test]
+    fn counter_uses_additive_fast_path_and_is_exact() {
+        let (fold, params) = fold_of("SELECT COUNT GROUPBY srcip");
+        let ops = FoldOps::new(fold.clone(), params.clone());
+        assert!(ops.is_additive());
+        let inputs: Vec<(u64, Vec<Value>)> = (0..100)
+            .map(|i| (i % 3, vec![Value::Int(0); 22]))
+            .collect();
+        let (got, want) = run_split_and_oracle(fold, params, &inputs);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ewma_merge_matches_oracle_exactly() {
+        let src = "def ewma (lat_est, (tin, tout)):\n    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)\n\nSELECT 5tuple, ewma GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        let ops = FoldOps::new(fold.clone(), params.clone());
+        assert!(!ops.is_additive(), "EWMA has A = 1-α ≠ 1");
+        // Rows: tin at schema index of `tin`, tout at index of `tout`.
+        let schema = perfq_lang::base_schema();
+        let (itin, itout) = (
+            schema.index_of("tin").unwrap(),
+            schema.index_of("tout").unwrap(),
+        );
+        let mut inputs = Vec::new();
+        for i in 0..60u64 {
+            let mut row = vec![Value::Int(0); schema.len()];
+            row[itin] = Value::Int(1000 * i as i64);
+            row[itout] = Value::Int(1000 * i as i64 + 100 + (i as i64 % 7) * 13);
+            inputs.push((i % 2, row));
+        }
+        let (got, want) = run_split_and_oracle(fold, params, &inputs);
+        assert_eq!(got.len(), want.len());
+        for ((k1, g), (k2, w)) in got.iter().zip(&want) {
+            assert_eq!(k1, k2);
+            for (a, b) in g.iter().zip(w) {
+                assert!(
+                    (a.as_f64() - b.as_f64()).abs() < 1e-9,
+                    "key {k1}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_seq_window_replay_is_exact() {
+        let src = "def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):\n    if lastseq + 1 != tcpseq:\n        oos_count = oos_count + 1\n    lastseq = tcpseq + payload_len\n\nSELECT 5tuple, outofseq GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        assert_eq!(fold.class, FoldClass::Linear { window: 1 });
+        let schema = perfq_lang::base_schema();
+        let iseq = schema.index_of("tcpseq").unwrap();
+        let ilen = schema.index_of("payload_len").unwrap();
+        // Two interleaved flows with occasional gaps; cache of 1 forces an
+        // eviction on every alternation — the hard case for window replay.
+        let mut inputs = Vec::new();
+        let mut seqs = [1000i64, 5000i64];
+        for i in 0..80u64 {
+            let f = (i % 2) as usize;
+            let mut row = vec![Value::Int(0); schema.len()];
+            // every 7th packet skips ahead (out of sequence)
+            if i % 7 == 0 {
+                seqs[f] += 500;
+            }
+            row[iseq] = Value::Int(seqs[f]);
+            row[ilen] = Value::Int(100);
+            seqs[f] += 100;
+            inputs.push((f as u64, row));
+        }
+        let (got, want) = run_split_and_oracle(fold, params, &inputs);
+        assert_eq!(got, want, "windowed linear fold must merge exactly");
+    }
+
+    #[test]
+    fn sum_with_negative_values_is_exact() {
+        let (fold, params) = fold_of("SELECT SUM(tout-tin) GROUPBY srcip");
+        let schema = perfq_lang::base_schema();
+        let (itin, itout, isrc) = (
+            schema.index_of("tin").unwrap(),
+            schema.index_of("tout").unwrap(),
+            schema.index_of("srcip").unwrap(),
+        );
+        let mut inputs = Vec::new();
+        for i in 0..50u64 {
+            let mut row = vec![Value::Int(0); schema.len()];
+            row[isrc] = Value::Int((i % 4) as i64);
+            row[itin] = Value::Int(10_000);
+            row[itout] = Value::Int(10_000 + (i as i64 * 37) % 900);
+            inputs.push((i % 4, row));
+        }
+        let (got, want) = run_split_and_oracle(fold, params, &inputs);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nonlinear_fold_goes_to_epoch_mode() {
+        let src = "def nonmt ((maxseq, nm_count), tcpseq):\n    if maxseq > tcpseq:\n        nm_count = nm_count + 1\n    maxseq = max(maxseq, tcpseq)\n\nSELECT 5tuple, nonmt GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        let ops = FoldOps::new(fold, params);
+        assert_eq!(ops.merge_mode(), MergeMode::Epochs);
+        let v = ops.init();
+        assert!(v.aux.is_none(), "epoch folds carry no merge aux");
+    }
+
+    #[test]
+    fn zero_state_fold_overwrites() {
+        // Distinct-keys query: GROUPBY with no aggregations.
+        let prog = compile(
+            "R1 = SELECT COUNT GROUPBY srcip\nR2 = SELECT srcip FROM R1 GROUPBY srcip\n",
+            &fig2::default_params(),
+        )
+        .unwrap();
+        let g = match &prog.queries[1].kind {
+            ResolvedKind::GroupBy(g) => g,
+            _ => panic!("R2 is a groupby"),
+        };
+        let ops = FoldOps::new(g.fold.clone(), prog.param_values());
+        assert_eq!(ops.merge_mode(), MergeMode::Overwrite);
+    }
+
+    #[test]
+    fn extracted_a_matrix_matches_known_ewma_alpha() {
+        let src = "def ewma (lat_est, (tin, tout)):\n    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)\n\nSELECT 5tuple, ewma GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        let ops = FoldOps::new(fold.clone(), params);
+        let schema = perfq_lang::base_schema();
+        let mut row = vec![Value::Int(0); schema.len()];
+        row[schema.index_of("tin").unwrap()] = Value::Int(10);
+        row[schema.index_of("tout").unwrap()] = Value::Int(110);
+        let state = fold.init_state();
+        let a = ops.extract_a(&state, &row);
+        assert_eq!(a.len(), 1);
+        assert!((a[0] - 0.875).abs() < 1e-12, "A = 1-α = 0.875, got {}", a[0]);
+    }
+
+    #[test]
+    fn additivity_detection_rejects_scaled_updates() {
+        let src = "def decay (s, (pkt_len)):\n    s = 0.5 * s + pkt_len\n\nSELECT srcip, decay GROUPBY srcip\n";
+        let (fold, params) = fold_of(src);
+        let ops = FoldOps::new(fold, params);
+        assert!(!ops.is_additive());
+    }
+
+    #[test]
+    fn additivity_detection_accepts_guarded_counter() {
+        // perc: if qin > K: high += 1; tot += 1 — both additive.
+        let prog = fig2::compile(&fig2::HIGH_P99_QUEUE_SIZE).unwrap();
+        let g = match &prog.query("R1").unwrap().kind {
+            ResolvedKind::GroupBy(g) => g.fold.clone(),
+            _ => panic!("R1 aggregates"),
+        };
+        let ops = FoldOps::new(g, prog.param_values());
+        assert!(ops.is_additive());
+    }
+
+    #[test]
+    fn cross_coupled_linear_fold_merges_exactly() {
+        // u += v; v += pkt_len — triangular A, needs the matrix path.
+        let src = "def cpl ((u, v), (pkt_len)):\n    u = u + v\n    v = v + pkt_len\n\nSELECT srcip, cpl GROUPBY srcip\n";
+        let (fold, params) = fold_of(src);
+        let ops = FoldOps::new(fold.clone(), params.clone());
+        assert!(!ops.is_additive(), "cross coupling needs ΠA");
+        let schema = perfq_lang::base_schema();
+        let ilen = schema.index_of("pkt_len").unwrap();
+        let mut inputs = Vec::new();
+        for i in 0..60u64 {
+            let mut row = vec![Value::Int(0); schema.len()];
+            row[ilen] = Value::Int(1 + (i as i64 % 5));
+            inputs.push((i % 3, row));
+        }
+        let (got, want) = run_split_and_oracle(fold, params, &inputs);
+        assert_eq!(got, want, "matrix merge must be exact for coupled folds");
+    }
+}

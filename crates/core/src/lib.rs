@@ -1,0 +1,108 @@
+//! # perfq-core
+//!
+//! The system glue of the `perfq` reproduction: the query **compiler** the
+//! paper leaves as future work, the **runtime** that executes compiled
+//! queries on the simulated switch primitives, and the ground-truth
+//! **oracle** used for validation and accuracy measurement.
+//!
+//! ```text
+//!   query text ──perfq-lang──▶ ResolvedProgram
+//!                                   │ compiler::compile_program
+//!                                   ▼
+//!                            CompiledProgram ── per GROUPBY: StorePlan
+//!                                   │              (geometry, merge mode,
+//!                                   │               ALU audit, key bits)
+//!                 ┌─────────────────┴──────────────┐
+//!                 ▼                                ▼
+//!             Runtime (split KV stores)        Oracle (exact maps)
+//!                 │ process_record(...)            │
+//!                 ▼                                ▼
+//!             ResultSet  ◀──── diff/accuracy ────  ResultSet
+//! ```
+//!
+//! * [`foldops`] — the merge engine: ΠA-matrix correction and window replay
+//!   for linear folds, epochs for non-linear ones;
+//! * [`compiler`] — physical planning + stateful-ALU feasibility audit;
+//! * [`runtime`] — the streaming dataplane and result collector;
+//! * [`oracle`] — exact evaluation with unbounded state;
+//! * [`result`] — final tables with per-key validity.
+//!
+//! # Example
+//!
+//! ```
+//! use perfq_core::{compile_query, Runtime, Oracle};
+//! use perfq_lang::fig2;
+//!
+//! let compiled = compile_query(
+//!     "SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
+//!     &fig2::default_params(),
+//!     Default::default(),
+//! ).unwrap();
+//! let mut rt = Runtime::new(compiled);
+//! // … feed rt.process_record(record) from a Network run …
+//! rt.finish();
+//! let results = rt.collect();
+//! assert_eq!(results.tables.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod foldops;
+pub mod oracle;
+pub mod result;
+pub mod runtime;
+pub mod windows;
+
+pub use compiler::{compile_program, CompileError, CompileOptions, CompiledProgram, StorePlan};
+pub use foldops::{FoldOps, FoldState};
+pub use oracle::Oracle;
+pub use result::{diff_tables, ResultRow, ResultSet, ResultTable};
+pub use runtime::Runtime;
+pub use windows::{WindowResult, WindowedRuntime};
+
+use perfq_lang::{LangError, Value};
+use std::collections::HashMap;
+
+/// Errors from the full text → hardware pipeline.
+#[derive(Debug)]
+pub enum PerfqError {
+    /// Front-end (lex/parse/resolve) failure.
+    Lang(LangError),
+    /// Physical planning failure.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for PerfqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfqError::Lang(e) => write!(f, "{e}"),
+            PerfqError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfqError {}
+
+impl From<LangError> for PerfqError {
+    fn from(e: LangError) -> Self {
+        PerfqError::Lang(e)
+    }
+}
+
+impl From<CompileError> for PerfqError {
+    fn from(e: CompileError) -> Self {
+        PerfqError::Compile(e)
+    }
+}
+
+/// Compile query text straight to a hardware configuration.
+pub fn compile_query(
+    source: &str,
+    params: &HashMap<String, Value>,
+    options: CompileOptions,
+) -> Result<CompiledProgram, PerfqError> {
+    let program = perfq_lang::compile(source, params)?;
+    Ok(compile_program(program, options)?)
+}

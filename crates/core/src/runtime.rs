@@ -1,0 +1,548 @@
+//! The measurement runtime: executes a compiled program over the record
+//! stream a network produces, exactly as the hardware would.
+//!
+//! Per record (one packet's observation at one queue):
+//!
+//! 1. root queries reading the base table receive the record's row;
+//! 2. `WHERE` filters run as match-action predicates;
+//! 3. projections compute derived fields;
+//! 4. `GROUPBY`s update their split key-value store — cache hit updates in
+//!    place, misses initialize, bucket overflow evicts to the backing store
+//!    with the fold-class-appropriate merge;
+//! 5. each aggregation emits its refreshed `(key, state)` row downstream, so
+//!    composed queries see the running output (the paper's streaming
+//!    semantics; note downstream sees the *cache* value — the merged truth
+//!    lives only in the backing store, §3.2).
+//!
+//! After [`Runtime::finish`] flushes the caches, [`Runtime::collect`] pulls
+//! every query's final table from the backing stores, evaluates collect-time
+//! joins, and reports per-key validity.
+
+use crate::compiler::CompiledProgram;
+use crate::foldops::FoldOps;
+use crate::result::{value_key, ResultRow, ResultSet, ResultTable};
+use perfq_kvstore::{SplitStore, StoreStats};
+use perfq_lang::ir::eval;
+use perfq_lang::resolve::GroupOutput;
+use perfq_lang::{QueryInput, ResolvedKind, ResolvedProgram, Value, ValueType};
+use perfq_packet::Nanos;
+use perfq_switch::QueueRecord;
+
+/// Captured rows of a selection over the packet table.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Capture {
+    pub rows: Vec<Vec<Value>>,
+    pub total: u64,
+    pub limit: usize,
+}
+
+impl Capture {
+    fn push(&mut self, row: Vec<Value>) {
+        self.total += 1;
+        if self.rows.len() < self.limit {
+            self.rows.push(row);
+        }
+    }
+}
+
+/// The streaming executor.
+#[derive(Debug)]
+pub struct Runtime {
+    compiled: CompiledProgram,
+    params: Vec<Value>,
+    stores: Vec<Option<SplitStore<Vec<i64>, FoldOps>>>,
+    captures: Vec<Option<Capture>>,
+    roots: Vec<usize>,
+    records: u64,
+    finished: bool,
+}
+
+impl Runtime {
+    /// Instantiate the hardware state for a compiled program.
+    #[must_use]
+    pub fn new(compiled: CompiledProgram) -> Self {
+        let params = compiled.program.param_values();
+        let mut stores = Vec::with_capacity(compiled.program.queries.len());
+        let mut captures = Vec::with_capacity(compiled.program.queries.len());
+        let mut roots = Vec::new();
+        for (idx, q) in compiled.program.queries.iter().enumerate() {
+            match &compiled.stores[idx] {
+                Some(plan) => stores.push(Some(SplitStore::new(
+                    plan.geometry,
+                    plan.policy,
+                    plan.hash_seed,
+                    plan.ops.clone(),
+                ))),
+                None => stores.push(None),
+            }
+            captures.push(
+                matches!(
+                    (&q.kind, &q.input),
+                    (ResolvedKind::Project(_), QueryInput::Base)
+                )
+                .then(|| Capture {
+                    limit: compiled.options.capture_limit,
+                    ..Default::default()
+                }),
+            );
+            if matches!(q.input, QueryInput::Base) {
+                roots.push(idx);
+            }
+        }
+        Runtime {
+            compiled,
+            params,
+            stores,
+            captures,
+            roots,
+            records: 0,
+            finished: false,
+        }
+    }
+
+    /// The compiled program.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Records processed so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Store statistics of a GROUPBY query (by query index).
+    #[must_use]
+    pub fn store_stats(&self, idx: usize) -> Option<StoreStats> {
+        self.stores.get(idx)?.as_ref().map(SplitStore::stats)
+    }
+
+    /// Process one queue record.
+    pub fn process_record(&mut self, rec: &QueueRecord) {
+        let now = if rec.is_drop() { rec.tin } else { rec.tout };
+        let row = rec.to_row();
+        self.process_row(&row, now);
+    }
+
+    /// Process one base-schema row observed at time `now`.
+    pub fn process_row(&mut self, row: &[Value], now: Nanos) {
+        debug_assert!(!self.finished, "process after finish");
+        self.records += 1;
+        let roots = self.roots.clone();
+        for idx in roots {
+            self.feed(idx, row, now);
+        }
+    }
+
+    fn feed(&mut self, idx: usize, row: &[Value], now: Nanos) {
+        let out_row: Option<Vec<Value>> = {
+            let q = &self.compiled.program.queries[idx];
+            if let Some(f) = &q.pre_filter {
+                let pass = eval(f, &[], row, &self.params)
+                    .expect("type-checked filter cannot fail")
+                    .truthy();
+                if !pass {
+                    return;
+                }
+            }
+            match &q.kind {
+                ResolvedKind::Project(cols) => {
+                    let out: Vec<Value> = cols
+                        .iter()
+                        .map(|c| {
+                            eval(&c.expr, &[], row, &self.params)
+                                .expect("type-checked projection cannot fail")
+                        })
+                        .collect();
+                    if let Some(cap) = self.captures[idx].as_mut() {
+                        cap.push(out.clone());
+                    }
+                    Some(out)
+                }
+                ResolvedKind::GroupBy(g) => {
+                    let key: Vec<i64> = g.key_cols.iter().map(|c| value_key(&row[*c])).collect();
+                    let store = self.stores[idx].as_mut().expect("groupby has a store");
+                    let state = store.observe_ref(key, row, now);
+                    let out: Vec<Value> = g
+                        .output
+                        .iter()
+                        .map(|o| match o {
+                            GroupOutput::Key(i) => row[g.key_cols[*i]],
+                            GroupOutput::StateVar(j) => state.vars[*j],
+                        })
+                        .collect();
+                    Some(out)
+                }
+            }
+        };
+        if let Some(out) = out_row {
+            let children = self.compiled.children[idx].clone();
+            for child in children {
+                self.feed(child, &out, now);
+            }
+        }
+    }
+
+    /// Periodically evict idle keys so the backing store stays fresh
+    /// (§3.2's freshness note). `cutoff` evicts keys idle since before it.
+    pub fn refresh_backing(&mut self, cutoff: Nanos) {
+        for store in self.stores.iter_mut().flatten() {
+            store.evict_idle_since(cutoff);
+        }
+    }
+
+    /// Flush all caches to the backing stores (end of measurement window).
+    pub fn finish(&mut self) {
+        for store in self.stores.iter_mut().flatten() {
+            store.flush();
+        }
+        self.finished = true;
+    }
+
+    /// Pull every query's final table. Call after [`Runtime::finish`].
+    #[must_use]
+    pub fn collect(&self) -> ResultSet {
+        assert!(self.finished, "collect() requires finish()");
+        let mut group_finals: Vec<Option<Vec<(Vec<i64>, Vec<Value>, bool)>>> = Vec::new();
+        for store in &self.stores {
+            match store {
+                Some(s) => {
+                    let mut rows: Vec<(Vec<i64>, Vec<Value>, bool)> = s
+                        .backing()
+                        .iter()
+                        .map(|(k, entry)| {
+                            (k.clone(), entry.latest().vars.clone(), entry.is_valid())
+                        })
+                        .collect();
+                    rows.sort_by(|a, b| a.0.cmp(&b.0));
+                    group_finals.push(Some(rows));
+                }
+                None => group_finals.push(None),
+            }
+        }
+        collect_results(
+            &self.compiled.program,
+            &group_finals,
+            &self.captures,
+            &self.params,
+        )
+    }
+}
+
+/// Reconstruct a key word as a typed value (floats were stored as bits).
+fn key_to_value(word: i64, ty: ValueType) -> Value {
+    match ty {
+        ValueType::Int => Value::Int(word),
+        ValueType::Float => Value::Float(f64::from_bits(word as u64)),
+        ValueType::Bool => Value::Bool(word != 0),
+    }
+}
+
+/// Build the final tables shared by the runtime and the oracle.
+pub(crate) fn collect_results(
+    program: &ResolvedProgram,
+    group_finals: &[Option<Vec<(Vec<i64>, Vec<Value>, bool)>>],
+    captures: &[Option<Capture>],
+    params: &[Value],
+) -> ResultSet {
+    let mut tables: Vec<ResultTable> = Vec::with_capacity(program.queries.len());
+    for (idx, q) in program.queries.iter().enumerate() {
+        let table = match &q.kind {
+            ResolvedKind::GroupBy(g) => {
+                let finals = group_finals[idx].as_ref().expect("groupby finals");
+                let rows = finals
+                    .iter()
+                    .map(|(key, vars, valid)| ResultRow {
+                        values: g
+                            .output
+                            .iter()
+                            .enumerate()
+                            .map(|(pos, o)| match o {
+                                GroupOutput::Key(i) => {
+                                    key_to_value(key[*i], q.schema.type_of(pos))
+                                }
+                                GroupOutput::StateVar(j) => vars[*j],
+                            })
+                            .collect(),
+                        valid: *valid,
+                    })
+                    .collect();
+                ResultTable {
+                    name: q.name.clone(),
+                    schema: q.schema.clone(),
+                    rows,
+                    total_matched: finals.len() as u64,
+                }
+            }
+            ResolvedKind::Project(cols) => match &q.input {
+                QueryInput::Base => {
+                    let cap = captures[idx].as_ref().expect("base projections capture");
+                    ResultTable {
+                        name: q.name.clone(),
+                        schema: q.schema.clone(),
+                        rows: cap
+                            .rows
+                            .iter()
+                            .map(|values| ResultRow {
+                                values: values.clone(),
+                                valid: true,
+                            })
+                            .collect(),
+                        total_matched: cap.total,
+                    }
+                }
+                QueryInput::Table(src) => {
+                    let input = &tables[*src];
+                    let rows = project_rows(
+                        input.rows.iter().map(|r| (r.values.as_slice(), r.valid)),
+                        q.pre_filter.as_ref(),
+                        cols,
+                        params,
+                    );
+                    let total = rows.len() as u64;
+                    ResultTable {
+                        name: q.name.clone(),
+                        schema: q.schema.clone(),
+                        rows,
+                        total_matched: total,
+                    }
+                }
+                QueryInput::Join { left, right, on } => {
+                    let joined = join_rows(&tables[*left], &tables[*right], on);
+                    let rows = project_rows(
+                        joined.iter().map(|(v, ok)| (v.as_slice(), *ok)),
+                        q.pre_filter.as_ref(),
+                        cols,
+                        params,
+                    );
+                    let total = rows.len() as u64;
+                    ResultTable {
+                        name: q.name.clone(),
+                        schema: q.schema.clone(),
+                        rows,
+                        total_matched: total,
+                    }
+                }
+            },
+        };
+        tables.push(table);
+    }
+    ResultSet { tables }
+}
+
+fn project_rows<'a>(
+    input: impl Iterator<Item = (&'a [Value], bool)>,
+    filter: Option<&perfq_lang::RExpr>,
+    cols: &[perfq_lang::ProjCol],
+    params: &[Value],
+) -> Vec<ResultRow> {
+    let mut out = Vec::new();
+    for (row, valid) in input {
+        if let Some(f) = filter {
+            let pass = eval(f, &[], row, params)
+                .expect("type-checked filter cannot fail")
+                .truthy();
+            if !pass {
+                continue;
+            }
+        }
+        out.push(ResultRow {
+            values: cols
+                .iter()
+                .map(|c| eval(&c.expr, &[], row, params).expect("type-checked projection"))
+                .collect(),
+            valid,
+        });
+    }
+    out
+}
+
+/// Inner-join two keyed tables on the named key columns, producing rows laid
+/// out as `resolve::joined_schema` declares: key values, then the left
+/// table's non-key columns, then the right's.
+fn join_rows(left: &ResultTable, right: &ResultTable, on: &[String]) -> Vec<(Vec<Value>, bool)> {
+    let lkeys: Vec<usize> = on
+        .iter()
+        .map(|n| left.schema.index_of(n).expect("join key in left schema"))
+        .collect();
+    let rkeys: Vec<usize> = on
+        .iter()
+        .map(|n| right.schema.index_of(n).expect("join key in right schema"))
+        .collect();
+    let rmap = right.key_map(&rkeys);
+    let mut out = Vec::new();
+    for lrow in &left.rows {
+        let key: Vec<i64> = lkeys.iter().map(|c| value_key(&lrow.values[*c])).collect();
+        let Some(rrow) = rmap.get(&key) else {
+            continue;
+        };
+        let mut values: Vec<Value> = lkeys.iter().map(|c| lrow.values[*c]).collect();
+        for (i, v) in lrow.values.iter().enumerate() {
+            if !lkeys.contains(&i) {
+                values.push(*v);
+            }
+        }
+        for (i, v) in rrow.values.iter().enumerate() {
+            if !rkeys.contains(&i) {
+                values.push(*v);
+            }
+        }
+        out.push((values, lrow.valid && rrow.valid));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile_program, CompileOptions};
+    use perfq_lang::{compile as lang_compile, fig2};
+    use perfq_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn runtime(src: &str) -> Runtime {
+        let prog = lang_compile(src, &fig2::default_params()).unwrap();
+        Runtime::new(compile_program(prog, CompileOptions::default()).unwrap())
+    }
+
+    fn record(src_last: u8, seq: u32, tin: u64, tout: Option<u64>, qsize: u32) -> QueueRecord {
+        QueueRecord {
+            packet: PacketBuilder::tcp()
+                .src(Ipv4Addr::new(10, 0, 0, src_last), 1000)
+                .dst(Ipv4Addr::new(172, 16, 0, 1), 80)
+                .seq(seq)
+                .payload_len(100)
+                .uniq(u64::from(seq))
+                .build(),
+            qid: 1,
+            tin: Nanos(tin),
+            tout: tout.map(Nanos).unwrap_or(Nanos::INFINITY),
+            qsize,
+            qout: 0,
+            path: 0,
+        }
+    }
+
+    #[test]
+    fn count_groupby_counts_per_key() {
+        let mut rt = runtime("SELECT COUNT GROUPBY srcip");
+        for i in 0..10u32 {
+            rt.process_record(&record((i % 2) as u8, i, 100 * u64::from(i), Some(100 * u64::from(i) + 50), 0));
+        }
+        rt.finish();
+        let rs = rt.collect();
+        let t = &rs.tables[0];
+        assert_eq!(t.rows.len(), 2);
+        let counts: Vec<i64> = t
+            .rows
+            .iter()
+            .map(|r| r.values[t.schema.index_of("COUNT").unwrap()].as_i64())
+            .collect();
+        assert_eq!(counts.iter().sum::<i64>(), 10);
+    }
+
+    #[test]
+    fn where_filters_records() {
+        let mut rt = runtime("SELECT srcip FROM T WHERE tout - tin > 1ms");
+        rt.process_record(&record(1, 1, 0, Some(100), 0)); // 100 ns: filtered
+        rt.process_record(&record(2, 2, 0, Some(2_000_000), 0)); // 2 ms: kept
+        rt.finish();
+        let rs = rt.collect();
+        assert_eq!(rs.tables[0].rows.len(), 1);
+        assert_eq!(rs.tables[0].total_matched, 1);
+    }
+
+    #[test]
+    fn drop_filter_matches_infinite_tout() {
+        let mut rt = runtime("SELECT COUNT GROUPBY srcip WHERE tout == infinity");
+        rt.process_record(&record(1, 1, 0, Some(100), 0));
+        rt.process_record(&record(1, 2, 10, None, 3)); // drop
+        rt.process_record(&record(1, 3, 20, None, 3)); // drop
+        rt.finish();
+        let rs = rt.collect();
+        let t = &rs.tables[0];
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].values[t.schema.index_of("COUNT").unwrap()].as_i64(), 2);
+    }
+
+    #[test]
+    fn loss_rate_join_end_to_end() {
+        let src = "R1 = SELECT COUNT GROUPBY 5tuple\nR2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity\nR3 = SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple\n";
+        let mut rt = runtime(src);
+        // Flow A: 4 packets, 1 drop. Flow B: 2 packets, 0 drops.
+        for (i, (src_ip, dropped)) in [(1u8, false), (1, true), (1, false), (1, false), (2, false), (2, false)]
+            .iter()
+            .enumerate()
+        {
+            let t = 100 * i as u64;
+            rt.process_record(&record(*src_ip, i as u32, t, (!dropped).then_some(t + 10), 0));
+        }
+        rt.finish();
+        let rs = rt.collect();
+        let r3 = rs.table("R3").unwrap();
+        // Only flow A appears (inner join: flow B has no drop row).
+        assert_eq!(r3.rows.len(), 1);
+        let ratio = r3.rows[0].values[0].as_f64();
+        assert!((ratio - 0.25).abs() < 1e-12, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn composition_streams_through() {
+        let src = "R1 = SELECT pkt_uniq, SUM(tout-tin) GROUPBY pkt_uniq\nR2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE SUM(tout-tin) > L\n";
+        let mut rt = runtime(src);
+        // One packet with 2 ms total latency (> L = 1 ms), one with 1 µs.
+        rt.process_record(&record(1, 1, 0, Some(2_000_000), 0));
+        rt.process_record(&record(2, 2, 0, Some(1_000), 0));
+        rt.finish();
+        let rs = rt.collect();
+        let r2 = rs.table("R2").unwrap();
+        assert_eq!(r2.rows.len(), 1, "only the slow packet's flow qualifies");
+        let srcip = r2.rows[0].values[r2.schema.index_of("srcip").unwrap()].as_i64();
+        assert_eq!(srcip, i64::from(u32::from(Ipv4Addr::new(10, 0, 0, 1))));
+    }
+
+    #[test]
+    fn capture_limit_bounds_rows_but_counts_all() {
+        let prog = lang_compile("SELECT srcip FROM T", &fig2::default_params()).unwrap();
+        let opts = CompileOptions {
+            capture_limit: 5,
+            ..Default::default()
+        };
+        let mut rt = Runtime::new(compile_program(prog, opts).unwrap());
+        for i in 0..20u32 {
+            rt.process_record(&record(1, i, 0, Some(10), 0));
+        }
+        rt.finish();
+        let rs = rt.collect();
+        assert_eq!(rs.tables[0].rows.len(), 5);
+        assert_eq!(rs.tables[0].total_matched, 20);
+    }
+
+    #[test]
+    fn store_stats_expose_evictions() {
+        let prog = lang_compile("SELECT COUNT GROUPBY srcip", &fig2::default_params()).unwrap();
+        let opts = CompileOptions {
+            cache_pairs: 2,
+            ways: 0, // fully associative, 2 entries
+            ..Default::default()
+        };
+        let mut rt = Runtime::new(compile_program(prog, opts).unwrap());
+        for i in 0..30u32 {
+            rt.process_record(&record((i % 3) as u8 + 1, i, u64::from(i), Some(u64::from(i) + 1), 0));
+        }
+        rt.finish();
+        let stats = rt.store_stats(0).unwrap();
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.packets, 30);
+        // Counts remain exact despite churn.
+        let rs = rt.collect();
+        let t = &rs.tables[0];
+        let total: i64 = t
+            .rows
+            .iter()
+            .map(|r| r.values[t.schema.index_of("COUNT").unwrap()].as_i64())
+            .sum();
+        assert_eq!(total, 30);
+    }
+}

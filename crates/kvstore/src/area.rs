@@ -1,0 +1,183 @@
+//! Chip-area and workload feasibility model (§3.3 and §4 of the paper).
+//!
+//! The paper's hardware argument is back-of-the-envelope arithmetic over
+//! published numbers; this module encodes that arithmetic so the `area`
+//! bench binary can regenerate every in-text figure:
+//!
+//! * SRAM density ≈ 7000 Kbit/mm² (§4, citing ARM embedded SRAM);
+//! * smallest switching chips ≈ 200 mm² (§4, citing Gibb et al.);
+//! * a 32 Mbit cache ⇒ < 2.5 % extra area;
+//! * 104-bit 5-tuple key + 24-bit counter ⇒ 128-bit pairs;
+//! * Benson et al. datacenter conditions (850 B average packets, 30 %
+//!   utilization) on a 1 GHz pipeline that can forward 10⁹ 64 B packets/s
+//!   ⇒ 22.6 M average-sized packets/s;
+//! * 3.55 % eviction rate at 32 Mbit ⇒ ~802 K backing-store writes/s.
+
+/// SRAM density in kilobits per mm² (§4: "SRAM densities are now around
+/// 7000 Kb/mm²").
+pub const SRAM_KBIT_PER_MM2: f64 = 7000.0;
+
+/// Die area of the smallest switching chips in mm² (§4, citing Gibb et al.).
+pub const MIN_CHIP_AREA_MM2: f64 = 200.0;
+
+/// Bits in the running example's key (transport 5-tuple).
+pub const FIVE_TUPLE_KEY_BITS: u32 = 104;
+
+/// Bits in the running example's value (packet counter).
+pub const COUNTER_VALUE_BITS: u32 = 24;
+
+/// Bits per key-value pair in the running example (104 + 24 = 128).
+pub const PAIR_BITS: u32 = FIVE_TUPLE_KEY_BITS + COUNTER_VALUE_BITS;
+
+/// mm² of SRAM needed for `bits` of storage.
+#[must_use]
+pub fn sram_area_mm2(bits: u64) -> f64 {
+    bits as f64 / (SRAM_KBIT_PER_MM2 * 1000.0)
+}
+
+/// Cache SRAM as a fraction of a chip die.
+#[must_use]
+pub fn chip_area_fraction(bits: u64, chip_mm2: f64) -> f64 {
+    sram_area_mm2(bits) / chip_mm2
+}
+
+/// Key-value pairs that fit in an SRAM budget.
+#[must_use]
+pub fn pairs_in_sram(sram_bits: u64, pair_bits: u32) -> u64 {
+    sram_bits / u64::from(pair_bits)
+}
+
+/// SRAM bits needed to hold `pairs` key-value pairs.
+#[must_use]
+pub fn sram_bits_for_pairs(pairs: u64, pair_bits: u32) -> u64 {
+    pairs * u64::from(pair_bits)
+}
+
+/// Mbit (2^20-bit) helper for display.
+#[must_use]
+pub fn bits_to_mbit(bits: u64) -> f64 {
+    bits as f64 / (1024.0 * 1024.0)
+}
+
+/// The workload model behind §4's "typical conditions".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadModel {
+    /// Peak packet rate at minimum packet size, packets/s (1 GHz pipeline).
+    pub peak_pps: f64,
+    /// Minimum packet size used to size the line rate, bytes.
+    pub min_pkt_bytes: f64,
+    /// Average packet size under the datacenter mix (Benson et al.), bytes.
+    pub avg_pkt_bytes: f64,
+    /// Average link utilization.
+    pub utilization: f64,
+}
+
+impl Default for WorkloadModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl WorkloadModel {
+    /// The paper's numbers: 10⁹ pkt/s at 64 B, 850 B average, 30 % load.
+    #[must_use]
+    pub fn paper() -> Self {
+        WorkloadModel {
+            peak_pps: 1e9,
+            min_pkt_bytes: 64.0,
+            avg_pkt_bytes: 850.0,
+            utilization: 0.30,
+        }
+    }
+
+    /// The implied line rate in bits/s (10⁹ × 64 B ⇒ 512 Gbit/s).
+    #[must_use]
+    pub fn line_rate_bps(&self) -> f64 {
+        self.peak_pps * self.min_pkt_bytes * 8.0
+    }
+
+    /// Average-sized packets per second under this load — §4's 22.6 M/s.
+    #[must_use]
+    pub fn avg_pps(&self) -> f64 {
+        self.line_rate_bps() * self.utilization / (self.avg_pkt_bytes * 8.0)
+    }
+
+    /// Backing-store write rate implied by an eviction fraction — §4 derives
+    /// ~802 K/s from the 3.55 % eviction rate at 32 Mbit.
+    #[must_use]
+    pub fn evictions_per_sec(&self, eviction_fraction: f64) -> f64 {
+        self.avg_pps() * eviction_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBIT: u64 = 1024 * 1024;
+
+    #[test]
+    fn pair_bits_match_paper() {
+        assert_eq!(PAIR_BITS, 128);
+    }
+
+    #[test]
+    fn thirty_two_mbit_is_under_2_5_percent() {
+        // §4: "a 32-Mbit cache in SRAM costs under 2.5% additional area".
+        let frac = chip_area_fraction(32 * MBIT, MIN_CHIP_AREA_MM2);
+        assert!(frac < 0.025, "fraction = {frac}");
+        assert!(frac > 0.02, "fraction = {frac} (sanity: close to the bound)");
+    }
+
+    #[test]
+    fn thirty_two_mbit_holds_2_to_18_pairs() {
+        // §4's sweep: 8 Mbit = 2^16 pairs … 256 Mbit = 2^21 pairs.
+        assert_eq!(pairs_in_sram(32 * MBIT, PAIR_BITS), 1 << 18);
+        assert_eq!(pairs_in_sram(8 * MBIT, PAIR_BITS), 1 << 16);
+        assert_eq!(pairs_in_sram(256 * MBIT, PAIR_BITS), 1 << 21);
+        assert_eq!(sram_bits_for_pairs(1 << 18, PAIR_BITS), 32 * MBIT);
+    }
+
+    #[test]
+    fn storing_all_flows_is_prohibitive() {
+        // §4: 3.8 M flows × 128 bit ≈ 486 Mbit ⇒ tens of percent of the die
+        // (the paper quotes 38 %; the arithmetic with its cited density
+        // constants gives ~35 % — same conclusion: prohibitive).
+        let bits = sram_bits_for_pairs(3_800_000, PAIR_BITS);
+        assert!((bits_to_mbit(bits) - 463.9).abs() < 1.0); // 486.4e6 raw bits
+        let frac = chip_area_fraction(bits, MIN_CHIP_AREA_MM2);
+        assert!(frac > 0.30, "fraction = {frac}");
+    }
+
+    #[test]
+    fn line_rate_is_512_gbps() {
+        let m = WorkloadModel::paper();
+        assert!((m.line_rate_bps() - 512e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn average_pps_matches_papers_22_6m() {
+        let m = WorkloadModel::paper();
+        let pps = m.avg_pps();
+        assert!(
+            (pps - 22.6e6).abs() < 0.1e6,
+            "avg pps = {pps} (paper: 22.6M)"
+        );
+    }
+
+    #[test]
+    fn eviction_rate_matches_papers_802k() {
+        let m = WorkloadModel::paper();
+        let writes = m.evictions_per_sec(0.0355);
+        assert!(
+            (writes - 802e3).abs() < 2e3,
+            "writes/s = {writes} (paper: 802K)"
+        );
+    }
+
+    #[test]
+    fn sram_area_is_linear_in_bits() {
+        assert!((sram_area_mm2(7_000_000) - 1.0).abs() < 1e-9);
+        assert!((sram_area_mm2(14_000_000) - 2.0).abs() < 1e-9);
+    }
+}

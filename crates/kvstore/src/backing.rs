@@ -1,0 +1,270 @@
+//! The off-chip backing store (right half of Fig. 3).
+//!
+//! Evicted key-value pairs land here. Three absorption modes correspond to
+//! the fold classes the language analysis derives:
+//!
+//! * **merge** — linear-in-state folds: the evicted value is merged into the
+//!   existing value so the backing store always holds the exact aggregate
+//!   (§3.2, "The merge operation");
+//! * **overwrite** — pure packet-window folds: the evicted value alone is
+//!   already correct, the previous value is stale;
+//! * **epochs** — non-linear folds: each cache residency contributes one
+//!   epoch; keys with more than one epoch are *invalid* because no merge
+//!   function can reconcile them (§3.2, "Operations that are not linear in
+//!   state"). Fig. 6's accuracy metric is the fraction of valid keys.
+
+use perfq_packet::Nanos;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// How evicted values are absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Merge evicted state into the standing value (linear-in-state folds).
+    Merge,
+    /// Replace the standing value (pure-window folds).
+    Overwrite,
+    /// Keep one value per cache residency (non-linear folds).
+    Epochs,
+}
+
+/// One cache residency's final value (used in [`MergeMode::Epochs`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epoch<V> {
+    /// Value at eviction.
+    pub value: V,
+    /// First packet of the residency.
+    pub first_seen: Nanos,
+    /// Last packet of the residency.
+    pub last_seen: Nanos,
+}
+
+/// A key's standing record in the backing store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackingEntry<V> {
+    /// Per-residency values. In `Merge`/`Overwrite` modes this always has
+    /// exactly one element; in `Epochs` mode it grows per eviction.
+    pub epochs: Vec<Epoch<V>>,
+    /// Number of times this key was written back.
+    pub writes: u32,
+}
+
+impl<V> BackingEntry<V> {
+    /// A key is valid when a single correct value can be produced for it —
+    /// always true for merged/overwritten keys, and true for non-linear keys
+    /// with exactly one epoch.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.epochs.len() == 1
+    }
+
+    /// The (single) value, if the key is valid.
+    #[must_use]
+    pub fn value(&self) -> Option<&V> {
+        if self.is_valid() {
+            self.epochs.first().map(|e| &e.value)
+        } else {
+            None
+        }
+    }
+
+    /// The most recent epoch's value regardless of validity (each epoch is
+    /// still "correct over a specific time interval", §3.2).
+    #[must_use]
+    pub fn latest(&self) -> &V {
+        &self.epochs.last().expect("entries have ≥1 epoch").value
+    }
+}
+
+/// The DRAM-side store: a plain map with merge semantics.
+///
+/// The simulator keeps it in-process; the paper's deployment options (switch
+/// CPU memory, scale-out Memcached/Redis) only change *where* the writes go,
+/// and the evaluation consumes the write **rate**, tracked by `StoreStats`.
+#[derive(Debug, Clone)]
+pub struct BackingStore<K, V> {
+    entries: HashMap<K, BackingEntry<V>>,
+    mode: MergeMode,
+}
+
+impl<K: Eq + Hash, V> BackingStore<K, V> {
+    /// Create an empty store with the given absorption mode.
+    #[must_use]
+    pub fn new(mode: MergeMode) -> Self {
+        BackingStore {
+            entries: HashMap::new(),
+            mode,
+        }
+    }
+
+    /// The absorption mode.
+    #[must_use]
+    pub fn mode(&self) -> MergeMode {
+        self.mode
+    }
+
+    /// Number of distinct keys ever written back.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been written back.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Absorb an evicted value. `merge_fn` reconciles the evicted value with
+    /// the standing one in [`MergeMode::Merge`] (it receives
+    /// `(standing, evicted)` and must update `standing` in place).
+    pub fn absorb(
+        &mut self,
+        key: K,
+        value: V,
+        first_seen: Nanos,
+        last_seen: Nanos,
+        merge_fn: impl FnOnce(&mut V, V),
+    ) {
+        let epoch = Epoch {
+            value,
+            first_seen,
+            last_seen,
+        };
+        match self.entries.get_mut(&key) {
+            None => {
+                self.entries.insert(
+                    key,
+                    BackingEntry {
+                        epochs: vec![epoch],
+                        writes: 1,
+                    },
+                );
+            }
+            Some(existing) => {
+                existing.writes += 1;
+                match self.mode {
+                    MergeMode::Merge => {
+                        let standing = existing.epochs.last_mut().expect("≥1 epoch");
+                        merge_fn(&mut standing.value, epoch.value);
+                        standing.last_seen = epoch.last_seen;
+                        standing.first_seen = standing.first_seen.min(epoch.first_seen);
+                    }
+                    MergeMode::Overwrite => {
+                        let standing = existing.epochs.last_mut().expect("≥1 epoch");
+                        let first = standing.first_seen.min(epoch.first_seen);
+                        *standing = epoch;
+                        standing.first_seen = first;
+                    }
+                    MergeMode::Epochs => existing.epochs.push(epoch),
+                }
+            }
+        }
+    }
+
+    /// Look up a key's standing record.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&BackingEntry<V>> {
+        self.entries.get(key)
+    }
+
+    /// Iterate over all records.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &BackingEntry<V>)> {
+        self.entries.iter()
+    }
+
+    /// Count of valid keys (Fig. 6's numerator).
+    #[must_use]
+    pub fn valid_keys(&self) -> usize {
+        self.entries.values().filter(|e| e.is_valid()).count()
+    }
+
+    /// Fraction of valid keys (Fig. 6's accuracy metric). Returns 1.0 for an
+    /// empty store (no keys ⇒ nothing is wrong).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.entries.is_empty() {
+            1.0
+        } else {
+            self.valid_keys() as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// Drop all records (start of a new measurement window).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(standing: &mut u64, evicted: u64) {
+        *standing += evicted;
+    }
+
+    #[test]
+    fn merge_mode_accumulates() {
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Merge);
+        b.absorb(1, 10, Nanos(0), Nanos(5), add);
+        b.absorb(1, 7, Nanos(10), Nanos(15), add);
+        let e = b.get(&1).unwrap();
+        assert!(e.is_valid());
+        assert_eq!(*e.value().unwrap(), 17);
+        assert_eq!(e.writes, 2);
+        assert_eq!(e.epochs[0].first_seen, Nanos(0));
+        assert_eq!(e.epochs[0].last_seen, Nanos(15));
+    }
+
+    #[test]
+    fn overwrite_mode_keeps_latest() {
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Overwrite);
+        b.absorb(1, 10, Nanos(0), Nanos(5), add);
+        b.absorb(1, 7, Nanos(10), Nanos(15), add);
+        let e = b.get(&1).unwrap();
+        assert!(e.is_valid());
+        assert_eq!(*e.value().unwrap(), 7);
+    }
+
+    #[test]
+    fn epoch_mode_invalidates_on_second_eviction() {
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Epochs);
+        b.absorb(1, 10, Nanos(0), Nanos(5), add);
+        assert!(b.get(&1).unwrap().is_valid());
+        b.absorb(1, 7, Nanos(10), Nanos(15), add);
+        let e = b.get(&1).unwrap();
+        assert!(!e.is_valid());
+        assert_eq!(e.value(), None);
+        assert_eq!(*e.latest(), 7);
+        assert_eq!(e.epochs.len(), 2);
+    }
+
+    #[test]
+    fn accuracy_counts_valid_fraction() {
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Epochs);
+        b.absorb(1, 1, Nanos(0), Nanos(1), add);
+        b.absorb(2, 1, Nanos(0), Nanos(1), add);
+        b.absorb(2, 1, Nanos(2), Nanos(3), add); // key 2 invalid
+        b.absorb(3, 1, Nanos(0), Nanos(1), add);
+        b.absorb(4, 1, Nanos(0), Nanos(1), add);
+        assert_eq!(b.valid_keys(), 3);
+        assert!((b.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_is_fully_accurate() {
+        let b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Epochs);
+        assert_eq!(b.accuracy(), 1.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Merge);
+        b.absorb(1, 1, Nanos(0), Nanos(1), add);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.get(&1).is_none());
+    }
+}

@@ -1,0 +1,662 @@
+//! The on-chip SRAM cache (Fig. 3/4 of the paper).
+//!
+//! Two interchangeable implementations sit behind [`SramCache`]:
+//!
+//! * `BucketedCache` — the hardware layout of Fig. 4: `n` hash buckets of
+//!   `m` slots, victim chosen within the bucket. Lookup is a linear probe of
+//!   the (small) bucket, exactly like the parallel tag compare a real cache
+//!   way performs.
+//! * `FullLruCache` — used when `n = 1` (the paper's fully-associative
+//!   configuration). A hash-map index plus an intrusive doubly-linked list
+//!   gives O(1) lookup and true-LRU eviction; a linear scan of 2^18 ways per
+//!   packet would make the Fig. 5 sweep intractable.
+//!
+//! Both honor the three eviction policies and keep per-entry residency
+//! timestamps (`first_seen`/`last_seen`) for the backing store's epochs.
+
+use crate::geometry::CacheGeometry;
+use crate::hash::hash_key;
+use crate::policy::{EvictionPolicy, VictimRng};
+use perfq_packet::Nanos;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A resident key-value pair with residency metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry<K, V> {
+    /// The key.
+    pub key: K,
+    /// The value (fold state).
+    pub value: V,
+    /// When the key was inserted into the cache (this residency).
+    pub first_seen: Nanos,
+    /// When the key was last updated.
+    pub last_seen: Nanos,
+}
+
+/// The on-chip cache: geometry + policy behind one interface.
+#[derive(Debug, Clone)]
+pub struct SramCache<K, V> {
+    inner: Inner<K, V>,
+    policy: EvictionPolicy,
+    rng: VictimRng,
+    geometry: CacheGeometry,
+}
+
+#[derive(Debug, Clone)]
+enum Inner<K, V> {
+    Bucketed(BucketedCache<K, V>),
+    Full(FullLruCache<K, V>),
+}
+
+impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
+    /// Create a cache with the given geometry, policy and hash seed.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, policy: EvictionPolicy, hash_seed: u64) -> Self {
+        let rng_seed = match policy {
+            EvictionPolicy::Random { seed } => seed,
+            _ => 1,
+        };
+        let inner = if geometry.buckets == 1 {
+            Inner::Full(FullLruCache::new(geometry.ways))
+        } else {
+            Inner::Bucketed(BucketedCache::new(geometry, hash_seed))
+        };
+        SramCache {
+            inner,
+            policy,
+            rng: VictimRng::new(rng_seed),
+            geometry,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Bucketed(c) => c.len,
+            Inner::Full(c) => c.map.len(),
+        }
+    }
+
+    /// True when no entries are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slot capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.geometry.capacity()
+    }
+
+    /// Look up a key, refreshing its recency (unless the policy is FIFO) and
+    /// its `last_seen` timestamp. Returns a mutable borrow of the value.
+    pub fn get_mut(&mut self, key: &K, now: Nanos) -> Option<&mut V> {
+        let refresh = !matches!(self.policy, EvictionPolicy::Fifo);
+        match &mut self.inner {
+            Inner::Bucketed(c) => c.get_mut(key, now, refresh),
+            Inner::Full(c) => c.get_mut(key, now, refresh),
+        }
+    }
+
+    /// True if the key is resident (no recency side effects).
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        match &self.inner {
+            Inner::Bucketed(c) => c.find(key).is_some(),
+            Inner::Full(c) => c.map.contains_key(key),
+        }
+    }
+
+    /// Insert a key that is **not** resident. If the target bucket is full,
+    /// the policy's victim is evicted and returned.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the key is already resident — callers must
+    /// use [`SramCache::get_mut`] first, mirroring the hardware's single
+    /// lookup-then-update/initialize flow.
+    pub fn insert(&mut self, key: K, value: V, now: Nanos) -> Option<CacheEntry<K, V>> {
+        debug_assert!(!self.contains(&key), "insert of a resident key");
+        let entry = CacheEntry {
+            key,
+            value,
+            first_seen: now,
+            last_seen: now,
+        };
+        let (policy, rng) = (self.policy, &mut self.rng);
+        match &mut self.inner {
+            Inner::Bucketed(c) => c.insert(entry, policy, rng),
+            Inner::Full(c) => c.insert(entry, policy, rng),
+        }
+    }
+
+    /// Remove a specific key, returning its entry (used for targeted
+    /// periodic eviction — §3.2: "keys can be periodically evicted to ensure
+    /// the backing store is fresh").
+    pub fn remove(&mut self, key: &K) -> Option<CacheEntry<K, V>> {
+        match &mut self.inner {
+            Inner::Bucketed(c) => c.remove(key),
+            Inner::Full(c) => c.remove(key),
+        }
+    }
+
+    /// Remove and return all resident entries (end-of-window flush).
+    pub fn drain(&mut self) -> Vec<CacheEntry<K, V>> {
+        match &mut self.inner {
+            Inner::Bucketed(c) => c.drain(),
+            Inner::Full(c) => c.drain(),
+        }
+    }
+
+    /// Iterate over resident entries (no recency side effects).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &CacheEntry<K, V>> + '_> {
+        match &self.inner {
+            Inner::Bucketed(c) => Box::new(c.buckets.iter().flat_map(|b| b.iter().map(|s| &s.entry))),
+            Inner::Full(c) => Box::new(c.nodes.iter().filter_map(|n| n.as_ref().map(|n| &n.entry))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bucketed implementation (n buckets × m ways)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    entry: CacheEntry<K, V>,
+    /// Monotone counter value at last access (LRU victim = minimum).
+    accessed: u64,
+    /// Monotone counter value at insertion (FIFO victim = minimum).
+    inserted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BucketedCache<K, V> {
+    buckets: Vec<Vec<Slot<K, V>>>,
+    ways: usize,
+    seed: u64,
+    seq: u64,
+    len: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
+    fn new(geometry: CacheGeometry, seed: u64) -> Self {
+        BucketedCache {
+            buckets: (0..geometry.buckets).map(|_| Vec::new()).collect(),
+            ways: geometry.ways,
+            seed,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    fn bucket_of(&self, key: &K) -> usize {
+        (hash_key(self.seed, key) % self.buckets.len() as u64) as usize
+    }
+
+    fn find(&self, key: &K) -> Option<(usize, usize)> {
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter()
+            .position(|s| &s.entry.key == key)
+            .map(|i| (b, i))
+    }
+
+    fn get_mut(&mut self, key: &K, now: Nanos, refresh: bool) -> Option<&mut V> {
+        let (b, i) = self.find(key)?;
+        self.seq += 1;
+        let slot = &mut self.buckets[b][i];
+        if refresh {
+            slot.accessed = self.seq;
+        }
+        slot.entry.last_seen = now;
+        Some(&mut slot.entry.value)
+    }
+
+    fn insert(
+        &mut self,
+        entry: CacheEntry<K, V>,
+        policy: EvictionPolicy,
+        rng: &mut VictimRng,
+    ) -> Option<CacheEntry<K, V>> {
+        let b = self.bucket_of(&entry.key);
+        self.seq += 1;
+        let slot = Slot {
+            entry,
+            accessed: self.seq,
+            inserted: self.seq,
+        };
+        let bucket = &mut self.buckets[b];
+        if bucket.len() < self.ways {
+            bucket.push(slot);
+            self.len += 1;
+            return None;
+        }
+        let victim_idx = match policy {
+            EvictionPolicy::Lru => {
+                let mut idx = 0;
+                for (i, s) in bucket.iter().enumerate() {
+                    if s.accessed < bucket[idx].accessed {
+                        idx = i;
+                    }
+                }
+                idx
+            }
+            EvictionPolicy::Fifo => {
+                let mut idx = 0;
+                for (i, s) in bucket.iter().enumerate() {
+                    if s.inserted < bucket[idx].inserted {
+                        idx = i;
+                    }
+                }
+                idx
+            }
+            EvictionPolicy::Random { .. } => rng.pick(bucket.len()),
+        };
+        let victim = std::mem::replace(&mut bucket[victim_idx], slot);
+        Some(victim.entry)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<CacheEntry<K, V>> {
+        let (b, i) = self.find(key)?;
+        self.len -= 1;
+        Some(self.buckets[b].swap_remove(i).entry)
+    }
+
+    fn drain(&mut self) -> Vec<CacheEntry<K, V>> {
+        self.len = 0;
+        self.buckets
+            .iter_mut()
+            .flat_map(|b| b.drain(..).map(|s| s.entry))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fully-associative implementation (hash index + intrusive LRU list)
+// ---------------------------------------------------------------------------
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    entry: CacheEntry<K, V>,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FullLruCache<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        FullLruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity).rev().collect(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let n = self.nodes[idx].as_ref().expect("linked node exists");
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev].as_mut().expect("prev exists").next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].as_mut().expect("next exists").prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        {
+            let n = self.nodes[idx].as_mut().expect("node exists");
+            n.prev = NIL;
+            n.next = self.head;
+        }
+        if self.head != NIL {
+            self.nodes[self.head].as_mut().expect("head exists").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn get_mut(&mut self, key: &K, now: Nanos, refresh: bool) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        if refresh {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        let n = self.nodes[idx].as_mut().expect("indexed node exists");
+        n.entry.last_seen = now;
+        Some(&mut n.entry.value)
+    }
+
+    fn insert(
+        &mut self,
+        entry: CacheEntry<K, V>,
+        policy: EvictionPolicy,
+        rng: &mut VictimRng,
+    ) -> Option<CacheEntry<K, V>> {
+        let mut victim = None;
+        if self.free.is_empty() {
+            let victim_idx = match policy {
+                EvictionPolicy::Lru | EvictionPolicy::Fifo => self.tail,
+                EvictionPolicy::Random { .. } => {
+                    // All slots are occupied when the cache is full.
+                    rng.pick(self.nodes.len())
+                }
+            };
+            self.unlink(victim_idx);
+            let node = self.nodes[victim_idx].take().expect("victim exists");
+            self.map.remove(&node.entry.key);
+            self.free.push(victim_idx);
+            victim = Some(node.entry);
+        }
+        let idx = self.free.pop().expect("slot freed above or available");
+        self.map.insert(entry.key.clone(), idx);
+        self.nodes[idx] = Some(Node {
+            entry,
+            prev: NIL,
+            next: NIL,
+        });
+        self.push_front(idx);
+        victim
+    }
+
+    fn remove(&mut self, key: &K) -> Option<CacheEntry<K, V>> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let node = self.nodes[idx].take().expect("indexed node exists");
+        self.free.push(idx);
+        Some(node.entry)
+    }
+
+    fn drain(&mut self) -> Vec<CacheEntry<K, V>> {
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        let mut out = Vec::new();
+        for (i, slot) in self.nodes.iter_mut().enumerate() {
+            if let Some(node) = slot.take() {
+                out.push(node.entry);
+                self.free.push(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(geom: CacheGeometry, policy: EvictionPolicy) -> SramCache<u64, u64> {
+        SramCache::new(geom, policy, 42)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = cache(CacheGeometry::set_associative(8, 2), EvictionPolicy::Lru);
+        assert!(c.get_mut(&1, Nanos(0)).is_none());
+        assert!(c.insert(1, 100, Nanos(0)).is_none());
+        assert_eq!(*c.get_mut(&1, Nanos(5)).unwrap(), 100);
+        *c.get_mut(&1, Nanos(6)).unwrap() += 1;
+        assert_eq!(*c.get_mut(&1, Nanos(7)).unwrap(), 101);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn full_lru_evicts_least_recently_used() {
+        let mut c = cache(CacheGeometry::fully_associative(3), EvictionPolicy::Lru);
+        c.insert(1, 1, Nanos(1));
+        c.insert(2, 2, Nanos(2));
+        c.insert(3, 3, Nanos(3));
+        // Touch 1 so 2 becomes LRU.
+        c.get_mut(&1, Nanos(4));
+        let victim = c.insert(4, 4, Nanos(5)).expect("eviction");
+        assert_eq!(victim.key, 2);
+        assert!(c.contains(&1));
+        assert!(c.contains(&3));
+        assert!(c.contains(&4));
+    }
+
+    #[test]
+    fn full_fifo_ignores_touches() {
+        let mut c = cache(CacheGeometry::fully_associative(3), EvictionPolicy::Fifo);
+        c.insert(1, 1, Nanos(1));
+        c.insert(2, 2, Nanos(2));
+        c.insert(3, 3, Nanos(3));
+        c.get_mut(&1, Nanos(4)); // should NOT refresh under FIFO
+        let victim = c.insert(4, 4, Nanos(5)).expect("eviction");
+        assert_eq!(victim.key, 1);
+    }
+
+    #[test]
+    fn bucketed_lru_within_bucket() {
+        // One bucket of 2 ways → behaves as a 2-entry LRU.
+        let mut c: SramCache<u64, u64> =
+            SramCache::new(CacheGeometry::new(1, 2), EvictionPolicy::Lru, 7);
+        c.insert(10, 1, Nanos(1));
+        c.insert(20, 2, Nanos(2));
+        c.get_mut(&10, Nanos(3));
+        let victim = c.insert(30, 3, Nanos(4)).expect("eviction");
+        assert_eq!(victim.key, 20);
+    }
+
+    #[test]
+    fn hash_table_evicts_on_collision() {
+        // m=1: inserting a colliding key evicts the old occupant.
+        let mut c = cache(CacheGeometry::hash_table(16), EvictionPolicy::Lru);
+        let mut evicted = 0;
+        for k in 0..64u64 {
+            if c.insert(k, k, Nanos(k)).is_some() {
+                evicted += 1;
+            }
+        }
+        assert!(evicted >= 64 - 16);
+        assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut c = cache(CacheGeometry::set_associative(8, 4), EvictionPolicy::Lru);
+        c.insert(5, 50, Nanos(1));
+        let e = c.remove(&5).unwrap();
+        assert_eq!(e.value, 50);
+        assert!(!c.contains(&5));
+        assert!(c.insert(5, 51, Nanos(2)).is_none());
+        assert_eq!(*c.get_mut(&5, Nanos(3)).unwrap(), 51);
+    }
+
+    #[test]
+    fn drain_returns_everything_and_empties() {
+        for geom in [
+            CacheGeometry::fully_associative(8),
+            CacheGeometry::set_associative(8, 2),
+        ] {
+            let mut c = cache(geom, EvictionPolicy::Lru);
+            for k in 0..6u64 {
+                c.insert(k, k * 10, Nanos(k));
+            }
+            let drained = c.drain();
+            assert_eq!(drained.len(), 6.min(c.capacity()));
+            assert!(c.is_empty());
+            // Reusable after drain.
+            c.insert(99, 1, Nanos(100));
+            assert!(c.contains(&99));
+        }
+    }
+
+    #[test]
+    fn residency_timestamps_track_first_and_last() {
+        let mut c = cache(CacheGeometry::fully_associative(4), EvictionPolicy::Lru);
+        c.insert(1, 0, Nanos(10));
+        c.get_mut(&1, Nanos(25));
+        c.get_mut(&1, Nanos(40));
+        let e = c.remove(&1).unwrap();
+        assert_eq!(e.first_seen, Nanos(10));
+        assert_eq!(e.last_seen, Nanos(40));
+    }
+
+    #[test]
+    fn full_cache_len_never_exceeds_capacity() {
+        let mut c = cache(CacheGeometry::fully_associative(16), EvictionPolicy::Lru);
+        for k in 0..1000u64 {
+            if !c.contains(&(k % 40)) {
+                c.insert(k % 40, k, Nanos(k));
+            } else {
+                c.get_mut(&(k % 40), Nanos(k));
+            }
+            assert!(c.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let run = || {
+            let mut c: SramCache<u64, u64> = SramCache::new(
+                CacheGeometry::fully_associative(8),
+                EvictionPolicy::Random { seed: 5 },
+                42,
+            );
+            let mut victims = Vec::new();
+            for k in 0..100u64 {
+                if let Some(v) = c.insert(k, k, Nanos(k)) {
+                    victims.push(v.key);
+                }
+            }
+            victims
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut c = cache(CacheGeometry::set_associative(16, 4), EvictionPolicy::Lru);
+        for k in 0..10u64 {
+            c.insert(k, k, Nanos(k));
+        }
+        let mut keys: Vec<u64> = c.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap as StdMap;
+
+    /// Reference model: an unbounded map + explicit recency list.
+    struct ModelLru {
+        cap: usize,
+        map: StdMap<u64, u64>,
+        order: Vec<u64>, // front = LRU, back = MRU
+    }
+
+    impl ModelLru {
+        fn touch(&mut self, k: u64) {
+            self.order.retain(|x| *x != k);
+            self.order.push(k);
+        }
+        fn access(&mut self, k: u64, v: u64) -> Option<u64> {
+            if self.map.contains_key(&k) {
+                *self.map.get_mut(&k).unwrap() = v;
+                self.touch(k);
+                None
+            } else {
+                let mut evicted = None;
+                if self.map.len() == self.cap {
+                    let victim = self.order.remove(0);
+                    self.map.remove(&victim);
+                    evicted = Some(victim);
+                }
+                self.map.insert(k, v);
+                self.order.push(k);
+                evicted
+            }
+        }
+    }
+
+    proptest! {
+        /// The fully-associative cache behaves exactly like a textbook LRU.
+        #[test]
+        fn full_lru_matches_model(ops in prop::collection::vec((0u64..32, 0u64..1000), 1..400)) {
+            let mut cache: SramCache<u64, u64> =
+                SramCache::new(CacheGeometry::fully_associative(8), EvictionPolicy::Lru, 3);
+            let mut model = ModelLru { cap: 8, map: StdMap::new(), order: Vec::new() };
+            for (i, (k, v)) in ops.into_iter().enumerate() {
+                let now = Nanos(i as u64);
+                let model_evicted = model.access(k, v);
+                let cache_evicted = if let Some(slot) = cache.get_mut(&k, now) {
+                    *slot = v;
+                    None
+                } else {
+                    cache.insert(k, v, now).map(|e| e.key)
+                };
+                prop_assert_eq!(model_evicted, cache_evicted);
+                prop_assert_eq!(model.map.len(), cache.len());
+            }
+            // Final contents agree.
+            let mut got: Vec<(u64, u64)> = cache.iter().map(|e| (e.key, e.value)).collect();
+            got.sort_unstable();
+            let mut want: Vec<(u64, u64)> = model.map.into_iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Bucketed caches never exceed per-bucket capacity and never lose
+        /// keys silently: every insert either fits or reports a victim.
+        #[test]
+        fn bucketed_conservation(
+            ops in prop::collection::vec((0u64..64, 0u64..1000), 1..400),
+            ways in 1usize..5,
+        ) {
+            let geom = CacheGeometry::new(4, ways);
+            let mut cache: SramCache<u64, u64> = SramCache::new(geom, EvictionPolicy::Lru, 11);
+            let mut resident = std::collections::HashSet::new();
+            for (i, (k, v)) in ops.into_iter().enumerate() {
+                let now = Nanos(i as u64);
+                if cache.get_mut(&k, now).map(|slot| *slot = v).is_none() {
+                    if let Some(victim) = cache.insert(k, v, now) {
+                        prop_assert!(resident.remove(&victim.key));
+                    }
+                    resident.insert(k);
+                }
+                prop_assert_eq!(cache.len(), resident.len());
+                prop_assert!(cache.len() <= geom.capacity());
+            }
+            for k in &resident {
+                prop_assert!(cache.contains(k));
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic, seedable key hashing.
+//!
+//! Hardware hash units are fixed functions of the key bits; the simulator
+//! mirrors that with a seeded 64-bit mixer (xorshift-multiply in the
+//! SplitMix64 family) applied through the standard `Hasher` interface.
+//! Determinism matters twice over: runs must be reproducible bit-for-bit,
+//! and the paper's bucketed cache behaviour depends only on key → bucket
+//! placement, never on process-global randomness.
+
+use std::hash::{Hash, Hasher};
+
+/// A seeded 64-bit streaming hasher.
+#[derive(Debug, Clone)]
+pub struct SeededHasher {
+    state: u64,
+}
+
+const MIX_1: u64 = 0xbf58_476d_1ce4_e5b9;
+const MIX_2: u64 = 0x94d0_49bb_1331_11eb;
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(MIX_1);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX_2);
+    z ^ (z >> 31)
+}
+
+impl SeededHasher {
+    /// Start hashing with a seed (different seeds → independent functions).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeededHasher {
+            state: splitmix(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+}
+
+impl Hasher for SeededHasher {
+    fn finish(&self) -> u64 {
+        splitmix(self.state)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.state = splitmix(self.state ^ u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = splitmix(self.state ^ v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Hash any `Hash` key under a seed.
+#[must_use]
+pub fn hash_key<K: Hash>(seed: u64, key: &K) -> u64 {
+    let mut h = SeededHasher::new(seed);
+    key.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_key(1, &42u64), hash_key(1, &42u64));
+        assert_eq!(hash_key(7, &"abc"), hash_key(7, &"abc"));
+    }
+
+    #[test]
+    fn seeds_give_independent_functions() {
+        assert_ne!(hash_key(1, &42u64), hash_key(2, &42u64));
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Consecutive integers should land in different high bits most of the
+        // time: count collisions of the top byte across 256 consecutive keys.
+        let mut tops = std::collections::HashSet::new();
+        for k in 0u64..256 {
+            tops.insert(hash_key(3, &k) >> 56);
+        }
+        assert!(tops.len() > 150, "only {} distinct top bytes", tops.len());
+    }
+
+    #[test]
+    fn distribution_over_buckets_is_balanced() {
+        let buckets = 64usize;
+        let mut counts = vec![0usize; buckets];
+        for k in 0u64..64_000 {
+            counts[(hash_key(9, &k) % buckets as u64) as usize] += 1;
+        }
+        let expect = 1000.0;
+        for (i, c) in counts.iter().enumerate() {
+            let dev = (*c as f64 - expect).abs() / expect;
+            assert!(dev < 0.2, "bucket {i} has {c} (> 20% off uniform)");
+        }
+    }
+
+    #[test]
+    fn tuple_keys_hash() {
+        let a = hash_key(5, &(1u32, 2u16, 3u8));
+        let b = hash_key(5, &(1u32, 2u16, 4u8));
+        assert_ne!(a, b);
+    }
+}

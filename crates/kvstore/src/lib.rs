@@ -1,0 +1,62 @@
+//! # perfq-kvstore
+//!
+//! The paper's central hardware proposal: a **programmable key-value store**
+//! for line-rate aggregation, implemented as a split memory hierarchy
+//! (Fig. 3) — a small, fast on-chip SRAM cache laid out as `n` hash buckets
+//! of `m`-slot LRUs (Fig. 4), backed by a large off-chip store that absorbs
+//! evictions.
+//!
+//! * [`geometry`] — cache shapes (hash table / k-way / fully associative);
+//! * [`policy`] — LRU (the paper's), FIFO and random eviction (ablations);
+//! * [`cache`] — the SRAM cache, with an O(1) true-LRU implementation for
+//!   the fully-associative configuration;
+//! * [`backing`] — the DRAM store with the three absorption modes (merge /
+//!   overwrite / per-epoch with invalid marking);
+//! * [`split`] — [`SplitStore`] tying both together behind the [`ValueOps`]
+//!   trait, plus counter/sum/max ops;
+//! * [`stats`] — the eviction/hit counters Fig. 5 is computed from;
+//! * [`area`] — §3.3/§4's chip-area and workload arithmetic;
+//! * [`sketch`] — a count-min sketch baseline for the §5 comparison;
+//! * [`hash`] — deterministic seeded hashing.
+//!
+//! # Example: the Fig. 5 query
+//!
+//! ```
+//! use perfq_kvstore::{CacheGeometry, CounterOps, EvictionPolicy, SplitStore};
+//! use perfq_packet::Nanos;
+//!
+//! // SELECT COUNT GROUPBY 5tuple on an 8-way cache.
+//! let mut store: SplitStore<u128, CounterOps> = SplitStore::new(
+//!     CacheGeometry::set_associative(1 << 10, 8),
+//!     EvictionPolicy::Lru,
+//!     0xfeed,
+//!     CounterOps,
+//! );
+//! for (i, flow) in [1u128, 2, 1, 3, 1].iter().enumerate() {
+//!     store.observe(*flow, &(), Nanos(i as u64));
+//! }
+//! store.flush();
+//! assert_eq!(*store.result(&1).unwrap().value().unwrap(), 3);
+//! println!("eviction fraction: {}", store.stats().eviction_fraction());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod backing;
+pub mod cache;
+pub mod geometry;
+pub mod hash;
+pub mod policy;
+pub mod sketch;
+pub mod split;
+pub mod stats;
+
+pub use backing::{BackingEntry, BackingStore, Epoch, MergeMode};
+pub use cache::{CacheEntry, SramCache};
+pub use geometry::CacheGeometry;
+pub use policy::EvictionPolicy;
+pub use sketch::CountMinSketch;
+pub use split::{CounterOps, MaxOps, SplitStore, SumOps, ValueOps};
+pub use stats::StoreStats;

@@ -1,0 +1,467 @@
+//! The split key-value store: SRAM cache + DRAM backing store (Fig. 3).
+//!
+//! This composes [`SramCache`] and [`BackingStore`] behind the paper's
+//! per-packet protocol:
+//!
+//! ```text
+//! packet → lookup key in cache
+//!            hit  → update value in place            (1 op/cycle)
+//!            miss → initialize value, insert;        (1 op/cycle)
+//!                   a full bucket evicts its victim → backing store
+//! ```
+//!
+//! The store is generic over [`ValueOps`], which supplies the initialize /
+//! update / merge semantics. `perfq-core` implements `ValueOps` for compiled
+//! fold IR (with the ΠA-matrix merge correction); this crate ships simple
+//! counter/sum ops used by the Fig. 5 benchmark and tests.
+
+use crate::backing::{BackingEntry, BackingStore, MergeMode};
+use crate::cache::{CacheEntry, SramCache};
+use crate::geometry::CacheGeometry;
+use crate::policy::EvictionPolicy;
+use crate::stats::StoreStats;
+use perfq_packet::Nanos;
+use std::hash::Hash;
+
+/// Value semantics for a split store.
+pub trait ValueOps {
+    /// The per-key aggregated state.
+    type Value: Clone;
+    /// The per-packet input the update consumes.
+    type Input: ?Sized;
+
+    /// State for a key's first packet (before `update` is applied to it).
+    fn init(&self) -> Self::Value;
+
+    /// Fold one packet into the state.
+    fn update(&self, value: &mut Self::Value, input: &Self::Input);
+
+    /// Merge an evicted value into the standing backing-store value
+    /// (only called in [`MergeMode::Merge`]).
+    fn merge(&self, standing: &mut Self::Value, evicted: Self::Value);
+
+    /// Which absorption mode this fold requires.
+    fn merge_mode(&self) -> MergeMode;
+}
+
+/// The split key-value store.
+#[derive(Debug, Clone)]
+pub struct SplitStore<K, O: ValueOps> {
+    cache: SramCache<K, O::Value>,
+    backing: BackingStore<K, O::Value>,
+    ops: O,
+    stats: StoreStats,
+}
+
+impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
+    /// Build a store with the given cache configuration.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, policy: EvictionPolicy, hash_seed: u64, ops: O) -> Self {
+        let backing = BackingStore::new(ops.merge_mode());
+        SplitStore {
+            cache: SramCache::new(geometry, policy, hash_seed),
+            backing,
+            ops,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Observe one packet for `key` at time `now`.
+    pub fn observe(&mut self, key: K, input: &O::Input, now: Nanos) {
+        let _ = self.observe_ref(key, input, now);
+    }
+
+    /// Observe one packet and borrow the freshly updated **cache** value.
+    ///
+    /// This is what a downstream pipeline stage sees when queries compose:
+    /// the cache-local running value, not the merged backing-store value
+    /// (§3.2: "the correct value at any time only resides in the backing
+    /// store").
+    pub fn observe_ref(&mut self, key: K, input: &O::Input, now: Nanos) -> &O::Value {
+        self.stats.packets += 1;
+        if self.cache.contains(&key) {
+            self.stats.hits += 1;
+            let ops = &self.ops;
+            let value = self.cache.get_mut(&key, now).expect("resident");
+            ops.update(value, input);
+            return value;
+        }
+        self.stats.misses += 1;
+        let mut value = self.ops.init();
+        self.ops.update(&mut value, input);
+        if let Some(victim) = self.cache.insert(key.clone(), value, now) {
+            self.stats.evictions += 1;
+            self.stats.backing_writes += 1;
+            self.absorb(victim);
+        }
+        self.cache.get_mut(&key, now).expect("just inserted")
+    }
+
+    fn absorb(&mut self, victim: CacheEntry<K, O::Value>) {
+        let ops = &self.ops;
+        self.backing.absorb(
+            victim.key,
+            victim.value,
+            victim.first_seen,
+            victim.last_seen,
+            |standing, evicted| ops.merge(standing, evicted),
+        );
+    }
+
+    /// Evict every resident entry to the backing store (end of a measurement
+    /// window, or the paper's periodic refresh). Reading results is only
+    /// correct from the backing store — §3.2: "the correct value at any time
+    /// only resides in the backing store".
+    pub fn flush(&mut self) {
+        for entry in self.cache.drain() {
+            self.stats.flush_writes += 1;
+            self.stats.backing_writes += 1;
+            self.absorb(entry);
+        }
+    }
+
+    /// Evict entries idle since before `cutoff` (periodic freshness sweep).
+    pub fn evict_idle_since(&mut self, cutoff: Nanos) {
+        let idle: Vec<K> = self
+            .cache
+            .iter()
+            .filter(|e| e.last_seen < cutoff)
+            .map(|e| e.key.clone())
+            .collect();
+        for key in idle {
+            if let Some(entry) = self.cache.remove(&key) {
+                self.stats.backing_writes += 1;
+                self.stats.flush_writes += 1;
+                self.absorb(entry);
+            }
+        }
+    }
+
+    /// Run counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The backing store (results side).
+    #[must_use]
+    pub fn backing(&self) -> &BackingStore<K, O::Value> {
+        &self.backing
+    }
+
+    /// The cache (occupancy inspection).
+    #[must_use]
+    pub fn cache(&self) -> &SramCache<K, O::Value> {
+        &self.cache
+    }
+
+    /// The value ops.
+    #[must_use]
+    pub fn ops(&self) -> &O {
+        &self.ops
+    }
+
+    /// Number of distinct keys present across cache and backing store.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        let in_cache_only = self
+            .cache
+            .iter()
+            .filter(|e| self.backing.get(&e.key).is_none())
+            .count();
+        self.backing.len() + in_cache_only
+    }
+
+    /// Look up a key's final record after a flush.
+    #[must_use]
+    pub fn result(&self, key: &K) -> Option<&BackingEntry<O::Value>> {
+        self.backing.get(key)
+    }
+
+    /// Reset for a fresh measurement window (clears cache, backing store and
+    /// statistics).
+    pub fn reset(&mut self) {
+        self.cache.drain();
+        self.backing.clear();
+        self.stats = StoreStats::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simple ValueOps implementations
+// ---------------------------------------------------------------------------
+
+/// Packet counter: the paper's Fig. 5 query `SELECT COUNT GROUPBY 5tuple`.
+/// Linear in state (A = 1, B = 1) so the merge is plain addition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterOps;
+
+impl ValueOps for CounterOps {
+    type Value = u64;
+    type Input = ();
+
+    fn init(&self) -> u64 {
+        0
+    }
+
+    fn update(&self, value: &mut u64, _input: &()) {
+        *value += 1;
+    }
+
+    fn merge(&self, standing: &mut u64, evicted: u64) {
+        *standing += evicted;
+    }
+
+    fn merge_mode(&self) -> MergeMode {
+        MergeMode::Merge
+    }
+}
+
+/// Byte (or arbitrary quantity) accumulator: `SUM(pkt_len)`-style.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumOps;
+
+impl ValueOps for SumOps {
+    type Value = u64;
+    type Input = u64;
+
+    fn init(&self) -> u64 {
+        0
+    }
+
+    fn update(&self, value: &mut u64, input: &u64) {
+        *value += *input;
+    }
+
+    fn merge(&self, standing: &mut u64, evicted: u64) {
+        *standing += evicted;
+    }
+
+    fn merge_mode(&self) -> MergeMode {
+        MergeMode::Merge
+    }
+}
+
+/// A deliberately non-linear fold (running maximum) for exercising the
+/// epoch/invalid machinery that Fig. 6 measures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxOps;
+
+impl ValueOps for MaxOps {
+    type Value = u64;
+    type Input = u64;
+
+    fn init(&self) -> u64 {
+        0
+    }
+
+    fn update(&self, value: &mut u64, input: &u64) {
+        *value = (*value).max(*input);
+    }
+
+    fn merge(&self, _standing: &mut u64, _evicted: u64) {
+        unreachable!("MaxOps uses MergeMode::Epochs; merge is never called");
+    }
+
+    fn merge_mode(&self) -> MergeMode {
+        MergeMode::Epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_store(capacity: usize) -> SplitStore<u64, CounterOps> {
+        SplitStore::new(
+            CacheGeometry::fully_associative(capacity),
+            EvictionPolicy::Lru,
+            1,
+            CounterOps,
+        )
+    }
+
+    #[test]
+    fn counts_without_eviction() {
+        let mut s = counter_store(8);
+        for _ in 0..5 {
+            s.observe(1, &(), Nanos(0));
+        }
+        s.observe(2, &(), Nanos(1));
+        s.flush();
+        assert_eq!(*s.result(&1).unwrap().value().unwrap(), 5);
+        assert_eq!(*s.result(&2).unwrap().value().unwrap(), 1);
+        let st = s.stats();
+        assert_eq!(st.packets, 6);
+        assert_eq!(st.hits, 4);
+        assert_eq!(st.misses, 2);
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.flush_writes, 2);
+    }
+
+    #[test]
+    fn counts_survive_eviction_exactly() {
+        // Cache of 2, three interleaved keys → constant eviction churn; the
+        // merged backing counts must still be exact.
+        let mut s = counter_store(2);
+        let pattern = [1u64, 2, 3, 1, 2, 3, 1, 2, 3, 1];
+        for (i, k) in pattern.iter().enumerate() {
+            s.observe(*k, &(), Nanos(i as u64));
+        }
+        s.flush();
+        assert_eq!(*s.result(&1).unwrap().value().unwrap(), 4);
+        assert_eq!(*s.result(&2).unwrap().value().unwrap(), 3);
+        assert_eq!(*s.result(&3).unwrap().value().unwrap(), 3);
+        assert!(s.stats().evictions > 0);
+    }
+
+    #[test]
+    fn sum_ops_accumulate_across_evictions() {
+        let mut s: SplitStore<u64, SumOps> = SplitStore::new(
+            CacheGeometry::fully_associative(1),
+            EvictionPolicy::Lru,
+            1,
+            SumOps,
+        );
+        // Alternate keys so every observation of the other key evicts.
+        s.observe(1, &10, Nanos(0));
+        s.observe(2, &100, Nanos(1));
+        s.observe(1, &20, Nanos(2));
+        s.observe(2, &200, Nanos(3));
+        s.flush();
+        assert_eq!(*s.result(&1).unwrap().value().unwrap(), 30);
+        assert_eq!(*s.result(&2).unwrap().value().unwrap(), 300);
+    }
+
+    #[test]
+    fn nonlinear_ops_mark_reinserted_keys_invalid() {
+        let mut s: SplitStore<u64, MaxOps> = SplitStore::new(
+            CacheGeometry::fully_associative(1),
+            EvictionPolicy::Lru,
+            1,
+            MaxOps,
+        );
+        s.observe(1, &5, Nanos(0));
+        s.observe(2, &7, Nanos(1)); // evicts 1 (epoch 1)
+        s.observe(1, &9, Nanos(2)); // evicts 2; key 1 re-enters
+        s.flush();
+        // Key 1 has two epochs → invalid; key 2 has one → valid.
+        assert!(!s.result(&1).unwrap().is_valid());
+        assert!(s.result(&2).unwrap().is_valid());
+        assert_eq!(*s.result(&2).unwrap().value().unwrap(), 7);
+        // Epoch values are each correct over their interval.
+        let epochs = &s.result(&1).unwrap().epochs;
+        assert_eq!(epochs[0].value, 5);
+        assert_eq!(epochs[1].value, 9);
+        assert!((s.backing().accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_spans_cache_and_backing() {
+        let mut s = counter_store(2);
+        s.observe(1, &(), Nanos(0));
+        s.observe(2, &(), Nanos(1));
+        s.observe(3, &(), Nanos(2)); // evicts one of 1/2
+        assert_eq!(s.distinct_keys(), 3);
+        s.flush();
+        assert_eq!(s.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn evict_idle_since_writes_back_only_stale_keys() {
+        let mut s = counter_store(8);
+        s.observe(1, &(), Nanos(0));
+        s.observe(2, &(), Nanos(100));
+        s.evict_idle_since(Nanos(50));
+        assert!(s.result(&1).is_some(), "idle key flushed");
+        assert!(s.result(&2).is_none(), "fresh key stays cached");
+        assert!(s.cache().contains(&2));
+        assert!(!s.cache().contains(&1));
+        // Key 1 returns: merged correctly afterward.
+        s.observe(1, &(), Nanos(200));
+        s.flush();
+        assert_eq!(*s.result(&1).unwrap().value().unwrap(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = counter_store(2);
+        s.observe(1, &(), Nanos(0));
+        s.flush();
+        s.reset();
+        assert_eq!(s.stats(), StoreStats::default());
+        assert!(s.result(&1).is_none());
+        assert_eq!(s.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn stats_identity_packets_equals_hits_plus_misses() {
+        let mut s = counter_store(4);
+        for i in 0..100u64 {
+            s.observe(i % 7, &(), Nanos(i));
+        }
+        let st = s.stats();
+        assert_eq!(st.packets, st.hits + st.misses);
+        assert_eq!(st.backing_writes, st.evictions + st.flush_writes);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        /// Counter results are EXACT for any key sequence, geometry and
+        /// policy — the linear-in-state merge guarantee.
+        #[test]
+        fn merged_counts_always_exact(
+            keys in prop::collection::vec(0u64..50, 1..600),
+            ways in 1usize..5,
+            buckets in 1usize..6,
+            policy_sel in 0u8..3,
+        ) {
+            let policy = match policy_sel {
+                0 => EvictionPolicy::Lru,
+                1 => EvictionPolicy::Fifo,
+                _ => EvictionPolicy::Random { seed: 7 },
+            };
+            let geom = CacheGeometry::new(buckets, ways);
+            let mut s: SplitStore<u64, CounterOps> = SplitStore::new(geom, policy, 3, CounterOps);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                s.observe(*k, &(), Nanos(i as u64));
+                *truth.entry(*k).or_insert(0) += 1;
+            }
+            s.flush();
+            for (k, want) in truth {
+                let got = *s.result(&k).unwrap().value().unwrap();
+                prop_assert_eq!(got, want, "key {}", k);
+            }
+        }
+
+        /// In epoch mode, the number of epochs equals the number of cache
+        /// residencies, and at most one residency is live at a time.
+        #[test]
+        fn epoch_counts_match_residencies(
+            keys in prop::collection::vec(0u64..10, 1..300),
+        ) {
+            let geom = CacheGeometry::fully_associative(3);
+            let mut s: SplitStore<u64, MaxOps> =
+                SplitStore::new(geom, EvictionPolicy::Lru, 3, MaxOps);
+            let mut insertions: HashMap<u64, u64> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                if !s.cache().contains(k) {
+                    *insertions.entry(*k).or_insert(0) += 1;
+                }
+                s.observe(*k, &(i as u64), Nanos(i as u64));
+            }
+            s.flush();
+            for (k, want) in insertions {
+                let got = s.result(&k).unwrap().epochs.len() as u64;
+                prop_assert_eq!(got, want, "key {}", k);
+            }
+        }
+    }
+}

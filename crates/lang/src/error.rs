@@ -1,0 +1,129 @@
+//! Diagnostics for the query language front-end.
+
+use crate::token::Span;
+use std::fmt;
+
+/// A compile-time error with a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Which phase rejected the program.
+    pub phase: Phase,
+    /// Human-readable message.
+    pub message: String,
+    /// Source location, when known.
+    pub span: Option<Span>,
+}
+
+/// Compiler phase that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution and type checking.
+    Resolve,
+    /// Linearity analysis / hardware mapping.
+    Analysis,
+}
+
+impl LangError {
+    /// A lexer error.
+    #[must_use]
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            phase: Phase::Lex,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// A parser error.
+    #[must_use]
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            phase: Phase::Parse,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// A resolution / type error.
+    #[must_use]
+    pub fn resolve(message: impl Into<String>, span: Option<Span>) -> Self {
+        LangError {
+            phase: Phase::Resolve,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// An analysis error.
+    #[must_use]
+    pub fn analysis(message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Analysis,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Render the error against its source text, pointing at the offending
+    /// line (a compact `file:line: message` style diagnostic).
+    #[must_use]
+    pub fn render(&self, source: &str) -> String {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Resolve => "resolve",
+            Phase::Analysis => "analysis",
+        };
+        match self.span {
+            Some(span) => {
+                let line_text = source.lines().nth(span.line.saturating_sub(1) as usize);
+                match line_text {
+                    Some(text) => format!(
+                        "{phase} error at line {}: {}\n  | {}",
+                        span.line, self.message, text
+                    ),
+                    None => format!("{phase} error at line {}: {}", span.line, self.message),
+                }
+            }
+            None => format!("{phase} error: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "line {}: {}", span.line, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Convenience alias used throughout the front-end.
+pub type LangResult<T> = Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line() {
+        let src = "SELECT srcip\nWHERE ??? > 1\n";
+        let err = LangError::parse("unexpected character", Span::new(13, 14, 2));
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2"));
+        assert!(rendered.contains("WHERE ??? > 1"));
+    }
+
+    #[test]
+    fn display_without_span() {
+        let err = LangError::analysis("fold is not linear in state");
+        assert_eq!(err.to_string(), "fold is not linear in state");
+    }
+}

@@ -1,0 +1,539 @@
+//! The tokenizer.
+//!
+//! Layout follows Python's rules, which the paper's fold functions use:
+//! `def f(state, (fields)):` followed by an indented body. The lexer emits
+//! `Newline` at the end of each logical line and `Indent`/`Dedent` tokens when
+//! the leading whitespace of a line deepens or retreats. Inside parentheses,
+//! newlines are suppressed (implicit line joining), so multi-line argument
+//! lists work as expected.
+//!
+//! Two lexical quirks of the paper are supported directly:
+//!
+//! * `5tuple` — a token, not a malformed number (Fig. 2 abbreviates the
+//!   transport five-tuple field list this way);
+//! * duration literals — `1ms`, `20us`, `3s`, `100ns` normalize to integer
+//!   nanoseconds, so `WHERE tout - tin > 1ms` works as written in §2.
+
+use crate::error::{LangError, LangResult};
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenize a full source text.
+pub fn lex(source: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    paren_depth: u32,
+    indent_stack: Vec<usize>,
+    tokens: Vec<Token>,
+    at_line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            paren_depth: 0,
+            indent_stack: vec![0],
+            tokens: Vec::new(),
+            at_line_start: true,
+        }
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        while self.pos < self.bytes.len() {
+            if self.at_line_start && self.paren_depth == 0 {
+                self.handle_indentation()?;
+                if self.pos >= self.bytes.len() {
+                    break;
+                }
+            }
+            let c = self.bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'\n' => {
+                    self.newline();
+                }
+                b'#' => self.skip_comment(),
+                b'/' if self.peek(1) == Some(b'/') => self.skip_comment(),
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.word(),
+                _ => self.punct()?,
+            }
+        }
+        // Close the final logical line and any open blocks.
+        if !matches!(
+            self.tokens.last().map(|t| &t.kind),
+            None | Some(TokenKind::Newline) | Some(TokenKind::Dedent)
+        ) {
+            self.push(TokenKind::Newline, self.pos, self.pos);
+        }
+        while self.indent_stack.len() > 1 {
+            self.indent_stack.pop();
+            self.push(TokenKind::Dedent, self.pos, self.pos);
+        }
+        self.push(TokenKind::Eof, self.pos, self.pos);
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start, end, self.line),
+        });
+    }
+
+    fn newline(&mut self) {
+        self.pos += 1;
+        if self.paren_depth == 0 {
+            // Collapse consecutive newlines (blank lines are not significant).
+            if !matches!(
+                self.tokens.last().map(|t| &t.kind),
+                None | Some(TokenKind::Newline) | Some(TokenKind::Indent) | Some(TokenKind::Dedent)
+            ) {
+                self.push(TokenKind::Newline, self.pos - 1, self.pos);
+            }
+            self.at_line_start = true;
+        }
+        self.line += 1;
+    }
+
+    fn skip_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    /// Measure leading whitespace of the line starting at `self.pos` and emit
+    /// Indent/Dedent tokens. Blank and comment-only lines are skipped whole.
+    fn handle_indentation(&mut self) -> LangResult<()> {
+        loop {
+            let line_start = self.pos;
+            let mut width = 0usize;
+            while let Some(c) = self.bytes.get(self.pos) {
+                match c {
+                    b' ' => {
+                        width += 1;
+                        self.pos += 1;
+                    }
+                    b'\t' => {
+                        // Tabs advance to the next multiple of 8, Python-style.
+                        width = (width / 8 + 1) * 8;
+                        self.pos += 1;
+                    }
+                    b'\r' => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            match self.bytes.get(self.pos) {
+                None => return Ok(()),
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue; // blank line: no layout effect
+                }
+                Some(b'#') => {
+                    self.skip_comment();
+                    continue;
+                }
+                Some(b'/') if self.peek(1) == Some(b'/') => {
+                    self.skip_comment();
+                    continue;
+                }
+                Some(_) => {
+                    self.at_line_start = false;
+                    let current = *self.indent_stack.last().expect("stack nonempty");
+                    if width > current {
+                        self.indent_stack.push(width);
+                        self.push(TokenKind::Indent, line_start, self.pos);
+                    } else if width < current {
+                        while *self.indent_stack.last().expect("stack nonempty") > width {
+                            self.indent_stack.pop();
+                            self.push(TokenKind::Dedent, line_start, self.pos);
+                        }
+                        if *self.indent_stack.last().expect("stack nonempty") != width {
+                            return Err(LangError::lex(
+                                "inconsistent indentation",
+                                Span::new(line_start, self.pos, self.line),
+                            ));
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> LangResult<()> {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        // `5tuple` special form.
+        if self.src[self.pos..].starts_with("tuple") {
+            let text = &self.src[start..self.pos];
+            if text == "5" {
+                self.pos += 5;
+                self.push(TokenKind::FiveTuple, start, self.pos);
+                return Ok(());
+            }
+            return Err(LangError::lex(
+                format!("unknown field-list abbreviation `{text}tuple` (did you mean `5tuple`?)"),
+                Span::new(start, self.pos + 5, self.line),
+            ));
+        }
+        let mut is_float = false;
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(0), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(0), Some(b'e') | Some(b'E'))
+            && matches!(self.peek(1), Some(b'0'..=b'9') | Some(b'-') | Some(b'+'))
+        {
+            is_float = true;
+            self.pos += 2;
+            while matches!(self.peek(0), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let num_end = self.pos;
+        // Duration suffix?
+        let rest = &self.src[self.pos..];
+        let suffix: Option<(usize, i64)> = if rest.starts_with("ns") {
+            Some((2, 1))
+        } else if rest.starts_with("us") {
+            Some((2, 1_000))
+        } else if rest.starts_with("ms") {
+            Some((2, 1_000_000))
+        } else if rest.starts_with('s') && !is_ident_byte(self.peek(1)) {
+            Some((1, 1_000_000_000))
+        } else {
+            None
+        };
+        // A suffix only counts if not followed by more identifier characters
+        // (`1msx` is an error, not `1ms` then `x`).
+        if let Some((slen, mult)) = suffix {
+            if !is_ident_byte(self.bytes.get(self.pos + slen).copied()) {
+                let text = &self.src[start..num_end];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| {
+                        LangError::lex("bad number", Span::new(start, num_end, self.line))
+                    })?;
+                    self.pos += slen;
+                    self.push(
+                        TokenKind::Duration((v * mult as f64).round() as i64),
+                        start,
+                        self.pos,
+                    );
+                } else {
+                    let v: i64 = text.parse().map_err(|_| {
+                        LangError::lex("integer too large", Span::new(start, num_end, self.line))
+                    })?;
+                    self.pos += slen;
+                    self.push(TokenKind::Duration(v.saturating_mul(mult)), start, self.pos);
+                }
+                return Ok(());
+            }
+        }
+        if is_ident_byte(self.peek(0)) {
+            return Err(LangError::lex(
+                "identifier may not start with a digit",
+                Span::new(start, self.pos + 1, self.line),
+            ));
+        }
+        let text = &self.src[start..num_end];
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| LangError::lex("bad float", Span::new(start, num_end, self.line)))?;
+            self.push(TokenKind::Float(v), start, num_end);
+        } else {
+            let v: i64 = text.parse().map_err(|_| {
+                LangError::lex("integer too large", Span::new(start, num_end, self.line))
+            })?;
+            self.push(TokenKind::Int(v), start, num_end);
+        }
+        Ok(())
+    }
+
+    fn word(&mut self) {
+        let start = self.pos;
+        while is_ident_byte(self.peek(0)) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let kind = match text.to_ascii_lowercase().as_str() {
+            "select" => TokenKind::Select,
+            "from" => TokenKind::From,
+            "where" => TokenKind::Where,
+            "groupby" => TokenKind::GroupBy,
+            "join" => TokenKind::Join,
+            "on" => TokenKind::On,
+            "as" => TokenKind::As,
+            "def" => TokenKind::Def,
+            "if" => TokenKind::If,
+            "elif" => TokenKind::Elif,
+            "else" => TokenKind::Else,
+            "then" => TokenKind::Then,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "const" => TokenKind::Const,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "infinity" | "inf" => TokenKind::Infinity,
+            _ => TokenKind::Ident(text.to_string()),
+        };
+        self.push(kind, start, self.pos);
+    }
+
+    fn punct(&mut self) -> LangResult<()> {
+        let start = self.pos;
+        let c = self.bytes[self.pos];
+        let two = |l: &Lexer<'a>| l.peek(1);
+        let (kind, len) = match (c, two(self)) {
+            (b'=', Some(b'=')) => (TokenKind::EqEq, 2),
+            (b'=', _) => (TokenKind::Assign, 1),
+            (b'!', Some(b'=')) => (TokenKind::Ne, 2),
+            (b'<', Some(b'=')) => (TokenKind::Le, 2),
+            (b'<', _) => (TokenKind::Lt, 1),
+            (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+            (b'>', _) => (TokenKind::Gt, 1),
+            (b'+', _) => (TokenKind::Plus, 1),
+            (b'-', _) => (TokenKind::Minus, 1),
+            (b'*', _) => (TokenKind::Star, 1),
+            (b'/', _) => (TokenKind::Slash, 1),
+            (b'%', _) => (TokenKind::PercentSign, 1),
+            (b'(', _) => {
+                self.paren_depth += 1;
+                (TokenKind::LParen, 1)
+            }
+            (b')', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                (TokenKind::RParen, 1)
+            }
+            (b',', _) => (TokenKind::Comma, 1),
+            (b'.', _) => (TokenKind::Dot, 1),
+            (b':', _) => (TokenKind::Colon, 1),
+            _ => {
+                return Err(LangError::lex(
+                    format!("unexpected character `{}`", c as char),
+                    Span::new(start, start + 1, self.line),
+                ))
+            }
+        };
+        self.pos += len;
+        self.push(kind, start, self.pos);
+        Ok(())
+    }
+}
+
+fn is_ident_byte(b: Option<u8>) -> bool {
+    matches!(b, Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let k = kinds("SELECT select Select groupby GROUPBY from");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Select,
+                TokenKind::Select,
+                TokenKind::Select,
+                TokenKind::GroupBy,
+                TokenKind::GroupBy,
+                TokenKind::From,
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn five_tuple_is_a_token() {
+        assert_eq!(
+            kinds("SELECT 5tuple"),
+            vec![
+                TokenKind::Select,
+                TokenKind::FiveTuple,
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_tuple_abbreviation_is_rejected() {
+        assert!(lex("SELECT 7tuple").is_err());
+    }
+
+    #[test]
+    fn duration_literals_normalize_to_ns() {
+        let k = kinds("1ms 20us 3s 100ns 1.5ms");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Duration(1_000_000),
+                TokenKind::Duration(20_000),
+                TokenKind::Duration(3_000_000_000),
+                TokenKind::Duration(100),
+                TokenKind::Duration(1_500_000),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(
+            kinds("42 0.25 1e3"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(0.25),
+                TokenKind::Float(1000.0),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_indent_dedent() {
+        let src = "def f(s, (x)):\n    s = s + x\nSELECT s\n";
+        let k = kinds(src);
+        let indents = k.iter().filter(|t| **t == TokenKind::Indent).count();
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn nested_indentation() {
+        let src = "def f(s, (x)):\n  if x > 0:\n    s = s + 1\n  s = s + 2\n";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Indent).count(), 2);
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Dedent).count(), 2);
+    }
+
+    #[test]
+    fn inconsistent_dedent_rejected() {
+        let src = "def f(s, (x)):\n    s = 1\n  s = 2\n";
+        assert!(lex(src).is_err());
+    }
+
+    #[test]
+    fn parens_join_lines() {
+        let src = "def f(s,\n      (x)):\n    s = x\n";
+        let k = kinds(src);
+        // No newline between `s,` and `(x)` because the paren is open.
+        let first_newline = k.iter().position(|t| *t == TokenKind::Newline).unwrap();
+        assert!(k[..first_newline].contains(&TokenKind::RParen));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT srcip # count them\n// full-line comment\nSELECT dstip");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Select,
+                TokenKind::Ident("srcip".into()),
+                TokenKind::Newline,
+                TokenKind::Select,
+                TokenKind::Ident("dstip".into()),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_lines_have_no_layout_effect() {
+        let src = "def f(s, (x)):\n    s = s + 1\n\n    s = s + 2\nSELECT s\n";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Indent).count(), 1);
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Dedent).count(), 1);
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e < f > g = h"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("c".into()),
+                TokenKind::Le,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("h".into()),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn infinity_keyword() {
+        assert_eq!(
+            kinds("tout == infinity"),
+            vec![
+                TokenKind::Ident("tout".into()),
+                TokenKind::EqEq,
+                TokenKind::Infinity,
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_is_reported_with_line() {
+        let err = lex("SELECT a\nWHERE ?\n").unwrap_err();
+        assert_eq!(err.span.unwrap().line, 2);
+    }
+
+    #[test]
+    fn seconds_suffix_not_confused_with_idents() {
+        // `3s` is a duration; `3srcip` is an error; `s` alone is an ident.
+        assert_eq!(kinds("3s")[0], TokenKind::Duration(3_000_000_000));
+        assert!(lex("3srcip").is_err());
+        assert_eq!(kinds("s")[0], TokenKind::Ident("s".into()));
+    }
+}

@@ -1,0 +1,194 @@
+//! Nanosecond timestamps.
+//!
+//! The paper's schema timestamps every packet's arrival (`tin`) and departure
+//! (`tout`) at each queue with the switch clock (1 GHz ⇒ 1 ns resolution), and
+//! represents a drop as `tout = ∞`. [`Nanos`] encodes both: a `u64` nanosecond
+//! count with `u64::MAX` reserved as the infinity sentinel.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (simulated) time, in nanoseconds since the start of the run.
+///
+/// `Nanos::INFINITY` marks "never happened" — the paper assigns it to `tout`
+/// of dropped packets so that `WHERE tout == infinity` selects drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Time zero.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The infinity sentinel (dropped packets' departure time).
+    pub const INFINITY: Nanos = Nanos(u64::MAX);
+
+    /// Construct from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// True iff this is the infinity sentinel.
+    #[must_use]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The raw nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds (infinity maps to `f64::INFINITY`).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        if self.is_infinite() {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / 1e9
+        }
+    }
+
+    /// Saturating difference `self - earlier`, propagating infinity.
+    ///
+    /// This is the queueing-delay primitive: `tout.delta(tin)`. A dropped
+    /// packet (infinite `tout`) yields an infinite delay.
+    #[must_use]
+    pub fn delta(self, earlier: Nanos) -> Nanos {
+        if self.is_infinite() {
+            Nanos::INFINITY
+        } else {
+            Nanos(self.0.saturating_sub(earlier.0))
+        }
+    }
+
+    /// Checked addition that keeps infinity absorbing.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        if self.is_infinite() || rhs.is_infinite() {
+            Nanos::INFINITY
+        } else {
+            Nanos(self.0.saturating_add(rhs.0))
+        }
+    }
+
+    /// The later of two timestamps.
+    #[must_use]
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two timestamps.
+    #[must_use]
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        self.delta(rhs)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(Nanos::from_secs(1), Nanos(1_000_000_000));
+        assert_eq!(Nanos::from_millis(1), Nanos(1_000_000));
+        assert_eq!(Nanos::from_micros(1), Nanos(1_000));
+        assert_eq!(Nanos::from_secs(2), Nanos::from_millis(2000));
+    }
+
+    #[test]
+    fn infinity_is_absorbing() {
+        let inf = Nanos::INFINITY;
+        assert!(inf.is_infinite());
+        assert!((inf + Nanos(5)).is_infinite());
+        assert!((Nanos(5) + inf).is_infinite());
+        assert!(inf.delta(Nanos(100)).is_infinite());
+        assert_eq!(inf.as_secs_f64(), f64::INFINITY);
+    }
+
+    #[test]
+    fn delta_saturates_at_zero() {
+        assert_eq!(Nanos(100).delta(Nanos(40)), Nanos(60));
+        assert_eq!(Nanos(40).delta(Nanos(100)), Nanos(0));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Nanos(1) < Nanos(2));
+        assert!(Nanos(2) < Nanos::INFINITY);
+        assert_eq!(Nanos(7).max(Nanos(3)), Nanos(7));
+        assert_eq!(Nanos(7).min(Nanos(3)), Nanos(3));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Nanos(12).to_string(), "12ns");
+        assert_eq!(Nanos(1_500).to_string(), "1.500us");
+        assert_eq!(Nanos(2_500_000).to_string(), "2.500ms");
+        assert_eq!(Nanos::from_secs(3).to_string(), "3.000s");
+        assert_eq!(Nanos::INFINITY.to_string(), "inf");
+    }
+
+    #[test]
+    fn sub_operator_is_delta() {
+        assert_eq!(Nanos(10) - Nanos(4), Nanos(6));
+        assert!((Nanos::INFINITY - Nanos(4)).is_infinite());
+    }
+}

@@ -1,0 +1,151 @@
+//! Packet observation records — rows of the paper's base table.
+//!
+//! §2: "the input table of records contains each packet's arrival and
+//! departure at every queue in a network", with schema
+//! `(pkt_hdr, qid, tin, tout, qsize, pkt_path)`. A [`QueueRecord`] is one
+//! such row; [`QueueRecord::to_row`] lays it out exactly as
+//! `perfq_lang::base_schema()` declares, so compiled queries index columns
+//! positionally.
+
+use perfq_lang::schema::META_COLUMNS;
+use perfq_lang::types::{Value, INFINITY_NS};
+use perfq_packet::{HeaderField, Nanos, Packet};
+
+/// One (packet, queue) observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueRecord {
+    /// The observed packet.
+    pub packet: Packet,
+    /// Queue identifier — unique per (switch, port) in the network.
+    pub qid: u32,
+    /// Arrival (enqueue) time at this queue.
+    pub tin: Nanos,
+    /// Departure time; `Nanos::INFINITY` if the packet was dropped here.
+    pub tout: Nanos,
+    /// Queue depth (packets) seen at enqueue — the schema's `qsize`/`qin`.
+    pub qsize: u32,
+    /// Queue depth at departure (0 for drops).
+    pub qout: u32,
+    /// Opaque path identifier accumulated over the queues traversed so far
+    /// (the schema's `pkt_path`).
+    pub path: u64,
+}
+
+impl QueueRecord {
+    /// True if the packet was dropped at this queue.
+    #[must_use]
+    pub fn is_drop(&self) -> bool {
+        self.tout.is_infinite()
+    }
+
+    /// Queueing delay at this queue (infinite for drops).
+    #[must_use]
+    pub fn delay(&self) -> Nanos {
+        self.tout.delta(self.tin)
+    }
+
+    /// Extend a path identifier with a traversed queue (an opaque encoding;
+    /// the paper leaves `pkt_path` uninterpreted).
+    #[must_use]
+    pub fn extend_path(path: u64, qid: u32) -> u64 {
+        path.wrapping_mul(0x100).wrapping_add(u64::from(qid) + 1)
+    }
+
+    /// Materialize the record as a base-schema row.
+    ///
+    /// Column order is `HeaderField::ALL` then the metadata columns — the
+    /// same order `perfq_lang::base_schema()` constructs, asserted by test.
+    #[must_use]
+    pub fn to_row(&self) -> Vec<Value> {
+        let mut row = Vec::with_capacity(HeaderField::ALL.len() + META_COLUMNS.len());
+        for f in HeaderField::ALL {
+            row.push(Value::Int(f.extract(&self.packet) as i64));
+        }
+        row.push(Value::Int(i64::from(self.qid)));
+        row.push(Value::Int(nanos_to_i64(self.tin)));
+        row.push(Value::Int(nanos_to_i64(self.tout)));
+        row.push(Value::Int(i64::from(self.qsize)));
+        row.push(Value::Int(i64::from(self.qout)));
+        row.push(Value::Int(self.path as i64));
+        row
+    }
+}
+
+/// Clamp a simulation timestamp into the query layer's integer domain,
+/// mapping the drop sentinel onto `infinity`.
+#[must_use]
+pub fn nanos_to_i64(t: Nanos) -> i64 {
+    if t.is_infinite() {
+        INFINITY_NS
+    } else {
+        i64::try_from(t.as_nanos()).unwrap_or(INFINITY_NS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfq_lang::schema::base_schema;
+    use perfq_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn record() -> QueueRecord {
+        QueueRecord {
+            packet: PacketBuilder::tcp()
+                .src(Ipv4Addr::new(10, 0, 0, 1), 1000)
+                .dst(Ipv4Addr::new(10, 0, 0, 2), 80)
+                .seq(7)
+                .payload_len(100)
+                .uniq(3)
+                .build(),
+            qid: 5,
+            tin: Nanos(100),
+            tout: Nanos(250),
+            qsize: 4,
+            qout: 2,
+            path: 9,
+        }
+    }
+
+    #[test]
+    fn row_aligns_with_base_schema() {
+        let schema = base_schema();
+        let row = record().to_row();
+        assert_eq!(row.len(), schema.len());
+        let at = |name: &str| row[schema.index_of(name).unwrap()];
+        assert_eq!(at("qid"), Value::Int(5));
+        assert_eq!(at("tin"), Value::Int(100));
+        assert_eq!(at("tout"), Value::Int(250));
+        assert_eq!(at("qsize"), Value::Int(4));
+        assert_eq!(at("qin"), Value::Int(4)); // alias
+        assert_eq!(at("qout"), Value::Int(2));
+        assert_eq!(at("pkt_path"), Value::Int(9));
+        assert_eq!(at("tcpseq"), Value::Int(7));
+        assert_eq!(at("srcport"), Value::Int(1000));
+        assert_eq!(at("pkt_uniq"), Value::Int(3));
+    }
+
+    #[test]
+    fn drops_map_to_infinity() {
+        let mut r = record();
+        r.tout = Nanos::INFINITY;
+        assert!(r.is_drop());
+        assert!(r.delay().is_infinite());
+        let schema = base_schema();
+        let row = r.to_row();
+        assert_eq!(row[schema.index_of("tout").unwrap()], Value::Int(INFINITY_NS));
+    }
+
+    #[test]
+    fn delay_is_tout_minus_tin() {
+        assert_eq!(record().delay(), Nanos(150));
+    }
+
+    #[test]
+    fn path_extension_is_order_sensitive() {
+        let a = QueueRecord::extend_path(QueueRecord::extend_path(0, 1), 2);
+        let b = QueueRecord::extend_path(QueueRecord::extend_path(0, 2), 1);
+        assert_ne!(a, b);
+        assert_ne!(QueueRecord::extend_path(0, 0), 0, "qid 0 must still mark the path");
+    }
+}

@@ -1,0 +1,121 @@
+//! Binary trace files.
+//!
+//! A minimal, self-describing capture format so traces can be generated
+//! once and replayed across benchmark runs (and so the parser substrate is
+//! exercised on real byte buffers):
+//!
+//! ```text
+//! header:  magic "PQT1" | u64 packet count
+//! record:  u64 arrival_ns | u64 uniq | u16 wire_len | u16 hdr_len | hdr bytes
+//! ```
+//!
+//! Only header bytes are stored (payloads are zeros by construction);
+//! `wire_len` preserves the original packet length for `pkt_len` queries.
+//! All integers are little-endian.
+
+use perfq_packet::{wire, Nanos, Packet};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PQT1";
+
+/// Write a packet stream to `w`. Returns the number of packets written.
+pub fn write_trace<W: Write>(w: &mut W, packets: impl Iterator<Item = Packet>) -> io::Result<u64> {
+    // Buffer records so the count can be written up front.
+    let mut body = Vec::new();
+    let mut count = 0u64;
+    for p in packets {
+        let hdr = wire::serialize(&p);
+        let hdr_len = (hdr.len() as u16).min(p.wire_len); // headers only
+        let hdr_bytes = &hdr[..usize::from(hdr_len).min(64)];
+        body.extend_from_slice(&p.arrival.as_nanos().to_le_bytes());
+        body.extend_from_slice(&p.uniq.to_le_bytes());
+        body.extend_from_slice(&p.wire_len.to_le_bytes());
+        body.extend_from_slice(&(hdr_bytes.len() as u16).to_le_bytes());
+        body.extend_from_slice(hdr_bytes);
+        count += 1;
+    }
+    w.write_all(MAGIC)?;
+    w.write_all(&count.to_le_bytes())?;
+    w.write_all(&body)?;
+    Ok(count)
+}
+
+/// Read a full trace from `r`.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<Packet>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a perfq trace (bad magic)",
+        ));
+    }
+    let mut count_buf = [0u8; 8];
+    r.read_exact(&mut count_buf)?;
+    let count = u64::from_le_bytes(count_buf);
+    let mut packets = Vec::with_capacity(count.min(1 << 24) as usize);
+    for i in 0..count {
+        let mut fixed = [0u8; 20];
+        r.read_exact(&mut fixed).map_err(|e| {
+            io::Error::new(e.kind(), format!("truncated at record {i}: {e}"))
+        })?;
+        let arrival = u64::from_le_bytes(fixed[0..8].try_into().expect("8 bytes"));
+        let uniq = u64::from_le_bytes(fixed[8..16].try_into().expect("8 bytes"));
+        let wire_len = u16::from_le_bytes(fixed[16..18].try_into().expect("2 bytes"));
+        let hdr_len = u16::from_le_bytes(fixed[18..20].try_into().expect("2 bytes"));
+        let mut hdr = vec![0u8; usize::from(hdr_len)];
+        r.read_exact(&mut hdr)?;
+        let headers = wire::parse_headers(&hdr)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        packets.push(Packet {
+            headers,
+            wire_len,
+            uniq,
+            arrival: Nanos(arrival),
+        });
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticTrace, TraceConfig};
+
+    #[test]
+    fn round_trip_preserves_packets() {
+        let original: Vec<Packet> = SyntheticTrace::new(TraceConfig::test_small(9))
+            .take(2_000)
+            .collect();
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, original.iter().copied()).unwrap();
+        assert_eq!(n, 2_000);
+        let restored = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\0\0\0\0\0\0\0\0".to_vec();
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_reports_record() {
+        let original: Vec<Packet> = SyntheticTrace::new(TraceConfig::test_small(9))
+            .take(10)
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, original.into_iter()).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("record") || err.kind() == std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        assert!(read_trace(&mut buf.as_slice()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Trace summary statistics.
+//!
+//! Used by the benchmark harness to report the workload alongside results
+//! (the paper's §4 setup paragraph: packet count, unique 5-tuples, duration,
+//! average packet size) and by tests to validate generator calibration.
+
+use perfq_packet::{FiveTuple, Nanos, Packet};
+use std::collections::HashMap;
+
+/// Aggregate statistics of a packet stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total packets.
+    pub packets: u64,
+    /// Total wire bytes.
+    pub bytes: u64,
+    /// Distinct transport 5-tuples.
+    pub flows: u64,
+    /// First packet arrival.
+    pub first: Nanos,
+    /// Last packet arrival.
+    pub last: Nanos,
+    /// Packets in the largest flow.
+    pub max_flow_pkts: u64,
+    /// Share of packets carried by the top 1% of flows (by packet count).
+    pub top1pct_share: f64,
+    /// TCP share of packets.
+    pub tcp_fraction: f64,
+}
+
+impl TraceStats {
+    /// Compute statistics over a packet stream.
+    #[must_use]
+    pub fn from_packets(packets: impl Iterator<Item = Packet>) -> Self {
+        let mut flow_counts: HashMap<FiveTuple, u64> = HashMap::new();
+        let mut n = 0u64;
+        let mut bytes = 0u64;
+        let mut tcp = 0u64;
+        let mut first = Nanos::INFINITY;
+        let mut last = Nanos::ZERO;
+        for p in packets {
+            n += 1;
+            bytes += u64::from(p.wire_len);
+            if p.headers.is_tcp() {
+                tcp += 1;
+            }
+            first = first.min(p.arrival);
+            last = last.max(p.arrival);
+            *flow_counts.entry(p.five_tuple()).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<u64> = flow_counts.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let top_n = (sizes.len() as f64 / 100.0).ceil() as usize;
+        let top1: u64 = sizes.iter().take(top_n.max(1)).sum();
+        TraceStats {
+            packets: n,
+            bytes,
+            flows: flow_counts.len() as u64,
+            first: if n == 0 { Nanos::ZERO } else { first },
+            last,
+            max_flow_pkts: sizes.first().copied().unwrap_or(0),
+            top1pct_share: if n == 0 { 0.0 } else { top1 as f64 / n as f64 },
+            tcp_fraction: if n == 0 { 0.0 } else { tcp as f64 / n as f64 },
+        }
+    }
+
+    /// Mean packets per flow.
+    #[must_use]
+    pub fn pkts_per_flow(&self) -> f64 {
+        if self.flows == 0 {
+            0.0
+        } else {
+            self.packets as f64 / self.flows as f64
+        }
+    }
+
+    /// Mean wire bytes per packet.
+    #[must_use]
+    pub fn mean_pkt_bytes(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// Capture duration.
+    #[must_use]
+    pub fn duration(&self) -> Nanos {
+        self.last.delta(self.first)
+    }
+
+    /// Average offered load in packets/second.
+    #[must_use]
+    pub fn pps(&self) -> f64 {
+        let d = self.duration().as_secs_f64();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.packets as f64 / d
+        }
+    }
+
+    /// Average offered load in bits/second.
+    #[must_use]
+    pub fn bps(&self) -> f64 {
+        let d = self.duration().as_secs_f64();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / d
+        }
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} pkts, {} flows ({:.1} pkts/flow), {:.1} s, {:.0} B/pkt, \
+             {:.2} Mpps, {:.2} Gbit/s, top-1% share {:.0}%",
+            self.packets,
+            self.flows,
+            self.pkts_per_flow(),
+            self.duration().as_secs_f64(),
+            self.mean_pkt_bytes(),
+            self.pps() / 1e6,
+            self.bps() / 1e9,
+            self.top1pct_share * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticTrace, TraceConfig};
+
+    #[test]
+    fn counts_are_consistent() {
+        let trace: Vec<Packet> = SyntheticTrace::new(TraceConfig::test_small(8)).collect();
+        let stats = TraceStats::from_packets(trace.iter().copied());
+        assert_eq!(stats.packets as usize, trace.len());
+        assert!(stats.flows > 0 && stats.flows <= stats.packets);
+        assert!(stats.pkts_per_flow() >= 1.0);
+        assert!(stats.max_flow_pkts >= 1);
+        assert!(stats.duration() > Nanos::ZERO);
+        assert!(stats.top1pct_share > 0.0 && stats.top1pct_share <= 1.0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let stats = TraceStats::from_packets(std::iter::empty());
+        assert_eq!(stats.packets, 0);
+        assert_eq!(stats.pkts_per_flow(), 0.0);
+        assert_eq!(stats.pps(), 0.0);
+        assert_eq!(stats.mean_pkt_bytes(), 0.0);
+    }
+
+    #[test]
+    fn summary_is_printable() {
+        let trace = SyntheticTrace::new(TraceConfig::test_small(8)).take(1000);
+        let s = TraceStats::from_packets(trace).summary();
+        assert!(s.contains("pkts"));
+        assert!(s.contains("flows"));
+    }
+}
