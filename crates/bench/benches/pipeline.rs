@@ -75,5 +75,26 @@ fn bench_runtime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queue, bench_network, bench_runtime);
+fn bench_runtime_batched(c: &mut Criterion) {
+    let records = small_records(20_000);
+    let mut group = c.benchmark_group("query_runtime_batched");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for q in [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC] {
+        group.bench_function(q.name, |b| {
+            let compiled =
+                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+            b.iter(|| {
+                let mut rt = Runtime::new(compiled.clone());
+                for chunk in records.chunks(256) {
+                    rt.process_batch(black_box(chunk));
+                }
+                rt.finish();
+                black_box(rt.records())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_network, bench_runtime, bench_runtime_batched);
 criterion_main!(benches);

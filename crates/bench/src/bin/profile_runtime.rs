@@ -1,0 +1,114 @@
+//! Decompose per-record dataplane cost: row materialization, key build,
+//! store update, full pipeline. Used to target optimization work; not part
+//! of the figure reproductions.
+//!
+//! ```sh
+//! cargo run --release -p perfq-bench --bin profile_runtime
+//! ```
+
+use perfq_core::{compile_query, Runtime};
+use perfq_lang::fig2;
+use perfq_lang::Value;
+use perfq_switch::{Network, NetworkConfig, QueueRecord};
+use perfq_trace::{SyntheticTrace, TraceConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time(label: &str, n: usize, mut f: impl FnMut()) {
+    // One warmup, then best-of-3.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "{label:<40} {:>10.2} ns/record {:>10.2} M/s",
+        best * 1e9 / n as f64,
+        n as f64 / best / 1e6
+    );
+}
+
+fn main() {
+    let mut net = Network::new(NetworkConfig::default());
+    let records: Vec<QueueRecord> =
+        net.run_collect(SyntheticTrace::new(TraceConfig::test_small(7)).take(20_000));
+    let n = records.len();
+    println!("{n} records\n");
+
+    // Row materialization alone.
+    let mut row: Vec<Value> = Vec::new();
+    time("write_row", n, || {
+        let mut acc = 0i64;
+        for r in &records {
+            r.write_row(&mut row);
+            acc = acc.wrapping_add(row[0].as_i64());
+        }
+        black_box(acc);
+    });
+
+    // Key build + inline key + seeded hash.
+    use perfq_kvstore::hash::hash_key;
+    use perfq_kvstore::{CacheGeometry, CounterOps, EvictionPolicy, InlineKey, SplitStore};
+    let key_cols = [0usize, 1, 2, 3, 4];
+    let mut key_buf: Vec<i64> = Vec::new();
+    time("row + key build + hash", n, || {
+        let mut acc = 0u64;
+        for r in &records {
+            r.write_row(&mut row);
+            key_buf.clear();
+            for c in &key_cols {
+                key_buf.push(row[*c].as_i64());
+            }
+            let k = InlineKey::from_slice(&key_buf);
+            acc = acc.wrapping_add(hash_key(1, &k));
+        }
+        black_box(acc);
+    });
+
+    // Store with a trivial counter fold over the same keys.
+    time("row + key + counter store", n, || {
+        let mut store: SplitStore<InlineKey, CounterOps> = SplitStore::new(
+            CacheGeometry::set_associative(1 << 16, 8),
+            EvictionPolicy::Lru,
+            1,
+            CounterOps,
+        );
+        for r in &records {
+            r.write_row(&mut row);
+            key_buf.clear();
+            for c in &key_cols {
+                key_buf.push(row[*c].as_i64());
+            }
+            store.observe(InlineKey::from_slice(&key_buf), &(), r.tin);
+        }
+        black_box(store.stats().packets);
+    });
+
+    for q in [
+        &fig2::PER_FLOW_COUNTERS,
+        &fig2::LATENCY_EWMA,
+        &fig2::TCP_NON_MONOTONIC,
+    ] {
+        let compiled =
+            compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+        let mut rt = Runtime::new(compiled.clone());
+        time(&format!("pipeline warm: {}", q.name), n, || {
+            for r in &records {
+                rt.process_record(black_box(r));
+            }
+        });
+        time(&format!("setup (clone+new): {}", q.name), n, || {
+            black_box(Runtime::new(compiled.clone()));
+        });
+        time(&format!("pipeline cold+finish: {}", q.name), n, || {
+            let mut rt = Runtime::new(compiled.clone());
+            for r in &records {
+                rt.process_record(black_box(r));
+            }
+            rt.finish();
+            black_box(rt.records());
+        });
+    }
+}

@@ -29,8 +29,10 @@
 //! counters) skip extraction entirely — `ΠA` stays the identity.
 
 use perfq_kvstore::{MergeMode, ValueOps};
-use perfq_lang::ir::{exec_stmts, FoldIr, RExpr, RStmt, VarClass};
+use perfq_lang::bytecode::{self, EvalStack, Program};
+use perfq_lang::ir::{FoldIr, RExpr, RStmt, VarClass};
 use perfq_lang::{FoldClass, Value};
+use std::cell::RefCell;
 
 /// Auxiliary merge state carried alongside the fold variables in the cache.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -46,19 +48,122 @@ pub struct LinearAux {
     pub prod: Vec<f64>,
 }
 
+/// How many state variables live inline in [`StateVec`]. Every Fig. 2 fold
+/// fits (the largest uses two variables).
+pub const INLINE_STATE_VARS: usize = 2;
+
+/// The per-key state vector. Small folds (the common case) keep their
+/// variables inline in the cache slot itself, so the per-packet update
+/// touches no second heap line; wider folds spill to a `Vec`.
+#[derive(Debug, Clone)]
+pub enum StateVec {
+    /// Up to [`INLINE_STATE_VARS`] variables, zero-padded past `len`.
+    Inline {
+        /// Number of meaningful variables.
+        len: u8,
+        /// The variables; `vals[len..]` is `Int(0)`.
+        vals: [Value; INLINE_STATE_VARS],
+    },
+    /// Wider state spills to the heap.
+    Heap(Vec<Value>),
+}
+
+impl StateVec {
+    /// Build canonically from a slice (inline iff it fits).
+    #[must_use]
+    pub fn from_slice(vals: &[Value]) -> Self {
+        if vals.len() <= INLINE_STATE_VARS {
+            let mut inline = [Value::Int(0); INLINE_STATE_VARS];
+            inline[..vals.len()].copy_from_slice(vals);
+            StateVec::Inline {
+                len: vals.len() as u8,
+                vals: inline,
+            }
+        } else {
+            StateVec::Heap(vals.to_vec())
+        }
+    }
+
+    /// Copy out as a plain vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[Value] {
+        match self {
+            StateVec::Inline { len, vals } => &vals[..usize::from(*len)],
+            StateVec::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [Value] {
+        match self {
+            StateVec::Inline { len, vals } => &mut vals[..usize::from(*len)],
+            StateVec::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for StateVec {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for StateVec {
+    fn deref_mut(&mut self) -> &mut [Value] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for StateVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// A fold's state as stored in the split store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FoldState {
     /// The state variables, in `FoldIr::state` order.
-    pub vars: Vec<Value>,
+    pub vars: StateVec,
     /// Merge bookkeeping (only for linear folds).
     pub aux: Option<Box<LinearAux>>,
 }
 
+/// Reusable per-update working memory. One instance per store (not per
+/// key): the dataplane update path allocates nothing after warm-up.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Bytecode value stack.
+    stack: EvalStack,
+    /// `extract_a` state with linear vars zeroed.
+    base: Vec<Value>,
+    /// `extract_a` zero-probe result (the `B` vector).
+    f0: Vec<Value>,
+    /// `extract_a` basis-probe buffer.
+    probe: Vec<Value>,
+    /// Extracted per-packet `A` matrix (row-major k×k).
+    a: Vec<f64>,
+    /// Matrix-multiply temporary.
+    mat_tmp: Vec<f64>,
+    /// The constant `A` matrix, extracted lazily on the first post-window
+    /// update (only used when `FoldOps::constant_a`). Empty = not yet
+    /// extracted.
+    const_a: Vec<f64>,
+}
+
 /// [`ValueOps`] implementation driving a compiled [`FoldIr`].
+///
+/// The fold body is compiled once into flat [`bytecode`] and executed with a
+/// reusable stack; the tree-walking interpreter is used only by the oracle.
 #[derive(Debug, Clone)]
 pub struct FoldOps {
     fold: FoldIr,
+    /// The fold body compiled to postfix bytecode.
+    program: Program,
     params: Vec<Value>,
     /// Indices of `Linear`-classified variables (the mergeable vector).
     linear_vars: Vec<usize>,
@@ -67,7 +172,15 @@ pub struct FoldOps {
     /// True when every linear variable's update has `A = I` (pure
     /// accumulation), so `ΠA` tracking is unnecessary.
     additive: bool,
+    /// True when the `A` matrix provably cannot vary across packets (no
+    /// branches; every linear-state coefficient is a compile-time
+    /// constant). The per-packet ΠA product then collapses to `A^n`
+    /// computed once at merge time — the dataplane skips extraction and
+    /// matrix multiplication entirely.
+    constant_a: bool,
     mode: MergeMode,
+    /// Single-threaded working memory (the switch pipeline is one stream).
+    scratch: RefCell<Scratch>,
 }
 
 impl FoldOps {
@@ -84,13 +197,20 @@ impl FoldOps {
             && linear_vars
                 .iter()
                 .all(|v| is_additive_in(&fold.body, *v, &linear_vars));
+        let constant_a = !additive
+            && mode == MergeMode::Merge
+            && has_constant_a(&fold.body, &linear_vars);
+        let program = bytecode::compile_stmts_bound(&fold.body, &params);
         FoldOps {
             fold,
+            program,
             params,
             linear_vars,
             window,
             additive,
+            constant_a,
             mode,
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -119,8 +239,18 @@ impl FoldOps {
     /// Run the fold body once (panics only on internal IR inconsistencies,
     /// which resolution has excluded).
     fn exec(&self, state: &mut [Value], input: &[Value]) {
-        exec_stmts(&self.fold.body, state, input, &self.params)
+        let mut scratch = self.scratch.borrow_mut();
+        self.exec_with(&mut scratch.stack, state, input);
+    }
+
+    /// Run the fold body with an explicitly borrowed stack (lets callers
+    /// holding the scratch split its fields without re-borrowing the cell).
+    fn exec_with(&self, stack: &mut EvalStack, state: &mut [Value], input: &[Value]) {
+        self.program
+            .exec(stack, state, input, &self.params)
             .expect("type-checked fold body cannot fail at runtime");
+        // Keep state types stable: a branch may assign an Int expression to a
+        // Float variable; normalize so downstream linear algebra sees floats.
         for (i, var) in self.fold.state.iter().enumerate() {
             state[i] = state[i].coerce(var.ty);
         }
@@ -136,57 +266,76 @@ impl FoldOps {
     /// difference back down: the error in each coefficient is then
     /// `O(ε·(1 + |A|))` regardless of `B`. Integer-typed variables use exact
     /// integer probes (their coefficients are integers).
-    fn extract_a(&self, state: &[Value], input: &[Value]) -> Vec<f64> {
+    fn extract_a_into(&self, state: &[Value], input: &[Value], s: &mut Scratch) {
         let k = self.k();
-        let mut base = state.to_vec();
+        s.base.clear();
+        s.base.extend_from_slice(state);
         for &v in &self.linear_vars {
-            base[v] = Value::zero(self.fold.state[v].ty);
+            s.base[v] = Value::zero(self.fold.state[v].ty);
         }
-        let mut f0 = base.clone();
-        self.exec(&mut f0, input);
+        s.f0.clear();
+        s.f0.extend_from_slice(&s.base);
+        {
+            let Scratch { stack, f0, .. } = s;
+            self.exec_with(stack, f0, input);
+        }
         // Scale the float probe past the largest |B| component.
         let b_max = self
             .linear_vars
             .iter()
-            .map(|&v| f0[v].as_f64().abs())
+            .map(|&v| s.f0[v].as_f64().abs())
             .fold(1.0_f64, f64::max);
         let float_m = (b_max * 1048576.0).max(1048576.0); // |B|·2^20
         const INT_M: i64 = 1 << 20;
-        let mut a = vec![0.0; k * k];
+        s.a.clear();
+        s.a.resize(k * k, 0.0);
         for (col, &vj) in self.linear_vars.iter().enumerate() {
-            let mut probe = base.clone();
+            s.probe.clear();
+            s.probe.extend_from_slice(&s.base);
             let m = match self.fold.state[vj].ty {
                 perfq_lang::ValueType::Float => {
-                    probe[vj] = Value::Float(float_m);
+                    s.probe[vj] = Value::Float(float_m);
                     float_m
                 }
                 _ => {
-                    probe[vj] = Value::Int(INT_M);
+                    s.probe[vj] = Value::Int(INT_M);
                     INT_M as f64
                 }
             };
-            self.exec(&mut probe, input);
+            {
+                let Scratch { stack, probe, .. } = s;
+                self.exec_with(stack, probe, input);
+            }
             for (row, &vi) in self.linear_vars.iter().enumerate() {
-                a[row * k + col] = (probe[vi].as_f64() - f0[vi].as_f64()) / m;
+                s.a[row * k + col] = (s.probe[vi].as_f64() - s.f0[vi].as_f64()) / m;
             }
         }
-        a
+    }
+
+    /// Extract into a fresh vector (test/report convenience; the dataplane
+    /// uses [`FoldOps::extract_a_into`] with pooled buffers).
+    #[cfg(test)]
+    fn extract_a(&self, state: &[Value], input: &[Value]) -> Vec<f64> {
+        let mut s = self.scratch.borrow_mut();
+        self.extract_a_into(state, input, &mut s);
+        s.a.clone()
     }
 }
 
-/// `prod ← a · prod` (row-major k×k).
-fn matmul_into(prod: &mut [f64], a: &[f64], k: usize) {
-    let mut out = vec![0.0; k * k];
+/// `prod ← a · prod` (row-major k×k), using `tmp` as working memory.
+fn matmul_into(prod: &mut [f64], a: &[f64], k: usize, tmp: &mut Vec<f64>) {
+    tmp.clear();
+    tmp.resize(k * k, 0.0);
     for i in 0..k {
         for j in 0..k {
             let mut acc = 0.0;
             for t in 0..k {
                 acc += a[i * k + t] * prod[t * k + j];
             }
-            out[i * k + j] = acc;
+            tmp[i * k + j] = acc;
         }
     }
-    prod.copy_from_slice(&out);
+    prod.copy_from_slice(tmp);
 }
 
 fn identity(k: usize) -> Vec<f64> {
@@ -197,17 +346,114 @@ fn identity(k: usize) -> Vec<f64> {
     m
 }
 
+/// `a^n` by binary exponentiation — the same multiplication order as
+/// [`matrix_pow`] restricted to k = 1, so scalar and matrix paths round
+/// identically.
+fn scalar_pow(mut base: f64, mut n: u64) -> f64 {
+    let mut acc = 1.0;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc *= base;
+        }
+        n >>= 1;
+        if n > 0 {
+            base *= base;
+        }
+    }
+    acc
+}
+
+/// `a^n` by repeated squaring (powers of one matrix commute, so the
+/// left-multiply convention of [`matmul_into`] is immaterial).
+fn matrix_pow(a: &[f64], k: usize, mut n: u64) -> Vec<f64> {
+    let mut result = identity(k);
+    let mut base = a.to_vec();
+    let mut tmp = Vec::new();
+    while n > 0 {
+        if n & 1 == 1 {
+            matmul_into(&mut result, &base, k, &mut tmp);
+        }
+        n >>= 1;
+        if n > 0 {
+            let sq = base.clone();
+            matmul_into(&mut base, &sq, k, &mut tmp);
+        }
+    }
+    result
+}
+
+/// Structural proof that the per-packet `A` matrix cannot vary: the body has
+/// no conditionals (a branch could select different coefficients per
+/// packet), and every assignment is affine in the linear variables with
+/// coefficients built only from literals and parameters — never from inputs
+/// or (window) state. EWMA (`s' = (1-α)·s + α·x`) is the canonical case.
+fn has_constant_a(body: &[RStmt], linear_vars: &[usize]) -> bool {
+    fn reads_linear(e: &RExpr, lv: &[usize]) -> bool {
+        let mut found = false;
+        e.visit(&mut |n| {
+            if let RExpr::State(i) = n {
+                if lv.contains(i) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+    /// Only literals and parameters — the coefficient language.
+    fn is_const_expr(e: &RExpr) -> bool {
+        let mut ok = true;
+        e.visit(&mut |n| {
+            if matches!(n, RExpr::Input(_) | RExpr::State(_)) {
+                ok = false;
+            }
+        });
+        ok
+    }
+    /// Affine in the linear vars with constant coefficients.
+    fn affine(e: &RExpr, lv: &[usize]) -> bool {
+        if !reads_linear(e, lv) {
+            // Pure `B` term: may read inputs and window state freely.
+            return true;
+        }
+        use perfq_lang::ast::{BinOp, UnaryOp};
+        match e {
+            RExpr::State(i) => lv.contains(i),
+            RExpr::Unary(UnaryOp::Neg, inner) => affine(inner, lv),
+            RExpr::Binary(op, l, r) => match op {
+                BinOp::Add | BinOp::Sub => affine(l, lv) && affine(r, lv),
+                BinOp::Mul => {
+                    (is_const_expr(l) && affine(r, lv)) || (is_const_expr(r) && affine(l, lv))
+                }
+                BinOp::Div => affine(l, lv) && is_const_expr(r),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+    body.iter().all(|s| match s {
+        RStmt::If { .. } => false,
+        RStmt::Assign(_, e) => affine(e, linear_vars),
+    })
+}
+
 impl ValueOps for FoldOps {
     type Value = FoldState;
     type Input = [Value];
 
     fn init(&self) -> FoldState {
-        let aux = if self.mode == MergeMode::Merge {
+        // Additive windowless folds (COUNT, SUM, guarded counters) need no
+        // merge bookkeeping at all: the correction is `standing − init`,
+        // computable from the values alone. Skip the per-key aux box and the
+        // per-packet aux branch entirely.
+        let aux = if self.mode == MergeMode::Merge && !(self.additive && self.window == 0) {
             Some(Box::new(LinearAux {
                 packets: 0,
                 window_log: Vec::new(),
                 snapshot: Vec::new(),
-                prod: if self.additive {
+                // Additive folds keep ΠA = I implicitly; constant-A folds
+                // reconstruct ΠA = A^n at merge time — neither tracks a
+                // per-key matrix.
+                prod: if self.additive || self.constant_a {
                     Vec::new()
                 } else {
                     identity(self.k())
@@ -217,7 +463,7 @@ impl ValueOps for FoldOps {
             None
         };
         FoldState {
-            vars: self.fold.init_state(),
+            vars: StateVec::from_slice(&self.fold.init_state()),
             aux,
         }
     }
@@ -229,15 +475,26 @@ impl ValueOps for FoldOps {
                 // untouched (it accumulates only after the snapshot).
                 aux.window_log.push(input.to_vec());
             } else if !self.additive {
-                let a = self.extract_a(&value.vars, input);
-                matmul_into(&mut aux.prod, &a, self.k());
+                let mut scratch = self.scratch.borrow_mut();
+                let s = &mut *scratch;
+                if self.constant_a {
+                    // A is packet-invariant: extract it once per store and
+                    // skip all per-packet matrix work (ΠA = A^n at merge).
+                    if s.const_a.is_empty() {
+                        self.extract_a_into(&value.vars, input, s);
+                        s.const_a = s.a.clone();
+                    }
+                } else {
+                    self.extract_a_into(&value.vars, input, s);
+                    matmul_into(&mut aux.prod, &s.a, self.k(), &mut s.mat_tmp);
+                }
             }
             aux.packets += 1;
             // Execute the real update, then snapshot right after the window
             // fills (window vars are settled from this point on).
             exec_real(self, &mut value.vars, input);
             if aux.packets == u64::from(self.window) {
-                aux.snapshot = value.vars.clone();
+                aux.snapshot = value.vars.to_vec();
             }
             return;
         }
@@ -245,10 +502,26 @@ impl ValueOps for FoldOps {
     }
 
     fn merge(&self, standing: &mut FoldState, evicted: FoldState) {
-        let aux = evicted
-            .aux
-            .as_deref()
-            .expect("linear folds always carry aux state");
+        let Some(aux) = evicted.aux.as_deref() else {
+            // Additive, windowless: corrected = evicted + (standing − init),
+            // component-wise over the linear variables; window-class
+            // variables keep the evicted (most recent) values.
+            debug_assert!(self.additive && self.window == 0);
+            let init = self.fold.init_state();
+            let mut corrected = evicted.vars.clone();
+            for &v in &self.linear_vars {
+                let adj = standing.vars[v].as_f64() - init[v].as_f64();
+                corrected[v] = match self.fold.state[v].ty {
+                    perfq_lang::ValueType::Float => {
+                        Value::Float(evicted.vars[v].as_f64() + adj)
+                    }
+                    _ => Value::Int(evicted.vars[v].as_i64() + adj.round() as i64),
+                };
+            }
+            standing.vars = corrected;
+            standing.aux = None;
+            return;
+        };
         if aux.packets <= u64::from(self.window) {
             // The entire residency is inside the log: replay it directly on
             // the standing value — exact by construction.
@@ -277,12 +550,36 @@ impl ValueOps for FoldOps {
         for (i, &v) in self.linear_vars.iter().enumerate() {
             delta[i] = replayed[v].as_f64() - snapshot[v].as_f64();
         }
+        // Constant-A folds reconstruct ΠA = A^(post-window packets) here
+        // instead of accumulating it per packet. The scalar case (k = 1,
+        // e.g. EWMA) stays allocation-free.
+        let pow_scalar;
+        let pow_matrix;
+        let prod: &[f64] = if self.constant_a {
+            let n = aux.packets - u64::from(self.window);
+            let scratch = self.scratch.borrow();
+            assert!(
+                !scratch.const_a.is_empty(),
+                "a key with post-window packets implies A was extracted"
+            );
+            if k == 1 {
+                pow_scalar = [scalar_pow(scratch.const_a[0], n)];
+                &pow_scalar
+            } else {
+                let a = scratch.const_a.clone();
+                drop(scratch);
+                pow_matrix = matrix_pow(&a, k, n);
+                &pow_matrix
+            }
+        } else {
+            &aux.prod
+        };
         let mut corrected = evicted.vars.clone();
         for (i, &v) in self.linear_vars.iter().enumerate() {
             let adj: f64 = if self.additive {
                 delta[i]
             } else {
-                (0..k).map(|j| aux.prod[i * k + j] * delta[j]).sum()
+                (0..k).map(|j| prod[i * k + j] * delta[j]).sum()
             };
             corrected[v] = match self.fold.state[v].ty {
                 perfq_lang::ValueType::Float => Value::Float(evicted.vars[v].as_f64() + adj),
@@ -300,7 +597,7 @@ impl ValueOps for FoldOps {
     }
 }
 
-fn exec_real(ops: &FoldOps, state: &mut Vec<Value>, input: &[Value]) {
+fn exec_real(ops: &FoldOps, state: &mut [Value], input: &[Value]) {
     ops.exec(state, input);
 }
 
@@ -397,6 +694,7 @@ pub fn var_classes(fold: &FoldIr) -> Vec<(String, VarClass)> {
 mod tests {
     use super::*;
     use perfq_kvstore::{CacheGeometry, EvictionPolicy, SplitStore};
+    use perfq_lang::ir::exec_stmts;
     use perfq_lang::{compile, fig2};
     use perfq_packet::Nanos;
     use perfq_lang::ResolvedKind;
@@ -441,7 +739,7 @@ mod tests {
         let mut got: Vec<(u64, Vec<Value>)> = store
             .backing()
             .iter()
-            .map(|(k, e)| (*k, e.value().expect("linear keys stay valid").vars.clone()))
+            .map(|(k, e)| (*k, e.value().expect("linear keys stay valid").vars.to_vec()))
             .collect();
         got.sort_by_key(|(k, _)| *k);
         let mut want: Vec<(u64, Vec<Value>)> = oracle.into_iter().collect();

@@ -103,7 +103,7 @@ impl Oracle {
                         })
                         .collect();
                     if let Some(cap) = self.captures[idx].as_mut() {
-                        cap.push_row(out.clone());
+                        cap.push(&out);
                     }
                     Some(out)
                 }
@@ -172,16 +172,6 @@ impl Oracle {
             o.process_record(&r);
         }
         o.collect()
-    }
-}
-
-/// Allow the shared `Capture` to be fed by the oracle too.
-impl Capture {
-    pub(crate) fn push_row(&mut self, row: Vec<Value>) {
-        self.total += 1;
-        if self.rows.len() < self.limit {
-            self.rows.push(row);
-        }
     }
 }
 

@@ -14,14 +14,22 @@
 //!    semantics; note downstream sees the *cache* value — the merged truth
 //!    lives only in the backing store, §3.2).
 //!
+//! The per-record path is a single pass over the flat [`ExecPlan`]
+//! (`plan.rs`): filters and projections run as compiled bytecode over a
+//! reusable value stack, group keys build into an inline key, and every
+//! intermediate row lands in a per-node buffer reused across records — the
+//! steady state allocates nothing per record.
+//!
 //! After [`Runtime::finish`] flushes the caches, [`Runtime::collect`] pulls
 //! every query's final table from the backing stores, evaluates collect-time
 //! joins, and reports per-key validity.
 
 use crate::compiler::CompiledProgram;
 use crate::foldops::FoldOps;
+use crate::plan::{ExecPlan, NodeKind, RowSource};
 use crate::result::{value_key, ResultRow, ResultSet, ResultTable};
-use perfq_kvstore::{SplitStore, StoreStats};
+use perfq_kvstore::{InlineKey, SplitStore, StoreStats};
+use perfq_lang::bytecode::EvalStack;
 use perfq_lang::ir::eval;
 use perfq_lang::resolve::GroupOutput;
 use perfq_lang::{QueryInput, ResolvedKind, ResolvedProgram, Value, ValueType};
@@ -37,10 +45,11 @@ pub(crate) struct Capture {
 }
 
 impl Capture {
-    fn push(&mut self, row: Vec<Value>) {
+    /// Count a match; copy the row only while below the capture limit.
+    pub(crate) fn push(&mut self, row: &[Value]) {
         self.total += 1;
         if self.rows.len() < self.limit {
-            self.rows.push(row);
+            self.rows.push(row.to_vec());
         }
     }
 }
@@ -50,9 +59,19 @@ impl Capture {
 pub struct Runtime {
     compiled: CompiledProgram,
     params: Vec<Value>,
-    stores: Vec<Option<SplitStore<Vec<i64>, FoldOps>>>,
+    stores: Vec<Option<SplitStore<InlineKey, FoldOps>>>,
     captures: Vec<Option<Capture>>,
-    roots: Vec<usize>,
+    plan: ExecPlan,
+    /// Reusable base-row buffer (`process_record`).
+    row_buf: Vec<Value>,
+    /// Per-node output-row buffers, reused across records.
+    outputs: Vec<Vec<Value>>,
+    /// Per-node: did the node emit a row for the current record?
+    live: Vec<bool>,
+    /// Shared bytecode evaluation stack.
+    stack: EvalStack,
+    /// Group-key scratch.
+    key_buf: Vec<i64>,
     records: u64,
     finished: bool,
 }
@@ -62,9 +81,9 @@ impl Runtime {
     #[must_use]
     pub fn new(compiled: CompiledProgram) -> Self {
         let params = compiled.program.param_values();
-        let mut stores = Vec::with_capacity(compiled.program.queries.len());
-        let mut captures = Vec::with_capacity(compiled.program.queries.len());
-        let mut roots = Vec::new();
+        let n = compiled.program.queries.len();
+        let mut stores = Vec::with_capacity(n);
+        let mut captures = Vec::with_capacity(n);
         for (idx, q) in compiled.program.queries.iter().enumerate() {
             match &compiled.stores[idx] {
                 Some(plan) => stores.push(Some(SplitStore::new(
@@ -85,16 +104,19 @@ impl Runtime {
                     ..Default::default()
                 }),
             );
-            if matches!(q.input, QueryInput::Base) {
-                roots.push(idx);
-            }
         }
+        let plan = ExecPlan::build(&compiled.program);
         Runtime {
             compiled,
             params,
             stores,
             captures,
-            roots,
+            plan,
+            row_buf: Vec::new(),
+            outputs: vec![Vec::new(); n],
+            live: vec![false; n],
+            stack: EvalStack::new(),
+            key_buf: Vec::new(),
             records: 0,
             finished: false,
         }
@@ -118,68 +140,117 @@ impl Runtime {
         self.stores.get(idx)?.as_ref().map(SplitStore::stats)
     }
 
-    /// Process one queue record.
+    /// Process one queue record. The base row materializes into a buffer
+    /// reused across calls, and only the columns the compiled program reads
+    /// are written — no per-record allocation, no dead column extraction.
     pub fn process_record(&mut self, rec: &QueueRecord) {
         let now = if rec.is_drop() { rec.tin } else { rec.tout };
-        let row = rec.to_row();
+        let mut row = std::mem::take(&mut self.row_buf);
+        rec.write_row_masked(&mut row, self.plan.base_cols);
         self.process_row(&row, now);
+        self.row_buf = row;
     }
 
-    /// Process one base-schema row observed at time `now`.
+    /// Process a batch of queue records. Semantically identical to calling
+    /// [`Runtime::process_record`] per element (and tested to be); the entry
+    /// point lets record producers hand over slices so the hot loop stays
+    /// free of per-record call/dispatch overhead.
+    pub fn process_batch(&mut self, recs: &[QueueRecord]) {
+        let mask = self.plan.base_cols;
+        let mut row = std::mem::take(&mut self.row_buf);
+        for rec in recs {
+            let now = if rec.is_drop() { rec.tin } else { rec.tout };
+            rec.write_row_masked(&mut row, mask);
+            self.process_row(&row, now);
+        }
+        self.row_buf = row;
+    }
+
+    /// Process one base-schema row observed at time `now`: a single flat
+    /// pass over the plan in topological order. Each node reads its input
+    /// from the base row or an upstream node's output slot and writes its
+    /// own slot; inactive (collect-only) nodes are skipped.
     pub fn process_row(&mut self, row: &[Value], now: Nanos) {
         debug_assert!(!self.finished, "process after finish");
         self.records += 1;
-        let roots = self.roots.clone();
-        for idx in roots {
-            self.feed(idx, row, now);
-        }
-    }
-
-    fn feed(&mut self, idx: usize, row: &[Value], now: Nanos) {
-        let out_row: Option<Vec<Value>> = {
-            let q = &self.compiled.program.queries[idx];
-            if let Some(f) = &q.pre_filter {
-                let pass = eval(f, &[], row, &self.params)
-                    .expect("type-checked filter cannot fail")
-                    .truthy();
-                if !pass {
-                    return;
-                }
+        let Runtime {
+            plan,
+            params,
+            stores,
+            captures,
+            outputs,
+            live,
+            stack,
+            key_buf,
+            ..
+        } = self;
+        for (idx, node) in plan.nodes.iter().enumerate() {
+            live[idx] = false;
+            if !node.active {
+                continue;
             }
-            match &q.kind {
-                ResolvedKind::Project(cols) => {
-                    let out: Vec<Value> = cols
-                        .iter()
-                        .map(|c| {
-                            eval(&c.expr, &[], row, &self.params)
-                                .expect("type-checked projection cannot fail")
-                        })
-                        .collect();
-                    if let Some(cap) = self.captures[idx].as_mut() {
-                        cap.push(out.clone());
+            // Upstream slots have smaller indices: split so the input row
+            // and this node's output buffer borrow disjoint ranges.
+            let (upstream, rest) = outputs.split_at_mut(idx);
+            let input: &[Value] = match node.source {
+                RowSource::Base => row,
+                RowSource::Node(p) => {
+                    if !live[p] {
+                        continue;
                     }
-                    Some(out)
+                    &upstream[p]
                 }
-                ResolvedKind::GroupBy(g) => {
-                    let key: Vec<i64> = g.key_cols.iter().map(|c| value_key(&row[*c])).collect();
-                    let store = self.stores[idx].as_mut().expect("groupby has a store");
-                    let state = store.observe_ref(key, row, now);
-                    let out: Vec<Value> = g
-                        .output
-                        .iter()
-                        .map(|o| match o {
-                            GroupOutput::Key(i) => row[g.key_cols[*i]],
-                            GroupOutput::StateVar(j) => state.vars[*j],
-                        })
-                        .collect();
-                    Some(out)
+            };
+            if let Some(f) = &node.filter {
+                if !f.pass(stack, input, params) {
+                    continue;
                 }
             }
-        };
-        if let Some(out) = out_row {
-            let children = self.compiled.children[idx].clone();
-            for child in children {
-                self.feed(child, &out, now);
+            match &node.kind {
+                NodeKind::Project { cols } => {
+                    let out = &mut rest[0];
+                    out.clear();
+                    for c in cols {
+                        out.push(
+                            c.eval(stack, &[], input, params)
+                                .expect("type-checked projection cannot fail"),
+                        );
+                    }
+                    if let Some(cap) = captures[idx].as_mut() {
+                        cap.push(out);
+                    }
+                    live[idx] = true;
+                }
+                NodeKind::GroupBy { key_cols, output } => {
+                    let key = if key_cols.len() <= perfq_kvstore::INLINE_KEY_WORDS {
+                        // Collect into a stack array; from_slice stays the
+                        // single canonical constructor.
+                        let mut words = [0i64; perfq_kvstore::INLINE_KEY_WORDS];
+                        for (slot, c) in words.iter_mut().zip(key_cols) {
+                            *slot = value_key(&input[*c]);
+                        }
+                        InlineKey::from_slice(&words[..key_cols.len()])
+                    } else {
+                        key_buf.clear();
+                        for c in key_cols {
+                            key_buf.push(value_key(&input[*c]));
+                        }
+                        InlineKey::from_slice(key_buf)
+                    };
+                    let store = stores[idx].as_mut().expect("groupby has a store");
+                    let state = store.observe_ref(key, input, now);
+                    if node.emits {
+                        let out = &mut rest[0];
+                        out.clear();
+                        for o in output {
+                            out.push(match o {
+                                GroupOutput::Key(i) => input[key_cols[*i]],
+                                GroupOutput::StateVar(j) => state.vars[*j],
+                            });
+                        }
+                        live[idx] = true;
+                    }
+                }
             }
         }
     }
@@ -212,7 +283,7 @@ impl Runtime {
                         .backing()
                         .iter()
                         .map(|(k, entry)| {
-                            (k.clone(), entry.latest().vars.clone(), entry.is_valid())
+                            (k.to_vec(), entry.latest().vars.to_vec(), entry.is_valid())
                         })
                         .collect();
                     rows.sort_by(|a, b| a.0.cmp(&b.0));
@@ -371,23 +442,25 @@ fn join_rows(left: &ResultTable, right: &ResultTable, on: &[String]) -> Vec<(Vec
         .map(|n| right.schema.index_of(n).expect("join key in right schema"))
         .collect();
     let rmap = right.key_map(&rkeys);
+    // Precompute the non-key column order once instead of scanning the key
+    // list per cell per row.
+    let l_nonkey: Vec<usize> = (0..left.schema.len())
+        .filter(|i| !lkeys.contains(i))
+        .collect();
+    let r_nonkey: Vec<usize> = (0..right.schema.len())
+        .filter(|i| !rkeys.contains(i))
+        .collect();
     let mut out = Vec::new();
     for lrow in &left.rows {
         let key: Vec<i64> = lkeys.iter().map(|c| value_key(&lrow.values[*c])).collect();
         let Some(rrow) = rmap.get(&key) else {
             continue;
         };
-        let mut values: Vec<Value> = lkeys.iter().map(|c| lrow.values[*c]).collect();
-        for (i, v) in lrow.values.iter().enumerate() {
-            if !lkeys.contains(&i) {
-                values.push(*v);
-            }
-        }
-        for (i, v) in rrow.values.iter().enumerate() {
-            if !rkeys.contains(&i) {
-                values.push(*v);
-            }
-        }
+        let mut values: Vec<Value> =
+            Vec::with_capacity(lkeys.len() + l_nonkey.len() + r_nonkey.len());
+        values.extend(lkeys.iter().map(|c| lrow.values[*c]));
+        values.extend(l_nonkey.iter().map(|c| lrow.values[*c]));
+        values.extend(r_nonkey.iter().map(|c| rrow.values[*c]));
         out.push((values, lrow.valid && rrow.valid));
     }
     out

@@ -81,6 +81,14 @@ impl WindowedRuntime {
         self.current.process_record(rec);
     }
 
+    /// Process a batch of records (windows roll per record, exactly as in
+    /// the record-at-a-time path).
+    pub fn process_batch(&mut self, recs: &[QueueRecord]) {
+        for rec in recs {
+            self.process_record(rec);
+        }
+    }
+
     /// Close the final (possibly partial) window and return all windows.
     #[must_use]
     pub fn finish(mut self) -> Vec<WindowResult> {

@@ -83,7 +83,7 @@ impl<V> BackingEntry<V> {
 /// and the evaluation consumes the write **rate**, tracked by `StoreStats`.
 #[derive(Debug, Clone)]
 pub struct BackingStore<K, V> {
-    entries: HashMap<K, BackingEntry<V>>,
+    entries: HashMap<K, BackingEntry<V>, crate::hash::SeededBuildHasher>,
     mode: MergeMode,
 }
 
@@ -92,7 +92,7 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
     #[must_use]
     pub fn new(mode: MergeMode) -> Self {
         BackingStore {
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             mode,
         }
     }
@@ -131,17 +131,15 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
             first_seen,
             last_seen,
         };
-        match self.entries.get_mut(&key) {
-            None => {
-                self.entries.insert(
-                    key,
-                    BackingEntry {
-                        epochs: vec![epoch],
-                        writes: 1,
-                    },
-                );
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(BackingEntry {
+                    epochs: vec![epoch],
+                    writes: 1,
+                });
             }
-            Some(existing) => {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let existing = slot.into_mut();
                 existing.writes += 1;
                 match self.mode {
                     MergeMode::Merge => {

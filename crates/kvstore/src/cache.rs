@@ -34,6 +34,16 @@ pub struct CacheEntry<K, V> {
     pub last_seen: Nanos,
 }
 
+/// What a single-pass [`SramCache::upsert_with`] did.
+#[derive(Debug)]
+pub struct UpsertOutcome<K, V> {
+    /// True when the key was already resident (the value was *not* freshly
+    /// initialized).
+    pub hit: bool,
+    /// The entry evicted to make room (miss into a full bucket only).
+    pub victim: Option<CacheEntry<K, V>>,
+}
+
 /// The on-chip cache: geometry + policy behind one interface.
 #[derive(Debug, Clone)]
 pub struct SramCache<K, V> {
@@ -138,6 +148,27 @@ impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
         }
     }
 
+    /// Single-pass lookup-or-insert: the per-packet primitive.
+    ///
+    /// A hit refreshes recency (per policy) and returns the resident value;
+    /// a miss initializes a new value with `init`, inserting it and evicting
+    /// the policy's victim when the target bucket is full. Exactly one hash
+    /// computation and one bucket probe happen either way — the
+    /// `contains`/`get_mut`/`insert` sequence this replaces did two.
+    pub fn upsert_with(
+        &mut self,
+        key: K,
+        now: Nanos,
+        init: impl FnOnce() -> V,
+    ) -> (&mut V, UpsertOutcome<K, V>) {
+        let refresh = !matches!(self.policy, EvictionPolicy::Fifo);
+        let (policy, rng) = (self.policy, &mut self.rng);
+        match &mut self.inner {
+            Inner::Bucketed(c) => c.upsert_with(key, now, init, refresh, policy, rng),
+            Inner::Full(c) => c.upsert_with(key, now, init, refresh, policy, rng),
+        }
+    }
+
     /// Remove a specific key, returning its entry (used for targeted
     /// periodic eviction — §3.2: "keys can be periodically evicted to ensure
     /// the backing store is fresh").
@@ -150,9 +181,17 @@ impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
 
     /// Remove and return all resident entries (end-of-window flush).
     pub fn drain(&mut self) -> Vec<CacheEntry<K, V>> {
+        let mut out = Vec::with_capacity(self.len());
+        self.drain_into(|e| out.push(e));
+        out
+    }
+
+    /// Remove all resident entries, handing each to `sink` without building
+    /// an intermediate vector (the flush fast path).
+    pub fn drain_into(&mut self, sink: impl FnMut(CacheEntry<K, V>)) {
         match &mut self.inner {
-            Inner::Bucketed(c) => c.drain(),
-            Inner::Full(c) => c.drain(),
+            Inner::Bucketed(c) => c.drain_into(sink),
+            Inner::Full(c) => c.drain_into(sink),
         }
     }
 
@@ -172,6 +211,10 @@ impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
 #[derive(Debug, Clone)]
 struct Slot<K, V> {
     entry: CacheEntry<K, V>,
+    /// Full key hash, compared before the key itself — the software analogue
+    /// of a tag compare (one word instead of a multi-word key equality on
+    /// every probed way).
+    tag: u64,
     /// Monotone counter value at last access (LRU victim = minimum).
     accessed: u64,
     /// Monotone counter value at insertion (FIFO victim = minimum).
@@ -198,15 +241,12 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         }
     }
 
-    fn bucket_of(&self, key: &K) -> usize {
-        (hash_key(self.seed, key) % self.buckets.len() as u64) as usize
-    }
-
     fn find(&self, key: &K) -> Option<(usize, usize)> {
-        let b = self.bucket_of(key);
+        let h = hash_key(self.seed, key);
+        let b = (h % self.buckets.len() as u64) as usize;
         self.buckets[b]
             .iter()
-            .position(|s| &s.entry.key == key)
+            .position(|s| s.tag == h && &s.entry.key == key)
             .map(|i| (b, i))
     }
 
@@ -227,42 +267,91 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         policy: EvictionPolicy,
         rng: &mut VictimRng,
     ) -> Option<CacheEntry<K, V>> {
-        let b = self.bucket_of(&entry.key);
+        let h = hash_key(self.seed, &entry.key);
+        let b = (h % self.buckets.len() as u64) as usize;
         self.seq += 1;
         let slot = Slot {
             entry,
+            tag: h,
             accessed: self.seq,
             inserted: self.seq,
         };
+        let ways = self.ways;
         let bucket = &mut self.buckets[b];
-        if bucket.len() < self.ways {
+        if bucket.len() < ways {
             bucket.push(slot);
             self.len += 1;
             return None;
         }
-        let victim_idx = match policy {
-            EvictionPolicy::Lru => {
-                let mut idx = 0;
-                for (i, s) in bucket.iter().enumerate() {
-                    if s.accessed < bucket[idx].accessed {
-                        idx = i;
-                    }
-                }
-                idx
-            }
-            EvictionPolicy::Fifo => {
-                let mut idx = 0;
-                for (i, s) in bucket.iter().enumerate() {
-                    if s.inserted < bucket[idx].inserted {
-                        idx = i;
-                    }
-                }
-                idx
-            }
-            EvictionPolicy::Random { .. } => rng.pick(bucket.len()),
-        };
+        let victim_idx = pick_victim(bucket, policy, rng);
         let victim = std::mem::replace(&mut bucket[victim_idx], slot);
         Some(victim.entry)
+    }
+
+    fn upsert_with(
+        &mut self,
+        key: K,
+        now: Nanos,
+        init: impl FnOnce() -> V,
+        refresh: bool,
+        policy: EvictionPolicy,
+        rng: &mut VictimRng,
+    ) -> (&mut V, UpsertOutcome<K, V>) {
+        let h = hash_key(self.seed, &key);
+        let b = (h % self.buckets.len() as u64) as usize;
+        self.seq += 1;
+        let seq = self.seq;
+        let ways = self.ways;
+        let bucket = &mut self.buckets[b];
+        if let Some(i) = bucket
+            .iter()
+            .position(|s| s.tag == h && s.entry.key == key)
+        {
+            let slot = &mut bucket[i];
+            if refresh {
+                slot.accessed = seq;
+            }
+            slot.entry.last_seen = now;
+            return (
+                &mut slot.entry.value,
+                UpsertOutcome {
+                    hit: true,
+                    victim: None,
+                },
+            );
+        }
+        let slot = Slot {
+            entry: CacheEntry {
+                key,
+                value: init(),
+                first_seen: now,
+                last_seen: now,
+            },
+            tag: h,
+            accessed: seq,
+            inserted: seq,
+        };
+        if bucket.len() < ways {
+            bucket.push(slot);
+            self.len += 1;
+            let value = &mut bucket.last_mut().expect("just pushed").entry.value;
+            return (
+                value,
+                UpsertOutcome {
+                    hit: false,
+                    victim: None,
+                },
+            );
+        }
+        let victim_idx = pick_victim(bucket, policy, rng);
+        let victim = std::mem::replace(&mut bucket[victim_idx], slot);
+        (
+            &mut bucket[victim_idx].entry.value,
+            UpsertOutcome {
+                hit: false,
+                victim: Some(victim.entry),
+            },
+        )
     }
 
     fn remove(&mut self, key: &K) -> Option<CacheEntry<K, V>> {
@@ -271,12 +360,42 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         Some(self.buckets[b].swap_remove(i).entry)
     }
 
-    fn drain(&mut self) -> Vec<CacheEntry<K, V>> {
+    fn drain_into(&mut self, mut sink: impl FnMut(CacheEntry<K, V>)) {
         self.len = 0;
-        self.buckets
-            .iter_mut()
-            .flat_map(|b| b.drain(..).map(|s| s.entry))
-            .collect()
+        for bucket in &mut self.buckets {
+            for slot in bucket.drain(..) {
+                sink(slot.entry);
+            }
+        }
+    }
+}
+
+/// The policy's in-bucket victim slot.
+fn pick_victim<K, V>(
+    bucket: &[Slot<K, V>],
+    policy: EvictionPolicy,
+    rng: &mut VictimRng,
+) -> usize {
+    match policy {
+        EvictionPolicy::Lru => {
+            let mut idx = 0;
+            for (i, s) in bucket.iter().enumerate() {
+                if s.accessed < bucket[idx].accessed {
+                    idx = i;
+                }
+            }
+            idx
+        }
+        EvictionPolicy::Fifo => {
+            let mut idx = 0;
+            for (i, s) in bucket.iter().enumerate() {
+                if s.inserted < bucket[idx].inserted {
+                    idx = i;
+                }
+            }
+            idx
+        }
+        EvictionPolicy::Random { .. } => rng.pick(bucket.len()),
     }
 }
 
@@ -295,7 +414,7 @@ struct Node<K, V> {
 
 #[derive(Debug, Clone)]
 struct FullLruCache<K, V> {
-    map: HashMap<K, usize>,
+    map: HashMap<K, usize, crate::hash::SeededBuildHasher>,
     nodes: Vec<Option<Node<K, V>>>,
     free: Vec<usize>,
     /// Most recently used.
@@ -307,7 +426,7 @@ struct FullLruCache<K, V> {
 impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
     fn new(capacity: usize) -> Self {
         FullLruCache {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity_and_hasher(capacity.min(1 << 20), crate::hash::SeededBuildHasher),
             nodes: (0..capacity).map(|_| None).collect(),
             free: (0..capacity).rev().collect(),
             head: NIL,
@@ -390,6 +509,48 @@ impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
         victim
     }
 
+    fn upsert_with(
+        &mut self,
+        key: K,
+        now: Nanos,
+        init: impl FnOnce() -> V,
+        refresh: bool,
+        policy: EvictionPolicy,
+        rng: &mut VictimRng,
+    ) -> (&mut V, UpsertOutcome<K, V>) {
+        if let Some(&idx) = self.map.get(&key) {
+            if refresh {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            let n = self.nodes[idx].as_mut().expect("indexed node exists");
+            n.entry.last_seen = now;
+            return (
+                &mut n.entry.value,
+                UpsertOutcome {
+                    hit: true,
+                    victim: None,
+                },
+            );
+        }
+        let entry = CacheEntry {
+            key,
+            value: init(),
+            first_seen: now,
+            last_seen: now,
+        };
+        let victim = self.insert(entry, policy, rng);
+        let idx = self.head;
+        let n = self.nodes[idx].as_mut().expect("just inserted at head");
+        (
+            &mut n.entry.value,
+            UpsertOutcome {
+                hit: false,
+                victim,
+            },
+        )
+    }
+
     fn remove(&mut self, key: &K) -> Option<CacheEntry<K, V>> {
         let idx = self.map.remove(key)?;
         self.unlink(idx);
@@ -398,18 +559,16 @@ impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
         Some(node.entry)
     }
 
-    fn drain(&mut self) -> Vec<CacheEntry<K, V>> {
+    fn drain_into(&mut self, mut sink: impl FnMut(CacheEntry<K, V>)) {
         self.map.clear();
         self.head = NIL;
         self.tail = NIL;
-        let mut out = Vec::new();
         for (i, slot) in self.nodes.iter_mut().enumerate() {
             if let Some(node) = slot.take() {
-                out.push(node.entry);
                 self.free.push(i);
+                sink(node.entry);
             }
         }
-        out
     }
 }
 

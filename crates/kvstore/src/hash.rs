@@ -55,6 +55,46 @@ impl Hasher for SeededHasher {
     fn write_usize(&mut self, v: usize) {
         self.write_u64(v as u64);
     }
+
+    // Fixed-width overrides: without these the default impls route every
+    // integer through `write(&[u8])`'s chunking loop, which dominates the
+    // per-packet key-hash cost.
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+
+    fn write_i8(&mut self, v: i8) {
+        self.write_u64(v as u8 as u64);
+    }
+
+    fn write_i16(&mut self, v: i16) {
+        self.write_u64(v as u16 as u64);
+    }
+
+    fn write_i32(&mut self, v: i32) {
+        self.write_u64(v as u32 as u64);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_isize(&mut self, v: isize) {
+        self.write_u64(v as u64);
+    }
 }
 
 /// Hash any `Hash` key under a seed.
@@ -63,6 +103,21 @@ pub fn hash_key<K: Hash>(seed: u64, key: &K) -> u64 {
     let mut h = SeededHasher::new(seed);
     key.hash(&mut h);
     h.finish()
+}
+
+/// [`std::hash::BuildHasher`] for interior hash maps (backing store, LRU
+/// index): deterministic and much faster than SipHash for the short integer
+/// keys this crate stores. Not used where placement models hardware — the
+/// bucketed cache keeps its explicit per-store seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeededBuildHasher;
+
+impl std::hash::BuildHasher for SeededBuildHasher {
+    type Hasher = SeededHasher;
+
+    fn build_hasher(&self) -> SeededHasher {
+        SeededHasher::new(0x9e37_79b9_7f4a_7c15)
+    }
 }
 
 #[cfg(test)]

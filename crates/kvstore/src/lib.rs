@@ -48,6 +48,7 @@ pub mod backing;
 pub mod cache;
 pub mod geometry;
 pub mod hash;
+pub mod key;
 pub mod policy;
 pub mod sketch;
 pub mod split;
@@ -56,6 +57,7 @@ pub mod stats;
 pub use backing::{BackingEntry, BackingStore, Epoch, MergeMode};
 pub use cache::{CacheEntry, SramCache};
 pub use geometry::CacheGeometry;
+pub use key::{InlineKey, INLINE_KEY_WORDS};
 pub use policy::EvictionPolicy;
 pub use sketch::CountMinSketch;
 pub use split::{CounterOps, MaxOps, SplitStore, SumOps, ValueOps};

@@ -79,33 +79,21 @@ impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
     /// store").
     pub fn observe_ref(&mut self, key: K, input: &O::Input, now: Nanos) -> &O::Value {
         self.stats.packets += 1;
-        if self.cache.contains(&key) {
-            self.stats.hits += 1;
-            let ops = &self.ops;
-            let value = self.cache.get_mut(&key, now).expect("resident");
-            ops.update(value, input);
-            return value;
-        }
-        self.stats.misses += 1;
-        let mut value = self.ops.init();
-        self.ops.update(&mut value, input);
-        if let Some(victim) = self.cache.insert(key.clone(), value, now) {
-            self.stats.evictions += 1;
-            self.stats.backing_writes += 1;
-            self.absorb(victim);
-        }
-        self.cache.get_mut(&key, now).expect("just inserted")
-    }
-
-    fn absorb(&mut self, victim: CacheEntry<K, O::Value>) {
         let ops = &self.ops;
-        self.backing.absorb(
-            victim.key,
-            victim.value,
-            victim.first_seen,
-            victim.last_seen,
-            |standing, evicted| ops.merge(standing, evicted),
-        );
+        // Single-pass lookup-or-insert: one hash, one probe per packet.
+        let (value, outcome) = self.cache.upsert_with(key, now, || ops.init());
+        ops.update(value, input);
+        if outcome.hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if let Some(victim) = outcome.victim {
+                self.stats.evictions += 1;
+                self.stats.backing_writes += 1;
+                absorb_entry(&mut self.backing, ops, victim);
+            }
+        }
+        value
     }
 
     /// Evict every resident entry to the backing store (end of a measurement
@@ -113,11 +101,17 @@ impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
     /// correct from the backing store — §3.2: "the correct value at any time
     /// only resides in the backing store".
     pub fn flush(&mut self) {
-        for entry in self.cache.drain() {
-            self.stats.flush_writes += 1;
-            self.stats.backing_writes += 1;
-            self.absorb(entry);
-        }
+        let SplitStore {
+            cache,
+            backing,
+            ops,
+            stats,
+        } = self;
+        cache.drain_into(|entry| {
+            stats.flush_writes += 1;
+            stats.backing_writes += 1;
+            absorb_entry(backing, ops, entry);
+        });
     }
 
     /// Evict entries idle since before `cutoff` (periodic freshness sweep).
@@ -132,7 +126,7 @@ impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
             if let Some(entry) = self.cache.remove(&key) {
                 self.stats.backing_writes += 1;
                 self.stats.flush_writes += 1;
-                self.absorb(entry);
+                absorb_entry(&mut self.backing, &self.ops, entry);
             }
         }
     }
@@ -185,6 +179,24 @@ impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
         self.backing.clear();
         self.stats = StoreStats::default();
     }
+}
+
+/// Write an evicted entry into the backing store with the fold's merge.
+/// Free-standing (takes the already-split fields) so the eviction, flush and
+/// idle-sweep paths — some of which hold other borrows of the store — share
+/// one implementation.
+fn absorb_entry<K: Eq + Hash, O: ValueOps>(
+    backing: &mut BackingStore<K, O::Value>,
+    ops: &O,
+    entry: CacheEntry<K, O::Value>,
+) {
+    backing.absorb(
+        entry.key,
+        entry.value,
+        entry.first_seen,
+        entry.last_seen,
+        |standing, evicted| ops.merge(standing, evicted),
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -298,7 +298,9 @@ pub fn eval(
     }
 }
 
-fn eval_builtin(b: Builtin, args: &[Value]) -> Result<Value, TypeError> {
+/// Apply a builtin to already-evaluated arguments (shared with the bytecode
+/// evaluator).
+pub fn eval_builtin(b: Builtin, args: &[Value]) -> Result<Value, TypeError> {
     match b {
         Builtin::Abs => {
             let [v] = args else {
@@ -311,6 +313,14 @@ fn eval_builtin(b: Builtin, args: &[Value]) -> Result<Value, TypeError> {
             }
         }
         Builtin::Max | Builtin::Min => {
+            // Two integer arguments is the overwhelmingly common dataplane
+            // shape (`max(maxseq, tcpseq)`); skip the generic scans.
+            if let [Value::Int(x), Value::Int(y)] = args {
+                return Ok(Value::Int(match b {
+                    Builtin::Max => *x.max(y),
+                    _ => *x.min(y),
+                }));
+            }
             if args.is_empty() {
                 return Err(TypeError(format!("{b} needs at least one argument")));
             }

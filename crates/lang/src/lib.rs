@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod error;
 pub mod fig2;
 pub mod ir;

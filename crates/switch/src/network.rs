@@ -244,6 +244,30 @@ impl Network {
         self.run(packets, |r| out.push(r));
         out
     }
+
+    /// Run a packet stream, delivering queue records to `sink` in batches of
+    /// up to `batch_size` (the final batch may be shorter). Record order is
+    /// identical to [`Network::run`]; batching only amortizes the consumer's
+    /// per-record entry cost (see `Runtime::process_batch` in `perfq-core`).
+    pub fn run_batched(
+        &mut self,
+        packets: impl Iterator<Item = Packet>,
+        batch_size: usize,
+        mut sink: impl FnMut(&[QueueRecord]),
+    ) {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut buf: Vec<QueueRecord> = Vec::with_capacity(batch_size);
+        self.run(packets, |r| {
+            buf.push(r);
+            if buf.len() == batch_size {
+                sink(&buf);
+                buf.clear();
+            }
+        });
+        if !buf.is_empty() {
+            sink(&buf);
+        }
+    }
 }
 
 #[cfg(test)]

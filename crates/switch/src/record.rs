@@ -58,16 +58,178 @@ impl QueueRecord {
     #[must_use]
     pub fn to_row(&self) -> Vec<Value> {
         let mut row = Vec::with_capacity(HeaderField::ALL.len() + META_COLUMNS.len());
-        for f in HeaderField::ALL {
-            row.push(Value::Int(f.extract(&self.packet) as i64));
+        self.write_row(&mut row);
+        row
+    }
+
+    /// Materialize the row into a caller-owned buffer (cleared first), so a
+    /// streaming consumer reuses one allocation across all records.
+    ///
+    /// This is the dataplane's record → row step, so the header fields are
+    /// laid down with a single L4 dispatch instead of one
+    /// [`HeaderField::extract`] match per column; the column order is
+    /// identical (asserted by test against `extract`).
+    pub fn write_row(&self, row: &mut Vec<Value>) {
+        use perfq_packet::L4Header;
+        row.clear();
+        row.reserve(HeaderField::ALL.len() + META_COLUMNS.len());
+        let pkt = &self.packet;
+        let h = &pkt.headers;
+        let int = |v: u64| Value::Int(v as i64);
+        // Header fields, in `HeaderField::ALL` order.
+        row.push(int(u64::from(u32::from(h.ipv4.src)))); // srcip
+        row.push(int(u64::from(u32::from(h.ipv4.dst)))); // dstip
+        let (src_port, dst_port, tcp) = match &h.l4 {
+            L4Header::Tcp(t) => (t.src_port, t.dst_port, Some(t)),
+            L4Header::Udp(u) => (u.src_port, u.dst_port, None),
+            L4Header::Opaque => (0, 0, None),
+        };
+        row.push(int(u64::from(src_port))); // srcport
+        row.push(int(u64::from(dst_port))); // dstport
+        row.push(int(u64::from(h.ipv4.proto.to_u8()))); // proto
+        row.push(int(u64::from(h.ipv4.ttl))); // ttl
+        row.push(int(u64::from(h.ipv4.ident))); // ipid
+        row.push(int(u64::from(h.ipv4.dscp_ecn))); // tos
+        row.push(int(u64::from(pkt.wire_len))); // pkt_len
+        row.push(int(pkt.uniq)); // pkt_uniq
+        match tcp {
+            Some(t) => {
+                row.push(int(u64::from(t.seq))); // tcpseq
+                row.push(int(u64::from(t.ack))); // tcpack
+                row.push(int(u64::from(t.flags.0))); // tcpflags
+                row.push(int(u64::from(t.window))); // tcpwin
+            }
+            None => {
+                row.push(Value::Int(0));
+                row.push(Value::Int(0));
+                row.push(Value::Int(0));
+                row.push(Value::Int(0));
+            }
         }
+        row.push(int(u64::from(h.tcp_payload_len()))); // payload_len
+        row.push(int(u64::from(match &h.l4 {
+            L4Header::Udp(u) => u.length,
+            _ => 0,
+        }))); // udplen
+        // Metadata columns.
         row.push(Value::Int(i64::from(self.qid)));
         row.push(Value::Int(nanos_to_i64(self.tin)));
         row.push(Value::Int(nanos_to_i64(self.tout)));
         row.push(Value::Int(i64::from(self.qsize)));
         row.push(Value::Int(i64::from(self.qout)));
         row.push(Value::Int(self.path as i64));
-        row
+    }
+
+    /// Number of base-schema columns a row holds.
+    #[must_use]
+    pub fn row_width() -> usize {
+        HeaderField::ALL.len() + META_COLUMNS.len()
+    }
+
+    /// Materialize only the columns named by `mask` (bit `i` = column `i`
+    /// of the base schema), leaving the rest of the buffer untouched.
+    ///
+    /// This is the compiled dataplane's row writer: a query program knows at
+    /// compile time which base columns it reads, so the per-record row
+    /// materialization skips the other ~20. The buffer is sized (and
+    /// zero-filled) on first use; unmasked cells may hold stale values from
+    /// earlier records, which is sound exactly because the caller's mask
+    /// covers every column its programs read. Column order matches
+    /// [`QueueRecord::write_row`] (asserted by test).
+    pub fn write_row_masked(&self, row: &mut Vec<Value>, mask: u64) {
+        let width = Self::row_width();
+        debug_assert!(width <= 64, "column mask is a u64 bitmap");
+        if row.len() != width {
+            row.clear();
+            row.resize(width, Value::Int(0));
+        }
+        let need = |i: usize| mask & (1u64 << i) != 0;
+        let pkt = &self.packet;
+        let h = &pkt.headers;
+        if need(0) {
+            row[0] = Value::Int(i64::from(u32::from(h.ipv4.src))); // srcip
+        }
+        if need(1) {
+            row[1] = Value::Int(i64::from(u32::from(h.ipv4.dst))); // dstip
+        }
+        if need(2) || need(3) {
+            let (src_port, dst_port) = match &h.l4 {
+                perfq_packet::L4Header::Tcp(t) => (t.src_port, t.dst_port),
+                perfq_packet::L4Header::Udp(u) => (u.src_port, u.dst_port),
+                perfq_packet::L4Header::Opaque => (0, 0),
+            };
+            if need(2) {
+                row[2] = Value::Int(i64::from(src_port)); // srcport
+            }
+            if need(3) {
+                row[3] = Value::Int(i64::from(dst_port)); // dstport
+            }
+        }
+        if need(4) {
+            row[4] = Value::Int(i64::from(h.ipv4.proto.to_u8())); // proto
+        }
+        if need(5) {
+            row[5] = Value::Int(i64::from(h.ipv4.ttl)); // ttl
+        }
+        if need(6) {
+            row[6] = Value::Int(i64::from(h.ipv4.ident)); // ipid
+        }
+        if need(7) {
+            row[7] = Value::Int(i64::from(h.ipv4.dscp_ecn)); // tos
+        }
+        if need(8) {
+            row[8] = Value::Int(i64::from(pkt.wire_len)); // pkt_len
+        }
+        if need(9) {
+            row[9] = Value::Int(pkt.uniq as i64); // pkt_uniq
+        }
+        if mask & (0b1111 << 10) != 0 {
+            let (seq, ack, flags, window) = match &h.l4 {
+                perfq_packet::L4Header::Tcp(t) => {
+                    (i64::from(t.seq), i64::from(t.ack), i64::from(t.flags.0), i64::from(t.window))
+                }
+                _ => (0, 0, 0, 0),
+            };
+            if need(10) {
+                row[10] = Value::Int(seq); // tcpseq
+            }
+            if need(11) {
+                row[11] = Value::Int(ack); // tcpack
+            }
+            if need(12) {
+                row[12] = Value::Int(flags); // tcpflags
+            }
+            if need(13) {
+                row[13] = Value::Int(window); // tcpwin
+            }
+        }
+        if need(14) {
+            row[14] = Value::Int(i64::from(h.tcp_payload_len())); // payload_len
+        }
+        if need(15) {
+            row[15] = Value::Int(i64::from(match &h.l4 {
+                perfq_packet::L4Header::Udp(u) => u.length,
+                _ => 0,
+            })); // udplen
+        }
+        if need(16) {
+            row[16] = Value::Int(i64::from(self.qid));
+        }
+        if need(17) {
+            row[17] = Value::Int(nanos_to_i64(self.tin));
+        }
+        if need(18) {
+            row[18] = Value::Int(nanos_to_i64(self.tout));
+        }
+        if need(19) {
+            row[19] = Value::Int(i64::from(self.qsize));
+        }
+        if need(20) {
+            row[20] = Value::Int(i64::from(self.qout));
+        }
+        if need(21) {
+            row[21] = Value::Int(self.path as i64);
+        }
     }
 }
 
@@ -123,6 +285,70 @@ mod tests {
         assert_eq!(at("tcpseq"), Value::Int(7));
         assert_eq!(at("srcport"), Value::Int(1000));
         assert_eq!(at("pkt_uniq"), Value::Int(3));
+    }
+
+    #[test]
+    fn write_row_matches_field_extract_for_all_l4_kinds() {
+        // The specialized row writer must agree with the per-field extract
+        // path, column for column, for TCP and UDP packets alike.
+        let tcp = record();
+        let udp = QueueRecord {
+            packet: PacketBuilder::udp()
+                .src(Ipv4Addr::new(10, 0, 0, 9), 53)
+                .dst(Ipv4Addr::new(10, 0, 0, 8), 5353)
+                .payload_len(77)
+                .uniq(11)
+                .build(),
+            ..record()
+        };
+        for r in [tcp, udp] {
+            let row = r.to_row();
+            for (i, f) in HeaderField::ALL.iter().enumerate() {
+                assert_eq!(
+                    row[i],
+                    Value::Int(f.extract(&r.packet) as i64),
+                    "column {} ({})",
+                    i,
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_rows_match_full_rows_on_masked_columns() {
+        let tcp = record();
+        let udp = QueueRecord {
+            packet: PacketBuilder::udp()
+                .src(Ipv4Addr::new(10, 0, 0, 9), 53)
+                .dst(Ipv4Addr::new(10, 0, 0, 8), 5353)
+                .payload_len(77)
+                .uniq(11)
+                .build(),
+            ..record()
+        };
+        let width = QueueRecord::row_width();
+        for r in [tcp, udp] {
+            let full = r.to_row();
+            assert_eq!(full.len(), width);
+            // Every single-column mask agrees with the full row.
+            for i in 0..width {
+                let mut row = Vec::new();
+                r.write_row_masked(&mut row, 1u64 << i);
+                assert_eq!(row[i], full[i], "column {i}");
+            }
+            // A mixed mask over a dirty buffer only touches masked cells.
+            let mask = (1 << 0) | (1 << 4) | (1 << 10) | (1 << 18);
+            let mut row = vec![Value::Int(-7); width];
+            r.write_row_masked(&mut row, mask);
+            for i in 0..width {
+                if mask & (1 << i) != 0 {
+                    assert_eq!(row[i], full[i], "masked column {i}");
+                } else {
+                    assert_eq!(row[i], Value::Int(-7), "unmasked column {i} touched");
+                }
+            }
+        }
     }
 
     #[test]

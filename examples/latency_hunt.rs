@@ -53,7 +53,9 @@ QLAT = SELECT qid, ewma GROUPBY qid
 
     let compiled = compile_query(query, &params, CompileOptions::default()).expect("compiles");
     let mut runtime = Runtime::new(compiled);
-    network.run(SyntheticTrace::new(cfg), |r| runtime.process_record(&r));
+    network.run_batched(SyntheticTrace::new(cfg), 256, |batch| {
+        runtime.process_batch(batch)
+    });
     runtime.finish();
 
     let results = runtime.collect();

@@ -45,7 +45,7 @@ fn main() {
 
     let mut network = Network::new(NetworkConfig::default());
     let mut runtime = Runtime::new(compiled);
-    network.run(trace, |record| runtime.process_record(&record));
+    network.run_batched(trace, 256, |batch| runtime.process_batch(batch));
     runtime.finish();
 
     // ------------------------------------------------------------------

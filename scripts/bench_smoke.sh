@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Throughput regression smoke: run the pipeline benchmark in fixed-iteration
+# mode and compare query_runtime records/sec against the committed baseline
+# (BENCH_pipeline.json: the conservative "guard" block, or "after" when no
+# guard exists). Fails when any benchmark regresses more than the allowed
+# fraction (default 10%, override with BENCH_SMOKE_TOLERANCE=0.15 etc.).
+#
+# Usage: scripts/bench_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_SMOKE_TOLERANCE:-0.10}"
+OUT="$(mktemp /tmp/perfq_bench_smoke.XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "== building release benches =="
+cargo build --release -p perfq-bench --benches
+
+echo "== running pipeline smoke (median of 7 iterations per bench) =="
+PERFQ_BENCH_SMOKE=7 PERFQ_BENCH_JSON="$OUT" \
+    cargo bench -p perfq-bench --bench pipeline query_runtime
+
+python3 - "$OUT" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+out_path, tolerance = sys.argv[1], float(sys.argv[2])
+with open("BENCH_pipeline.json") as f:
+    doc = json.load(f)
+    baseline = doc.get("guard", doc["after"])
+with open(out_path) as f:
+    current = {r["bench"]: r["elems_per_sec"] for r in json.load(f)}
+
+failed = False
+print(f"\n{'benchmark':<48} {'baseline':>12} {'current':>12} {'ratio':>7}")
+for bench, want in sorted(baseline.items()):
+    got = current.get(bench)
+    if got is None:
+        print(f"{bench:<48} {want:>12.0f} {'MISSING':>12}")
+        failed = True
+        continue
+    ratio = got / want
+    flag = "" if ratio >= 1.0 - tolerance else "  << REGRESSION"
+    if flag:
+        failed = True
+    print(f"{bench:<48} {want:>12.0f} {got:>12.0f} {ratio:>6.2f}x{flag}")
+
+if failed:
+    print(f"\nFAIL: throughput regressed more than {tolerance:.0%} against BENCH_pipeline.json")
+    sys.exit(1)
+print(f"\nOK: all benchmarks within {tolerance:.0%} of the committed baseline")
+EOF

@@ -1,0 +1,134 @@
+//! Referee tests for the optimized dataplane: the batched entry point must
+//! be indistinguishable from record-at-a-time processing, and the whole
+//! bytecode/plan engine must reproduce the tree-walking oracle bit for bit
+//! (within float tolerance) on every Fig. 2 query.
+
+use perfq::prelude::*;
+use perfq_core::diff_tables;
+use perfq_switch::QueueRecord;
+
+/// A trace with drops, TCP anomalies and multi-queue records.
+fn records(n: usize) -> Vec<QueueRecord> {
+    let mut net = Network::new(NetworkConfig {
+        topology: Topology::Linear(2),
+        ..Default::default()
+    });
+    net.run_collect(SyntheticTrace::new(TraceConfig::test_small(21)).take(n))
+}
+
+fn compiled(src: &str, opts: CompileOptions) -> CompiledProgram {
+    perfq_core::compile_query(src, &fig2::default_params(), opts).expect("fig2 queries compile")
+}
+
+/// `process_batch` (any chunking) and `process_record` produce identical
+/// result sets and identical hardware statistics.
+#[test]
+fn batch_and_single_record_processing_are_identical() {
+    let recs = records(4_000);
+    for q in fig2::ALL {
+        for chunk in [1usize, 7, 256, 4_096] {
+            let c = compiled(q.source, CompileOptions::default());
+            let mut single = Runtime::new(c.clone());
+            let mut batched = Runtime::new(c);
+            for r in &recs {
+                single.process_record(r);
+            }
+            for part in recs.chunks(chunk) {
+                batched.process_batch(part);
+            }
+            single.finish();
+            batched.finish();
+            assert_eq!(single.records(), batched.records(), "{}", q.name);
+            let idx_count = single.compiled().program.queries.len();
+            for i in 0..idx_count {
+                assert_eq!(
+                    single.store_stats(i),
+                    batched.store_stats(i),
+                    "{} store {i}",
+                    q.name
+                );
+            }
+            assert_eq!(
+                single.collect(),
+                batched.collect(),
+                "{} (chunk {chunk})",
+                q.name
+            );
+        }
+    }
+}
+
+/// Under eviction pressure the equivalence must still hold exactly — the
+/// batched path may not change hit/miss/eviction behaviour.
+#[test]
+fn batch_equivalence_survives_eviction_pressure() {
+    let recs = records(3_000);
+    let opts = CompileOptions {
+        cache_pairs: 16,
+        ways: 4,
+        ..Default::default()
+    };
+    for q in fig2::ALL {
+        let c = compiled(q.source, opts);
+        let mut single = Runtime::new(c.clone());
+        let mut batched = Runtime::new(c);
+        for r in &recs {
+            single.process_record(r);
+        }
+        batched.process_batch(&recs);
+        single.finish();
+        batched.finish();
+        assert_eq!(single.collect(), batched.collect(), "{}", q.name);
+    }
+}
+
+/// The optimized engine (flat plan + bytecode + inline keys) against the
+/// ground-truth oracle (tree-walking interpreter, unbounded state): with an
+/// eviction-free cache every Fig. 2 query must agree on every table.
+#[test]
+fn optimized_engine_matches_oracle_on_fig2() {
+    let recs = records(4_000);
+    for q in fig2::ALL {
+        let c = compiled(q.source, CompileOptions::default());
+        let mut rt = Runtime::new(c.clone());
+        let mut oracle = Oracle::new(c);
+        for part in recs.chunks(128) {
+            rt.process_batch(part);
+        }
+        for r in &recs {
+            oracle.process_record(r);
+        }
+        rt.finish();
+        let got = rt.collect();
+        let want = oracle.collect();
+        assert_eq!(got.tables.len(), want.tables.len(), "{}", q.name);
+        for (a, b) in got.tables.iter().zip(&want.tables) {
+            if let Some(d) = diff_tables(a, b, 1e-9) {
+                panic!("{}: {}", q.name, d);
+            }
+        }
+    }
+}
+
+/// Windowed runtimes accept batches too, rolling windows mid-batch.
+#[test]
+fn windowed_runtime_batches_roll_windows() {
+    let recs = records(3_000);
+    let c = compiled("SELECT COUNT GROUPBY srcip", CompileOptions::default());
+    let mut single = perfq_core::WindowedRuntime::new(c.clone(), Nanos::from_millis(100));
+    let mut batched = perfq_core::WindowedRuntime::new(c, Nanos::from_millis(100));
+    for r in &recs {
+        single.process_record(r);
+    }
+    for part in recs.chunks(64) {
+        batched.process_batch(part);
+    }
+    let a = single.finish();
+    let b = batched.finish();
+    assert_eq!(a.len(), b.len());
+    assert!(a.len() > 1, "trace must span multiple windows");
+    for (wa, wb) in a.iter().zip(&b) {
+        assert_eq!(wa.records, wb.records);
+        assert_eq!(wa.results, wb.results);
+    }
+}

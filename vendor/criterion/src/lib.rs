@@ -1,0 +1,312 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-harness API surface the workspace uses
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotations, `black_box`) over plain wall-clock timing. Two environment
+//! knobs support regression tracking without criterion's report machinery:
+//!
+//! * `PERFQ_BENCH_SMOKE=<n>` — fixed-iteration mode: 1 warmup + `n` timed
+//!   iterations per benchmark (default 5 when set without a number). Fast and
+//!   stable enough for CI smoke comparisons.
+//! * `PERFQ_BENCH_JSON=<path>` — write every result as a JSON array of
+//!   `{"bench", "ns_per_iter", "elems_per_sec"}` objects to `path`.
+//!
+//! A positional command-line argument filters benchmarks by substring of
+//! their `group/name` id, mirroring criterion's CLI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    #[must_use]
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// One measured benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Elements per second (when the group declared element throughput).
+    pub elems_per_sec: Option<f64>,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke_iters: Option<u32>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let smoke_iters = std::env::var("PERFQ_BENCH_SMOKE")
+            .ok()
+            .map(|v| v.parse().ok().filter(|n| *n >= 1).unwrap_or(5));
+        Criterion {
+            filter,
+            smoke_iters,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Write results to `PERFQ_BENCH_JSON` if requested (called by
+    /// `criterion_main!`).
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("PERFQ_BENCH_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            let eps = r
+                .elems_per_sec
+                .map_or("null".to_string(), |v| format!("{v:.1}"));
+            out.push_str(&format!(
+                "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"elems_per_sec\": {}}}{}\n",
+                r.id, r.ns_per_iter, eps, sep
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()))
+            .unwrap_or_else(|e| eprintln!("PERFQ_BENCH_JSON write failed: {e}"));
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work rate for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            smoke_iters: self.criterion.smoke_iters,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        let ns = bencher.median_ns;
+        let elems_per_sec = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => Some(n as f64 * 1e9 / ns),
+            _ => None,
+        };
+        match elems_per_sec {
+            Some(eps) => println!(
+                "bench: {id:<48} {:>12.1} ns/iter  {:>10} elem/s",
+                ns,
+                si(eps)
+            ),
+            None => println!("bench: {id:<48} {:>12.1} ns/iter", ns),
+        }
+        self.criterion.results.push(BenchResult {
+            id,
+            ns_per_iter: ns,
+            elems_per_sec,
+        });
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Close the group (report-side no-op).
+    pub fn finish(self) {}
+}
+
+/// Runs and times a benchmark routine.
+pub struct Bencher {
+    smoke_iters: Option<u32>,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut samples: Vec<f64> = Vec::new();
+        if let Some(n) = self.smoke_iters {
+            black_box(routine()); // warmup
+            for _ in 0..n {
+                let t = Instant::now();
+                black_box(routine());
+                samples.push(t.elapsed().as_nanos() as f64);
+            }
+        } else {
+            // Warm up for ~300 ms, then sample for ~1.5 s (at least 5 runs).
+            let warm_until = Instant::now() + Duration::from_millis(300);
+            while Instant::now() < warm_until {
+                black_box(routine());
+            }
+            let sample_until = Instant::now() + Duration::from_millis(1500);
+            while samples.len() < 5 || Instant::now() < sample_until {
+                let t = Instant::now();
+                black_box(routine());
+                samples.push(t.elapsed().as_nanos() as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Declare a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_measures_and_reports_throughput() {
+        std::env::set_var("PERFQ_BENCH_SMOKE", "3");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1000));
+            g.bench_function("work", |b| {
+                b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+            });
+            g.finish();
+        }
+        std::env::remove_var("PERFQ_BENCH_SMOKE");
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "g/work");
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.elems_per_sec.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        std::env::set_var("PERFQ_BENCH_SMOKE", "1");
+        let mut c = Criterion {
+            filter: Some("only_this".into()),
+            ..Criterion::default()
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("only_this", |b| b.iter(|| black_box(1)));
+            g.bench_function("not_that", |b| b.iter(|| black_box(2)));
+            g.finish();
+        }
+        std::env::remove_var("PERFQ_BENCH_SMOKE");
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/only_this");
+    }
+}
