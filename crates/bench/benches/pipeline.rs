@@ -3,7 +3,7 @@
 //! the full query dataplane.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use perfq_core::{compile_query, Runtime};
+use perfq_core::{compile_query, Runtime, ShardedRuntime};
 use perfq_lang::fig2;
 use perfq_switch::{Network, NetworkConfig, OutputQueue, QueueRecord};
 use perfq_trace::{SyntheticTrace, TraceConfig};
@@ -96,5 +96,43 @@ fn bench_runtime_batched(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queue, bench_network, bench_runtime, bench_runtime_batched);
+/// The sharded multi-core dataplane at 4 shards: router + SPSC hand-off +
+/// 4 worker runtimes + merge-on-drain, end to end per iteration. On a
+/// multi-core box the workers run in parallel and this scales past the
+/// single-stream numbers; on a single-core runner it instead measures the
+/// full sharding overhead (routing, queue locks, context switches), which
+/// the BENCH guard tracks so the overhead can't silently grow.
+fn bench_runtime_sharded(c: &mut Criterion) {
+    let records = small_records(20_000);
+    // Fixed at 4 shards: the BENCH_pipeline.json guard entries are
+    // calibrated for this configuration (a different count would compare
+    // apples to oranges against the committed baseline).
+    let shards: usize = 4;
+    let mut group = c.benchmark_group("query_runtime_sharded");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for q in [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC] {
+        group.bench_function(q.name, |b| {
+            let compiled =
+                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+            b.iter(|| {
+                let mut sh = ShardedRuntime::new(compiled.clone(), shards);
+                for chunk in records.chunks(256) {
+                    sh.process_batch(black_box(chunk));
+                }
+                let rt = sh.finish();
+                black_box(rt.records())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_network,
+    bench_runtime,
+    bench_runtime_batched,
+    bench_runtime_sharded
+);
 criterion_main!(benches);

@@ -72,6 +72,27 @@
 //! (2.2–3.2× records/sec on the Fig. 2 benchmark queries);
 //! `scripts/bench_smoke.sh` guards it against regression.
 //!
+//! # Sharded execution
+//!
+//! [`ShardedRuntime`] scales the engine past one core by key-hash
+//! partitioning the record stream: each of N worker shards owns a private
+//! flat plan and its own kvstore shard, fed over fixed-capacity SPSC queues
+//! (`perfq_switch::spsc`; `Network::run_sharded` is the producer half), and
+//! the drain merges per-shard fold state through the §3.2 merge machinery —
+//! the same algebra that reconciles one flow observed at many switches
+//! reconciles one key processed on many cores. The shard is a **pure
+//! function of the group key** ([`ShardSpec`]): a key never lands on two
+//! shards, so every fold class — additive, constant-A/EWMA, windowed with
+//! replay aux, non-linear epoch folds — streams exactly as it would in the
+//! single-stream engine. [`ShardSpec::is_exact`] audits this statically
+//! (all Fig. 2 programs pass); the differential suite
+//! (`tests/shard_equivalence.rs`) pins sharded output bit-identical to
+//! [`Runtime::process_record`] and [`Runtime::process_batch`] at 1/2/4/8
+//! shards, and a property suite fuzzes the partitioning invariant. The one
+//! stream-order exception is bounded capture buffers — when a selection
+//! overflows its capture limit the retained sample is shard-biased, though
+//! totals and row counts stay exact (see [`sharded`] for the full caveat).
+//!
 //! # Example
 //!
 //! ```
@@ -99,6 +120,7 @@ pub mod oracle;
 mod plan;
 pub mod result;
 pub mod runtime;
+pub mod sharded;
 pub mod windows;
 
 pub use compiler::{compile_program, CompileError, CompileOptions, CompiledProgram, StorePlan};
@@ -106,6 +128,7 @@ pub use foldops::{FoldOps, FoldState};
 pub use oracle::Oracle;
 pub use result::{diff_tables, ResultRow, ResultSet, ResultTable};
 pub use runtime::Runtime;
+pub use sharded::{ShardRouter, ShardSpec, ShardedRuntime};
 pub use windows::{WindowResult, WindowedRuntime};
 
 use perfq_lang::{LangError, Value};

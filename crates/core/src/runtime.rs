@@ -271,6 +271,54 @@ impl Runtime {
         self.finished = true;
     }
 
+    /// Merge another **finished** runtime of the same compiled program into
+    /// this one — the drain step of the sharded dataplane, where each worker
+    /// core's private runtime collapses into one for collection.
+    ///
+    /// Per-query stores merge through the fold merge machinery
+    /// (`SplitStore::absorb_store`), capture buffers concatenate (the shared
+    /// capture limit still bounds retained rows; totals always sum), and
+    /// record counts add. Exact whenever the two runtimes processed
+    /// key-disjoint partitions of one stream for every non-order-free store
+    /// — the invariant `ShardedRuntime`'s key-hash partitioning provides.
+    /// Bounded captures are the one stream-order exception: when a
+    /// selection matches more rows than the capture limit, the retained
+    /// rows are `self`'s prefix then `other`'s (not the global stream's
+    /// first `limit`) — totals and row counts still match the
+    /// single-stream engine exactly (see the capture caveat in
+    /// [`crate::sharded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either runtime has not been [`Runtime::finish`]ed, or if
+    /// the programs' shapes differ.
+    pub fn absorb_finished(&mut self, other: Runtime) {
+        assert!(
+            self.finished && other.finished,
+            "absorb_finished requires both runtimes finished"
+        );
+        assert_eq!(
+            self.compiled.program.queries.len(),
+            other.compiled.program.queries.len(),
+            "runtimes must run the same program"
+        );
+        self.records += other.records;
+        for (mine, theirs) in self.stores.iter_mut().zip(other.stores) {
+            match (mine.as_mut(), theirs) {
+                (Some(a), Some(b)) => a.absorb_store(b),
+                (None, None) => {}
+                _ => unreachable!("same program implies same store layout"),
+            }
+        }
+        for (mine, theirs) in self.captures.iter_mut().zip(other.captures) {
+            if let (Some(a), Some(b)) = (mine.as_mut(), theirs) {
+                a.total += b.total;
+                let room = a.limit.saturating_sub(a.rows.len());
+                a.rows.extend(b.rows.into_iter().take(room));
+            }
+        }
+    }
+
     /// Pull every query's final table. Call after [`Runtime::finish`].
     #[must_use]
     pub fn collect(&self) -> ResultSet {

@@ -160,6 +160,81 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
         }
     }
 
+    /// Absorb a whole standing entry from **another** backing store — the
+    /// merge-on-drain step of the sharded dataplane, where per-shard stores
+    /// collapse into one result store. Unlike [`BackingStore::absorb`]
+    /// (which absorbs evictions in temporal order from one stream), shard
+    /// entries cover *interleaved* time ranges, so:
+    ///
+    /// * **merge** — `merge_fn` reconciles the values; the interval becomes
+    ///   the union (`min(first_seen)`, `max(last_seen)`). Exact whenever the
+    ///   fold is additive or the key was confined to one shard (the sharded
+    ///   runtime's key-hash partitioning guarantees the latter for every
+    ///   store whose key determines the shard);
+    /// * **overwrite** — the temporally-latest residency wins
+    ///   (`last_seen`), matching single-stream semantics where the final
+    ///   flush of the key's only shard holds the current value;
+    /// * **epochs** — epoch lists concatenate and re-sort by interval, so a
+    ///   key split across shards is marked invalid (≥ 2 epochs) exactly
+    ///   like a key with two cache residencies — no merge function exists.
+    pub fn absorb_entry(
+        &mut self,
+        key: K,
+        entry: BackingEntry<V>,
+        merge_fn: impl Fn(&mut V, V),
+    ) {
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(entry);
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let existing = slot.into_mut();
+                existing.writes += entry.writes;
+                match self.mode {
+                    MergeMode::Merge => {
+                        let standing = existing.epochs.last_mut().expect("≥1 epoch");
+                        for epoch in entry.epochs {
+                            merge_fn(&mut standing.value, epoch.value);
+                            standing.first_seen = standing.first_seen.min(epoch.first_seen);
+                            standing.last_seen = standing.last_seen.max(epoch.last_seen);
+                        }
+                    }
+                    MergeMode::Overwrite => {
+                        let standing = existing.epochs.last_mut().expect("≥1 epoch");
+                        // Interval start unions over every residency — also
+                        // the ones whose (stale) values are skipped —
+                        // matching absorb()'s unconditional min.
+                        let mut first = standing.first_seen;
+                        for epoch in entry.epochs {
+                            first = first.min(epoch.first_seen);
+                            if epoch.last_seen > standing.last_seen {
+                                *standing = epoch;
+                            }
+                        }
+                        standing.first_seen = first;
+                    }
+                    MergeMode::Epochs => {
+                        existing.epochs.extend(entry.epochs);
+                        existing
+                            .epochs
+                            .sort_by_key(|e| (e.first_seen, e.last_seen));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain `other` into this store via [`BackingStore::absorb_entry`].
+    /// Iteration order over `other` is immaterial: entry absorption is
+    /// keyed, and per-key combination is order-normalized (interval union /
+    /// latest-residency / sorted epochs), so the drain is deterministic.
+    pub fn merge_from(&mut self, other: BackingStore<K, V>, merge_fn: impl Fn(&mut V, V)) {
+        debug_assert_eq!(self.mode, other.mode, "stores must share a merge mode");
+        for (key, entry) in other.entries {
+            self.absorb_entry(key, entry, &merge_fn);
+        }
+    }
+
     /// Look up a key's standing record.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<&BackingEntry<V>> {
@@ -255,6 +330,57 @@ mod tests {
         let b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Epochs);
         assert_eq!(b.accuracy(), 1.0);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn absorb_entry_merges_values_and_intervals() {
+        let mut a: BackingStore<u64, u64> = BackingStore::new(MergeMode::Merge);
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Merge);
+        a.absorb(1, 10, Nanos(5), Nanos(20), add);
+        b.absorb(1, 7, Nanos(0), Nanos(9), add);
+        b.absorb(2, 3, Nanos(1), Nanos(2), add);
+        a.merge_from(b, add);
+        let e = a.get(&1).unwrap();
+        assert_eq!(*e.value().unwrap(), 17);
+        // Interval is the union even though the incoming entry is older.
+        assert_eq!(e.epochs[0].first_seen, Nanos(0));
+        assert_eq!(e.epochs[0].last_seen, Nanos(20));
+        assert_eq!(e.writes, 2);
+        assert_eq!(*a.get(&2).unwrap().value().unwrap(), 3);
+    }
+
+    #[test]
+    fn absorb_entry_overwrite_latest_residency_wins() {
+        let mut a: BackingStore<u64, u64> = BackingStore::new(MergeMode::Overwrite);
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Overwrite);
+        a.absorb(1, 100, Nanos(5), Nanos(50), add);
+        b.absorb(1, 200, Nanos(0), Nanos(30), add); // older residency
+        a.merge_from(b, add);
+        let e = a.get(&1).unwrap();
+        assert_eq!(*e.value().unwrap(), 100);
+        // A skipped (stale) residency still contributes its interval start,
+        // exactly as single-stream absorb() would have.
+        assert_eq!(e.epochs[0].first_seen, Nanos(0));
+        let mut c: BackingStore<u64, u64> = BackingStore::new(MergeMode::Overwrite);
+        c.absorb(1, 300, Nanos(60), Nanos(90), add); // newer residency
+        a.merge_from(c, add);
+        let e = a.get(&1).unwrap();
+        assert_eq!(*e.value().unwrap(), 300);
+        assert_eq!(e.epochs[0].first_seen, Nanos(0), "interval start preserved");
+    }
+
+    #[test]
+    fn absorb_entry_epochs_concatenate_in_time_order() {
+        let mut a: BackingStore<u64, u64> = BackingStore::new(MergeMode::Epochs);
+        let mut b: BackingStore<u64, u64> = BackingStore::new(MergeMode::Epochs);
+        a.absorb(1, 5, Nanos(10), Nanos(20), add);
+        b.absorb(1, 9, Nanos(0), Nanos(5), add);
+        a.merge_from(b, add);
+        let e = a.get(&1).unwrap();
+        assert!(!e.is_valid(), "a key split across stores has no single value");
+        assert_eq!(e.epochs.len(), 2);
+        assert_eq!(e.epochs[0].value, 9, "epochs sorted by interval");
+        assert_eq!(e.epochs[1].value, 5);
     }
 
     #[test]

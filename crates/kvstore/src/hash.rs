@@ -105,6 +105,30 @@ pub fn hash_key<K: Hash>(seed: u64, key: &K) -> u64 {
     h.finish()
 }
 
+/// The shard function of the multi-core dataplane: map a group key (as its
+/// canonical `i64` key words) to one of `shards` shards.
+///
+/// This is deliberately a free function over raw key words rather than a
+/// method on a store: the *producer* (the network event loop) computes it
+/// per record before any store is touched, and tests assert the sharding
+/// invariant — the result depends only on `seed`, the word sequence and
+/// `shards`, never on process state — by calling the very same function.
+/// The words are hashed as a length-prefixed sequence so `[1]` and `[1, 0]`
+/// land independently, mirroring `InlineKey`'s canonical-form equality.
+#[must_use]
+pub fn shard_of_words(seed: u64, words: &[i64], shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    if shards == 1 {
+        return 0;
+    }
+    let mut h = SeededHasher::new(seed);
+    h.write_usize(words.len());
+    for w in words {
+        h.write_i64(*w);
+    }
+    (h.finish() % shards as u64) as usize
+}
+
 /// [`std::hash::BuildHasher`] for interior hash maps (backing store, LRU
 /// index): deterministic and much faster than SipHash for the short integer
 /// keys this crate stores. Not used where placement models hardware — the
@@ -157,6 +181,37 @@ mod tests {
         for (i, c) in counts.iter().enumerate() {
             let dev = (*c as f64 - expect).abs() / expect;
             assert!(dev < 0.2, "bucket {i} has {c} (> 20% off uniform)");
+        }
+    }
+
+    #[test]
+    fn shard_of_words_is_pure_and_balanced() {
+        // Pure: same inputs, same shard — across calls and irrespective of
+        // any other hashing activity.
+        for shards in [1usize, 2, 4, 8] {
+            for k in 0i64..50 {
+                let a = shard_of_words(9, &[k, k + 1], shards);
+                let b = shard_of_words(9, &[k, k + 1], shards);
+                assert_eq!(a, b);
+                assert!(a < shards);
+            }
+        }
+        // Length matters: a zero-padded key must not collide with its prefix.
+        assert_ne!(
+            shard_of_words(9, &[1], 1 << 30),
+            shard_of_words(9, &[1, 0], 1 << 30)
+        );
+        // Balanced-ish over many keys.
+        let shards = 4usize;
+        let mut counts = vec![0usize; shards];
+        for k in 0i64..4000 {
+            counts[shard_of_words(5, &[k], shards)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as f64 - 1000.0).abs() / 1000.0 < 0.2,
+                "shard {i} has {c} of 4000"
+            );
         }
     }
 

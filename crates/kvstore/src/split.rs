@@ -131,6 +131,29 @@ impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
         }
     }
 
+    /// Drain another store of the same configuration into this one — the
+    /// merge-on-drain step of the sharded dataplane, where each worker
+    /// core's private store shard collapses into one result store.
+    ///
+    /// Both caches are flushed first (the backing stores alone hold the
+    /// truth, §3.2), then `other`'s backing entries are absorbed through
+    /// this store's fold merge machinery
+    /// ([`crate::BackingStore::absorb_entry`]) and its statistics are
+    /// summed. After the call, `self` reads exactly like a store that
+    /// observed both input streams — bit-identical whenever every key was
+    /// confined to one of the two stores (the sharded runtime's partitioning
+    /// invariant) or the fold merge is order-free (additive folds).
+    pub fn absorb_store(&mut self, mut other: SplitStore<K, O>) {
+        self.flush();
+        other.flush();
+        let ops = &self.ops;
+        self.backing
+            .merge_from(other.backing, |standing, evicted| {
+                ops.merge(standing, evicted);
+            });
+        self.stats.absorb(&other.stats);
+    }
+
     /// Run counters.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
@@ -393,6 +416,28 @@ mod tests {
         s.observe(1, &(), Nanos(200));
         s.flush();
         assert_eq!(*s.result(&1).unwrap().value().unwrap(), 2);
+    }
+
+    #[test]
+    fn absorb_store_merges_disjoint_and_shared_keys() {
+        // Two shards with churn: shared keys sum, disjoint keys carry over,
+        // stats add up.
+        let mut a = counter_store(2);
+        let mut b = counter_store(2);
+        for (i, k) in [1u64, 2, 3, 1, 2, 3].iter().enumerate() {
+            a.observe(*k, &(), Nanos(i as u64));
+        }
+        for (i, k) in [3u64, 4, 3, 4, 3].iter().enumerate() {
+            b.observe(*k, &(), Nanos(100 + i as u64));
+        }
+        let (pa, pb) = (a.stats().packets, b.stats().packets);
+        a.absorb_store(b);
+        assert_eq!(*a.result(&1).unwrap().value().unwrap(), 2);
+        assert_eq!(*a.result(&2).unwrap().value().unwrap(), 2);
+        assert_eq!(*a.result(&3).unwrap().value().unwrap(), 5);
+        assert_eq!(*a.result(&4).unwrap().value().unwrap(), 2);
+        assert_eq!(a.stats().packets, pa + pb);
+        assert_eq!(a.distinct_keys(), 4);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`switch`] — per-port queues behind a forwarding decision;
 //! * [`network`] — single-switch, linear-chain and leaf–spine topologies
 //!   with event-driven, analytically-exact timing;
+//! * [`spsc`] — fixed-capacity single-producer/single-consumer record
+//!   queues, the transport between the network event loop and the sharded
+//!   multi-core dataplane (`Network::run_sharded` is the producer half);
 //! * [`alu`] — the stateful-ALU feasibility model (§3.3): audits compiled
 //!   folds against a Banzai-like per-cycle resource budget.
 //!
@@ -35,6 +38,7 @@ pub mod alu;
 pub mod network;
 pub mod queue;
 pub mod record;
+pub mod spsc;
 pub mod switch;
 
 pub use alu::{AluReport, AluSpec, AluViolation};

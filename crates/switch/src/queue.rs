@@ -165,6 +165,16 @@ impl OutputQueue {
     pub fn horizon(&self) -> Nanos {
         self.last_departure
     }
+
+    /// Return the queue to its just-built state: no inflight packets, an
+    /// idle port, and zeroed statistics. [`crate::Network::run`] calls this
+    /// at the start of every run so a reused network behaves identically to
+    /// a fresh one.
+    pub fn reset(&mut self) {
+        self.inflight.clear();
+        self.last_departure = Nanos::ZERO;
+        self.stats = QueueStats::default();
+    }
 }
 
 #[cfg(test)]

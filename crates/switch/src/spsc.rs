@@ -1,0 +1,291 @@
+//! Fixed-capacity single-producer / single-consumer record queues.
+//!
+//! The sharded dataplane pins one worker core per key-hash shard; the
+//! producer (the network event loop) routes each [`crate::QueueRecord`] to
+//! its shard's queue. Hardware telemetry pipelines use exactly this shape —
+//! a bounded ring per consumer with backpressure — so the queue here is
+//! deliberately *fixed capacity*: when a shard falls behind, the producer
+//! blocks rather than buffering unboundedly (§3.2's eviction-rate argument
+//! assumes the collection path keeps up on average, not at every instant).
+//!
+//! The implementation is a mutex-guarded ring with condvar wakeups rather
+//! than a lock-free ring (the workspace forbids `unsafe`); both sides move
+//! records in **batches**, so the lock is taken once per few hundred records
+//! and the synchronization cost stays far below the per-record processing
+//! cost it feeds.
+//!
+//! Dropping the [`Sender`] closes the channel: the consumer drains what
+//! remains and then observes end-of-stream. Dropping the [`Receiver`] makes
+//! further sends fail fast with [`SendError`], so a crashed worker
+//! backpressures into an error instead of a deadlock.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned when sending into a channel whose receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spsc receiver disconnected")
+    }
+}
+
+impl std::error::Error for SendError {}
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    /// Producer waits here while the ring is full.
+    not_full: Condvar,
+    /// Consumer waits here while the ring is empty.
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    ring: VecDeque<T>,
+    capacity: usize,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+/// The producing half of a bounded SPSC channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half of a bounded SPSC channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded SPSC channel holding at most `capacity` elements.
+#[must_use]
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "spsc capacity must be positive");
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send one element, blocking while the ring is full.
+    pub fn send(&self, item: T) -> Result<(), SendError> {
+        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError);
+            }
+            if state.ring.len() < state.capacity {
+                state.ring.push_back(item);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .expect("spsc lock poisoned");
+        }
+    }
+
+    /// Drain `batch` into the ring, blocking for space as needed. The batch
+    /// is emptied on success (elements are moved out in order); on a
+    /// disconnected receiver the unsent remainder stays in `batch`.
+    ///
+    /// One lock acquisition moves as many elements as fit, so the per-record
+    /// synchronization cost is `O(1/batch_len)` locks.
+    pub fn send_all(&self, batch: &mut Vec<T>) -> Result<(), SendError> {
+        let mut sent_any = false;
+        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
+        while !batch.is_empty() {
+            if !state.receiver_alive {
+                return Err(SendError);
+            }
+            let space = state.capacity - state.ring.len();
+            if space == 0 {
+                if sent_any {
+                    self.shared.not_empty.notify_one();
+                    sent_any = false;
+                }
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .expect("spsc lock poisoned");
+                continue;
+            }
+            let take = space.min(batch.len());
+            state.ring.extend(batch.drain(..take));
+            sent_any = true;
+        }
+        drop(state);
+        if sent_any {
+            self.shared.not_empty.notify_one();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
+        state.sender_alive = false;
+        drop(state);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive up to `max` elements into `out` (appended), blocking until at
+    /// least one element is available or the channel is closed and drained.
+    /// Returns the number received; 0 means end-of-stream (so `max` must be
+    /// positive — a zero `max` could return 0 on an open channel and fake
+    /// end-of-stream to the caller).
+    pub fn recv_many(&self, out: &mut Vec<T>, max: usize) -> usize {
+        assert!(max > 0, "recv_many needs a positive max");
+        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
+        loop {
+            if !state.ring.is_empty() {
+                let take = max.min(state.ring.len());
+                out.extend(state.ring.drain(..take));
+                drop(state);
+                self.shared.not_full.notify_one();
+                return take;
+            }
+            if !state.sender_alive {
+                return 0;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("spsc lock poisoned");
+        }
+    }
+
+    /// Receive one element, or `None` at end-of-stream.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
+        loop {
+            if let Some(item) = state.ring.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if !state.sender_alive {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("spsc lock poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
+        state.receiver_alive = false;
+        drop(state);
+        self.shared.not_full.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = channel::<u64>(4);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while rx.recv_many(&mut got, 3) > 0 {}
+            got
+        });
+        let mut batch: Vec<u64> = (0..1000).collect();
+        tx.send_all(&mut batch).unwrap();
+        assert!(batch.is_empty());
+        drop(tx);
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn capacity_backpressures_without_loss() {
+        // Tiny ring, slow consumer: every element still arrives exactly once.
+        let (tx, rx) = channel::<u64>(2);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                let n = rx.recv_many(&mut got, 1);
+                if n == 0 {
+                    break;
+                }
+                thread::yield_now();
+            }
+            got
+        });
+        for i in 0..500 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sender_drop_closes_stream() {
+        let (tx, rx) = channel::<u64>(8);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), None);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_many(&mut buf, 16), 0);
+    }
+
+    #[test]
+    fn receiver_drop_errors_sends() {
+        let (tx, rx) = channel::<u64>(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError));
+        let mut batch = vec![1, 2, 3];
+        assert_eq!(tx.send_all(&mut batch), Err(SendError));
+    }
+
+    #[test]
+    fn send_all_larger_than_capacity_interleaves() {
+        let (tx, rx) = channel::<u64>(3);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while rx.recv_many(&mut got, 2) > 0 {}
+            got
+        });
+        let mut batch: Vec<u64> = (0..100).collect();
+        tx.send_all(&mut batch).unwrap();
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<u64>>());
+    }
+}

@@ -123,6 +123,14 @@ impl Switch {
     pub fn stats(&self) -> Vec<(u32, QueueStats)> {
         self.queues.iter().map(|q| (q.qid(), q.stats())).collect()
     }
+
+    /// Reset every queue to its just-built state (see
+    /// [`crate::queue::OutputQueue::reset`]).
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.reset();
+        }
+    }
 }
 
 #[cfg(test)]

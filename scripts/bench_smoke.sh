@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Throughput regression smoke: run the pipeline benchmark in fixed-iteration
-# mode and compare query_runtime records/sec against the committed baseline
-# (BENCH_pipeline.json: the conservative "guard" block, or "after" when no
-# guard exists). Fails when any benchmark regresses more than the allowed
-# fraction (default 10%, override with BENCH_SMOKE_TOLERANCE=0.15 etc.).
+# Throughput regression smoke: first re-prove the engines equivalent (a fast
+# benchmark that computes the wrong answer is worthless), then run the
+# pipeline benchmark in fixed-iteration mode and compare query_runtime
+# records/sec against the committed baseline (BENCH_pipeline.json: the
+# conservative "guard" block, or "after" when no guard exists). Fails when
+# any benchmark regresses more than the allowed fraction (default 10%,
+# override with BENCH_SMOKE_TOLERANCE=0.15 etc.).
 #
 # Usage: scripts/bench_smoke.sh
 set -euo pipefail
@@ -13,6 +15,12 @@ cd "$(dirname "$0")/.."
 TOLERANCE="${BENCH_SMOKE_TOLERANCE:-0.10}"
 OUT="$(mktemp /tmp/perfq_bench_smoke.XXXXXX.json)"
 trap 'rm -f "$OUT"' EXIT
+
+echo "== equivalence gate: batched + sharded engines vs single-stream =="
+cargo test --release -q \
+    --test batch_equivalence \
+    --test shard_equivalence \
+    --test shard_property
 
 echo "== building release benches =="
 cargo build --release -p perfq-bench --benches

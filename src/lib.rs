@@ -56,7 +56,7 @@ pub use perfq_trace as trace;
 pub mod prelude {
     pub use perfq_core::{
         compile_program, compile_query, CompileOptions, CompiledProgram, Oracle, ResultSet,
-        ResultTable, Runtime,
+        ResultTable, Runtime, ShardRouter, ShardSpec, ShardedRuntime,
     };
     pub use perfq_kvstore::{CacheGeometry, EvictionPolicy, SplitStore};
     pub use perfq_lang::{compile as compile_source, fig2, Value};
