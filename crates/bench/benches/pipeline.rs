@@ -4,7 +4,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use perfq_core::{compile_query, Runtime, ShardedRuntime};
+use perfq_kvstore::{CacheGeometry, CounterOps, EvictionPolicy, SplitStore};
 use perfq_lang::fig2;
+use perfq_packet::{Nanos, Packet};
 use perfq_switch::{Network, NetworkConfig, OutputQueue, QueueRecord};
 use perfq_trace::{SyntheticTrace, TraceConfig};
 
@@ -28,9 +30,9 @@ fn bench_queue(c: &mut Criterion) {
                 if q.offer(black_box(*p), p.arrival, 0).is_some() {
                     n += 1;
                 }
-                n += q.release(p.arrival).len();
+                q.release(p.arrival, |_| n += 1);
             }
-            n += q.flush().len();
+            q.flush(|_| n += 1);
             black_box(n)
         });
     });
@@ -127,12 +129,136 @@ fn bench_runtime_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end replay: packets → network event loop (queues, routing,
+/// release) → query runtime, per iteration — the pipeline every example and
+/// the Fig. 5 sweep actually runs. Unlike `query_runtime` (which consumes
+/// pre-materialized records), this measures the switch substrate and the
+/// execution engine together, so ingest-path allocations and queue-model
+/// scans show up here.
+///
+/// Three consumer variants per Fig. 2 query:
+/// * `end_to_end` — per-record streaming (`Runtime::process_record`);
+/// * `end_to_end_batched` — 256-record batches streamed straight from
+///   `Network::run_batched` into `Runtime::process_batch` (no intermediate
+///   record collection);
+/// * `end_to_end_sharded` — the 4-shard dataplane fed by
+///   `Network::run_sharded`.
+fn bench_end_to_end(c: &mut Criterion) {
+    let packets: Vec<Packet> = SyntheticTrace::new(TraceConfig::test_small(7))
+        .take(20_000)
+        .collect();
+    let mut net = Network::new(NetworkConfig::default());
+    let n_records = net.run_collect(packets.iter().copied()).len() as u64;
+    let queries = [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC];
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.throughput(Throughput::Elements(n_records));
+    for q in queries {
+        group.bench_function(q.name, |b| {
+            let compiled =
+                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+            b.iter(|| {
+                let mut rt = Runtime::new(compiled.clone());
+                net.run(packets.iter().copied(), |r| rt.process_record(&r));
+                rt.finish();
+                black_box(rt.records())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("end_to_end_batched");
+    group.throughput(Throughput::Elements(n_records));
+    for q in queries {
+        group.bench_function(q.name, |b| {
+            let compiled =
+                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+            b.iter(|| {
+                let mut rt = Runtime::new(compiled.clone());
+                net.run_batched(packets.iter().copied(), 256, |chunk| {
+                    rt.process_batch(chunk);
+                });
+                rt.finish();
+                black_box(rt.records())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("end_to_end_sharded");
+    group.throughput(Throughput::Elements(n_records));
+    for q in queries {
+        group.bench_function(q.name, |b| {
+            let compiled =
+                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+            b.iter(|| {
+                let mut sh = ShardedRuntime::new(compiled.clone(), 4);
+                let (mut router, senders) = sh.take_feeds();
+                net.run_sharded(packets.iter().copied(), |r| router.route(r), senders, 256);
+                let rt = sh.finish();
+                black_box(rt.records())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The Fig. 5 experiment kernel: `SELECT COUNT GROUPBY 5tuple` through a
+/// split store, swept over the three paper geometries × three eviction
+/// policies at a fixed capacity. This is the loop the `fig5`/`ablation`
+/// binaries spend their time in; timing it here makes the eviction-sweep
+/// cost a guarded quantity so the area/eviction experiments stay tractable
+/// at much larger trace sizes.
+fn bench_fig5_sweep(c: &mut Criterion) {
+    // A key/time stream with enough flows (~2.9k) to pressure a 1k-pair
+    // cache — the sweep's interesting regime (evictions happen, like the
+    // paper's 3.8M-flow trace against 2^16..2^21 pairs).
+    let keys_times: Vec<(u128, Nanos)> = SyntheticTrace::new(TraceConfig::test_small(11))
+        .take(30_000)
+        .map(|p| (p.five_tuple().to_bits(), p.arrival))
+        .collect();
+    let pairs = 1 << 10;
+    let geometries = [
+        CacheGeometry::hash_table(pairs),
+        CacheGeometry::set_associative(pairs, 8),
+        CacheGeometry::fully_associative(pairs),
+    ];
+    let policies = [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Fifo,
+        EvictionPolicy::Random { seed: 7 },
+    ];
+    let mut group = c.benchmark_group("fig5_sweep");
+    group.throughput(Throughput::Elements(
+        (keys_times.len() * geometries.len() * policies.len()) as u64,
+    ));
+    group.bench_function("30k_x_3geom_x_3policy", |b| {
+        b.iter(|| {
+            let mut evictions = 0u64;
+            for geometry in geometries {
+                for policy in policies {
+                    let mut store: SplitStore<u128, CounterOps> =
+                        SplitStore::new(geometry, policy, 0xf15, CounterOps);
+                    for (k, t) in &keys_times {
+                        store.observe(black_box(*k), &(), *t);
+                    }
+                    evictions += store.stats().evictions;
+                }
+            }
+            black_box(evictions)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_queue,
     bench_network,
     bench_runtime,
     bench_runtime_batched,
-    bench_runtime_sharded
+    bench_runtime_sharded,
+    bench_end_to_end,
+    bench_fig5_sweep
 );
 criterion_main!(benches);

@@ -132,9 +132,10 @@ impl OutputQueue {
         None
     }
 
-    /// Release departure records whose `tout ≤ now`, with exact `qout`.
-    pub fn release(&mut self, now: Nanos) -> Vec<QueueRecord> {
-        let mut out = Vec::new();
+    /// Release departure records whose `tout ≤ now`, with exact `qout`,
+    /// handing each to `sink`. Sink-based rather than `Vec`-returning so the
+    /// per-event hot path of `Network::run` allocates nothing per release.
+    pub fn release(&mut self, now: Nanos, mut sink: impl FnMut(QueueRecord)) {
         while let Some(front) = self.inflight.front() {
             let tout = front.record.tout;
             if tout > now {
@@ -149,14 +150,13 @@ impl OutputQueue {
                 .iter()
                 .take_while(|f| f.record.tin < tout)
                 .count() as u32;
-            out.push(rec);
+            sink(rec);
         }
-        out
     }
 
     /// Release everything regardless of time (end of simulation).
-    pub fn flush(&mut self) -> Vec<QueueRecord> {
-        self.release(Nanos::INFINITY)
+    pub fn flush(&mut self, sink: impl FnMut(QueueRecord)) {
+        self.release(Nanos::INFINITY, sink);
     }
 
     /// Departure time of the last accepted packet (next packet's earliest
@@ -187,6 +187,17 @@ mod tests {
         OutputQueue::new(1, 8e9, 4)
     }
 
+    /// Collect-into-Vec shims over the sink API (test convenience).
+    fn release_at(q: &mut OutputQueue, now: Nanos) -> Vec<QueueRecord> {
+        let mut out = Vec::new();
+        q.release(now, |r| out.push(r));
+        out
+    }
+
+    fn flush_all(q: &mut OutputQueue) -> Vec<QueueRecord> {
+        release_at(q, Nanos::INFINITY)
+    }
+
     fn pkt(uniq: u64) -> Packet {
         // payload 946 → wire length 1000 bytes.
         PacketBuilder::tcp().payload_len(946).uniq(uniq).build()
@@ -196,7 +207,7 @@ mod tests {
     fn empty_queue_has_immediate_service() {
         let mut q = queue();
         assert!(q.offer(pkt(1), Nanos(0), 0).is_none());
-        let recs = q.flush();
+        let recs = flush_all(&mut q);
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].tin, Nanos(0));
         assert_eq!(recs[0].tout, Nanos(1000));
@@ -210,7 +221,7 @@ mod tests {
         q.offer(pkt(1), Nanos(0), 0);
         q.offer(pkt(2), Nanos(100), 0);
         q.offer(pkt(3), Nanos(200), 0);
-        let recs = q.flush();
+        let recs = flush_all(&mut q);
         assert_eq!(recs[0].tout, Nanos(1000));
         assert_eq!(recs[1].tout, Nanos(2000)); // waits for pkt 1
         assert_eq!(recs[2].tout, Nanos(3000));
@@ -229,7 +240,7 @@ mod tests {
         for i in 0..4u64 {
             q.offer(pkt(i), Nanos(0), 0);
         }
-        let recs = q.flush();
+        let recs = flush_all(&mut q);
         for (i, r) in recs.iter().enumerate() {
             assert_eq!(r.delay(), Nanos(1000 * (i as u64 + 1)));
         }
@@ -254,7 +265,7 @@ mod tests {
         q.offer(pkt(1), Nanos(0), 0);
         // Long idle gap: queue fully drains.
         q.offer(pkt(2), Nanos(10_000), 0);
-        let recs = q.flush();
+        let recs = flush_all(&mut q);
         assert_eq!(recs[1].qsize, 0);
         assert_eq!(recs[1].tout, Nanos(11_000));
     }
@@ -264,11 +275,11 @@ mod tests {
         let mut q = queue();
         q.offer(pkt(1), Nanos(0), 0);
         q.offer(pkt(2), Nanos(0), 0);
-        assert!(q.release(Nanos(999)).is_empty());
-        let first = q.release(Nanos(1000));
+        assert!(release_at(&mut q, Nanos(999)).is_empty());
+        let first = release_at(&mut q, Nanos(1000));
         assert_eq!(first.len(), 1);
         assert_eq!(first[0].packet.uniq, 1);
-        let second = q.release(Nanos(5000));
+        let second = release_at(&mut q, Nanos(5000));
         assert_eq!(second.len(), 1);
         assert_eq!(second[0].packet.uniq, 2);
     }
@@ -296,7 +307,7 @@ mod tests {
     fn path_is_extended() {
         let mut q = queue();
         q.offer(pkt(1), Nanos(0), 7);
-        let recs = q.flush();
+        let recs = flush_all(&mut q);
         assert_eq!(recs[0].path, QueueRecord::extend_path(7, 1));
     }
 

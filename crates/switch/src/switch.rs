@@ -100,21 +100,18 @@ impl Switch {
         }
     }
 
-    /// Release departure records up to `now` from all queues.
+    /// Release departure records up to `now` from all queues, straight into
+    /// `sink` (no intermediate collection).
     pub fn release(&mut self, now: Nanos, sink: &mut impl FnMut(QueueRecord)) {
         for q in &mut self.queues {
-            for r in q.release(now) {
-                sink(r);
-            }
+            q.release(now, &mut *sink);
         }
     }
 
     /// Release everything (end of run).
     pub fn flush(&mut self, sink: &mut impl FnMut(QueueRecord)) {
         for q in &mut self.queues {
-            for r in q.flush() {
-                sink(r);
-            }
+            q.flush(&mut *sink);
         }
     }
 
