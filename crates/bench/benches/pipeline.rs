@@ -175,9 +175,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
             b.iter(|| {
                 let mut rt = Runtime::new(compiled.clone());
-                net.run_batched(packets.iter().copied(), 256, |chunk| {
-                    rt.process_batch(chunk);
-                });
+                rt.process_network(&mut net, packets.iter().copied(), 256);
                 rt.finish();
                 black_box(rt.records())
             });

@@ -1,6 +1,8 @@
 //! Decompose per-record dataplane cost: row materialization, key build,
-//! store update, full pipeline. Used to target optimization work; not part
-//! of the figure reproductions.
+//! store update, full pipeline — plus an end-to-end decomposition of the
+//! full replay (trace generation vs switch event loop vs store vs query
+//! execution time shares), so ingest-path regressions are attributable to a
+//! stage rather than a single opaque number.
 //!
 //! ```sh
 //! cargo run --release -p perfq-bench --bin profile_runtime
@@ -107,6 +109,69 @@ fn main() {
             for r in &records {
                 rt.process_record(black_box(r));
             }
+            rt.finish();
+            black_box(rt.records());
+        });
+    }
+
+    // ---- end-to-end decomposition: where does a full replay spend time? --
+    println!("\nend-to-end replay decomposition (packets through Network into the engine):");
+    let packets: Vec<perfq_packet::Packet> =
+        SyntheticTrace::new(TraceConfig::test_small(7)).take(20_000).collect();
+
+    // Stage 1: trace generation alone (regenerated per pass).
+    time("e2e: trace generation", n, || {
+        let mut count = 0usize;
+        for p in SyntheticTrace::new(TraceConfig::test_small(7)).take(20_000) {
+            count += usize::from(p.wire_len > 0);
+        }
+        black_box(count);
+    });
+
+    // Stage 2: the switch substrate (event loop, queues, release path).
+    time("e2e: switch event loop", n, || {
+        let mut count = 0usize;
+        net.run(packets.iter().copied(), |_| count += 1);
+        black_box(count);
+    });
+
+    // Stage 3: switch + split store (5-tuple counter — the kvstore share
+    // without plan compilation or bytecode).
+    time("e2e: switch + counter store", n, || {
+        let mut store: SplitStore<InlineKey, CounterOps> = SplitStore::new(
+            CacheGeometry::set_associative(1 << 16, 8),
+            EvictionPolicy::Lru,
+            1,
+            CounterOps,
+        );
+        let mut row: Vec<Value> = Vec::new();
+        let mut key_buf: Vec<i64> = Vec::new();
+        net.run(packets.iter().copied(), |r| {
+            r.write_row(&mut row);
+            key_buf.clear();
+            for c in [0usize, 1, 2, 3, 4] {
+                key_buf.push(row[c].as_i64());
+            }
+            let now = if r.is_drop() { r.tin } else { r.tout };
+            store.observe(InlineKey::from_slice(&key_buf), &(), now);
+        });
+        black_box(store.stats().packets);
+    });
+
+    // Stage 4: the full pipeline per Fig. 2 query (batched). Exec share =
+    // this minus the switch share minus the store share.
+    for q in [
+        &fig2::PER_FLOW_COUNTERS,
+        &fig2::LATENCY_EWMA,
+        &fig2::TCP_NON_MONOTONIC,
+    ] {
+        let compiled =
+            compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+        time(&format!("e2e: full replay: {}", q.name), n, || {
+            let mut rt = Runtime::new(compiled.clone());
+            net.run_batched(packets.iter().copied(), 256, |chunk| {
+                rt.process_batch(chunk);
+            });
             rt.finish();
             black_box(rt.records());
         });

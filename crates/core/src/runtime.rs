@@ -255,6 +255,26 @@ impl Runtime {
         }
     }
 
+    /// Replay a packet stream through a network straight into this runtime:
+    /// queue records stream from the output queues into the [`ExecPlan`] in
+    /// batches of `batch`, with no intermediate record collection anywhere —
+    /// the network's event heap, route and batch buffers are pooled, the
+    /// queues release into a sink, and the runtime's row/stack buffers are
+    /// reused, so a warmed replay performs zero heap allocations per packet
+    /// (pinned by `tests/alloc_discipline.rs`).
+    ///
+    /// This is the canonical end-to-end entry the examples and the
+    /// `end_to_end` benchmarks use; it is exactly equivalent to collecting
+    /// every record and calling [`Runtime::process_batch`] on the result.
+    pub fn process_network(
+        &mut self,
+        net: &mut perfq_switch::Network,
+        packets: impl Iterator<Item = perfq_packet::Packet>,
+        batch: usize,
+    ) {
+        net.run_batched(packets, batch, |chunk| self.process_batch(chunk));
+    }
+
     /// Periodically evict idle keys so the backing store stays fresh
     /// (§3.2's freshness note). `cutoff` evicts keys idle since before it.
     pub fn refresh_backing(&mut self, cutoff: Nanos) {

@@ -13,8 +13,16 @@
 //!   function can reconcile them (§3.2, "Operations that are not linear in
 //!   state"). Fig. 6's accuracy metric is the fraction of valid keys.
 
+//! The table itself is an open-addressing map (seeded SplitMix hash, linear
+//! probe, tombstone-free backward-shift delete) rather than
+//! `std::collections::HashMap`: absorbing an eviction or a shard drain
+//! touches one contiguous probe run instead of SipHash plus a
+//! control-byte/bucket indirection, which keeps the epoch-absorb and
+//! `absorb_entry` merge paths cache-friendly under the sharded drain — and,
+//! once a key has been seen, re-absorbing it allocates nothing.
+
+use crate::hash::hash_key;
 use perfq_packet::Nanos;
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// How evicted values are absorbed.
@@ -76,14 +84,31 @@ impl<V> BackingEntry<V> {
     }
 }
 
-/// The DRAM-side store: a plain map with merge semantics.
+/// Seed of the store's SplitMix probe hash (the same fixed seed the old
+/// `SeededBuildHasher`-backed map used; the backing store is software-side
+/// state, so — unlike the cache — its placement does not model hardware and
+/// needs no per-store seed).
+const PROBE_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One occupied open-addressing slot.
+#[derive(Debug, Clone)]
+struct TableSlot<K, V> {
+    /// Cached key hash (probe restarts and growth rehash never re-hash keys).
+    hash: u64,
+    key: K,
+    entry: BackingEntry<V>,
+}
+
+/// The DRAM-side store: an open-addressing map with merge semantics.
 ///
 /// The simulator keeps it in-process; the paper's deployment options (switch
 /// CPU memory, scale-out Memcached/Redis) only change *where* the writes go,
 /// and the evaluation consumes the write **rate**, tracked by `StoreStats`.
 #[derive(Debug, Clone)]
 pub struct BackingStore<K, V> {
-    entries: HashMap<K, BackingEntry<V>, crate::hash::SeededBuildHasher>,
+    /// Power-of-two slot array (empty until the first absorb).
+    slots: Vec<Option<TableSlot<K, V>>>,
+    len: usize,
     mode: MergeMode,
 }
 
@@ -92,7 +117,8 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
     #[must_use]
     pub fn new(mode: MergeMode) -> Self {
         BackingStore {
-            entries: HashMap::default(),
+            slots: Vec::new(),
+            len: 0,
             mode,
         }
     }
@@ -106,13 +132,57 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
     /// Number of distinct keys ever written back.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when nothing has been written back.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        debug_assert!(self.slots.len().is_power_of_two());
+        self.slots.len() as u64 - 1
+    }
+
+    /// Locate `key`: `Ok(index)` of its slot, or `Err(index)` of the empty
+    /// slot that terminates its probe run (the insertion point). Requires a
+    /// non-empty table.
+    #[inline]
+    fn find_slot(&self, hash: u64, key: &K) -> Result<usize, usize> {
+        let mask = self.mask();
+        let mut i = (hash & mask) as usize;
+        loop {
+            match &self.slots[i] {
+                None => return Err(i),
+                Some(s) if s.hash == hash && s.key == *key => return Ok(i),
+                Some(_) => i = (i + 1) & mask as usize,
+            }
+        }
+    }
+
+    /// Ensure room for one more occupied slot at ≤ 7/8 load, growing (and
+    /// re-placing every slot by its cached hash) when needed.
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = (0..16).map(|_| None).collect();
+            return;
+        }
+        if (self.len + 1) * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| None).collect());
+        let mask = new_cap as u64 - 1;
+        for slot in old.into_iter().flatten() {
+            let mut i = (slot.hash & mask) as usize;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask as usize;
+            }
+            self.slots[i] = Some(slot);
+        }
     }
 
     /// Absorb an evicted value. `merge_fn` reconciles the evicted value with
@@ -131,17 +201,34 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
             first_seen,
             last_seen,
         };
-        match self.entries.entry(key) {
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(BackingEntry {
-                    epochs: vec![epoch],
-                    writes: 1,
+        let mode = self.mode;
+        if self.slots.is_empty() {
+            self.reserve_one();
+        }
+        let hash = hash_key(PROBE_SEED, &key);
+        match self.find_slot(hash, &key) {
+            Err(_) => {
+                // Grow only on the vacant-insert path (an existing key's
+                // merge never changes the population, so it must never
+                // trigger a rehash), then re-probe: growth moves slots.
+                self.reserve_one();
+                let i = self
+                    .find_slot(hash, &key)
+                    .expect_err("key was vacant before growth");
+                self.slots[i] = Some(TableSlot {
+                    hash,
+                    key,
+                    entry: BackingEntry {
+                        epochs: vec![epoch],
+                        writes: 1,
+                    },
                 });
+                self.len += 1;
             }
-            std::collections::hash_map::Entry::Occupied(slot) => {
-                let existing = slot.into_mut();
+            Ok(i) => {
+                let existing = &mut self.slots[i].as_mut().expect("found slot").entry;
                 existing.writes += 1;
-                match self.mode {
+                match mode {
                     MergeMode::Merge => {
                         let standing = existing.epochs.last_mut().expect("≥1 epoch");
                         merge_fn(&mut standing.value, epoch.value);
@@ -183,14 +270,26 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
         entry: BackingEntry<V>,
         merge_fn: impl Fn(&mut V, V),
     ) {
-        match self.entries.entry(key) {
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(entry);
+        let mode = self.mode;
+        if self.slots.is_empty() {
+            self.reserve_one();
+        }
+        let hash = hash_key(PROBE_SEED, &key);
+        match self.find_slot(hash, &key) {
+            Err(_) => {
+                // As in absorb(): grow on vacant inserts only, then
+                // re-probe against the regrown table.
+                self.reserve_one();
+                let i = self
+                    .find_slot(hash, &key)
+                    .expect_err("key was vacant before growth");
+                self.slots[i] = Some(TableSlot { hash, key, entry });
+                self.len += 1;
             }
-            std::collections::hash_map::Entry::Occupied(slot) => {
-                let existing = slot.into_mut();
+            Ok(i) => {
+                let existing = &mut self.slots[i].as_mut().expect("found slot").entry;
                 existing.writes += entry.writes;
-                match self.mode {
+                match mode {
                     MergeMode::Merge => {
                         let standing = existing.epochs.last_mut().expect("≥1 epoch");
                         for epoch in entry.epochs {
@@ -230,42 +329,83 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
     /// latest-residency / sorted epochs), so the drain is deterministic.
     pub fn merge_from(&mut self, other: BackingStore<K, V>, merge_fn: impl Fn(&mut V, V)) {
         debug_assert_eq!(self.mode, other.mode, "stores must share a merge mode");
-        for (key, entry) in other.entries {
-            self.absorb_entry(key, entry, &merge_fn);
+        for slot in other.slots.into_iter().flatten() {
+            self.absorb_entry(slot.key, slot.entry, &merge_fn);
         }
     }
 
     /// Look up a key's standing record.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<&BackingEntry<V>> {
-        self.entries.get(key)
+        if self.len == 0 {
+            return None;
+        }
+        let hash = hash_key(PROBE_SEED, key);
+        let i = self.find_slot(hash, key).ok()?;
+        Some(&self.slots[i].as_ref().expect("found slot").entry)
+    }
+
+    /// Remove a key's standing record. Deletion is tombstone-free: the probe
+    /// run past the hole is backward-shifted (each displaced slot moves into
+    /// the hole when its home position permits), so later probes stay short
+    /// no matter how many keys have come and gone.
+    pub fn remove(&mut self, key: &K) -> Option<BackingEntry<V>> {
+        if self.len == 0 {
+            return None;
+        }
+        let hash = hash_key(PROBE_SEED, key);
+        let removed_at = self.find_slot(hash, key).ok()?;
+        let removed = self.slots[removed_at].take().expect("found slot");
+        self.len -= 1;
+        let mask = self.mask() as usize;
+        let mut hole = removed_at;
+        let mut i = (removed_at + 1) & mask;
+        while let Some(s) = &self.slots[i] {
+            let home = (s.hash as usize) & mask;
+            // Shift back unless the slot already sits within [home, i)'s
+            // probe run without passing the hole (cyclic distance test).
+            let dist_from_home = i.wrapping_sub(home) & mask;
+            let dist_from_hole = i.wrapping_sub(hole) & mask;
+            if dist_from_home >= dist_from_hole {
+                self.slots[hole] = self.slots[i].take();
+                hole = i;
+            }
+            i = (i + 1) & mask;
+        }
+        Some(removed.entry)
     }
 
     /// Iterate over all records.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &BackingEntry<V>)> {
-        self.entries.iter()
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (&s.key, &s.entry)))
     }
 
     /// Count of valid keys (Fig. 6's numerator).
     #[must_use]
     pub fn valid_keys(&self) -> usize {
-        self.entries.values().filter(|e| e.is_valid()).count()
+        self.iter().filter(|(_, e)| e.is_valid()).count()
     }
 
     /// Fraction of valid keys (Fig. 6's accuracy metric). Returns 1.0 for an
     /// empty store (no keys ⇒ nothing is wrong).
     #[must_use]
     pub fn accuracy(&self) -> f64 {
-        if self.entries.is_empty() {
+        if self.len == 0 {
             1.0
         } else {
-            self.valid_keys() as f64 / self.entries.len() as f64
+            self.valid_keys() as f64 / self.len as f64
         }
     }
 
-    /// Drop all records (start of a new measurement window).
+    /// Drop all records (start of a new measurement window). Keeps the slot
+    /// array's capacity so a reused store re-fills allocation-free.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
     }
 }
 

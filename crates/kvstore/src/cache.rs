@@ -2,10 +2,10 @@
 //!
 //! Two interchangeable implementations sit behind [`SramCache`]:
 //!
-//! * `BucketedCache` — the hardware layout of Fig. 4: `n` hash buckets of
-//!   `m` slots, victim chosen within the bucket. Lookup is a linear probe of
-//!   the (small) bucket, exactly like the parallel tag compare a real cache
-//!   way performs.
+//! * `BucketedCache` — the hardware layout of Fig. 4 in a struct-of-arrays
+//!   memory layout: `n` hash buckets of `m` slots, victim chosen within the
+//!   bucket. A probe is one hash, one tag-word compare, and at most `m` key
+//!   confirms (see the memory-layout sketch below).
 //! * `FullLruCache` — used when `n = 1` (the paper's fully-associative
 //!   configuration). A hash-map index plus an intrusive doubly-linked list
 //!   gives O(1) lookup and true-LRU eviction; a linear scan of 2^18 ways per
@@ -13,6 +13,46 @@
 //!
 //! Both honor the three eviction policies and keep per-entry residency
 //! timestamps (`first_seen`/`last_seen`) for the backing store's epochs.
+//!
+//! # Memory layout (mirrors the Fig. 4 hardware)
+//!
+//! A real cache splits each way into a **tag array** and a **data array**:
+//! a set probe compares all of the set's tags against the probe tag in one
+//! cycle, and only the matching way's data is read. `BucketedCache` mirrors
+//! that split. The geometry-fixed side is a flat array of packed *slot
+//! words* — per slot a 32-bit `tag << 24 | dataway+1` (0 = empty), two per
+//! `u64` — plus per-bucket occupancy counts; the data side is two parallel
+//! flat arrays (keys, and values fused with their residency timestamps and
+//! recency counters) indexed by the slot word's low bits:
+//!
+//! ```text
+//!                 bucket b, slots 0..m      one u64 = two packed slots
+//! slot_words  [ t0│idx0 ║ t1│idx1 ] [ t2│idx2 ║ t3│idx3 ] …
+//!                └─┬──┘              ← XOR broadcast(tag), SWAR zero-byte
+//!                  │                   test over the tag bytes: a whole
+//!                  │                   bucket tag-compared in word ops
+//!                  ▼ (low 24 bits, on tag match only)
+//! keys   [ k₀ │ k₁ │ … ]          full keys — the equality confirm
+//! state  [ v₀,t₀ⁱⁿ,t₀ˡᵃˢᵗ,lru₀ │ … ]  fold state + residency + recency
+//! ```
+//!
+//! The 8-bit tag is the top byte of the seeded 64-bit key hash (the bucket
+//! index consumes the low bits, so tag and placement stay independent); the
+//! probe XORs the slot word with the broadcast tag and runs an exact SWAR
+//! zero-byte test, so a probe is **one hash, one tag-word compare per ≤ 2
+//! ways — at most `⌈m/2⌉` word ops — and at most `m` key confirms** (in
+//! practice ~1: a tag match is necessary but not sufficient, with a 1/256
+//! false-positive rate per occupied way). This is the software spelling of
+//! the hardware's parallel tag compare, and the filter load *is* the
+//! data-way pointer load.
+//!
+//! Construction is O(1) work per page regardless of capacity (the
+//! geometry-fixed arrays are lazily-zeroed primitive words — SRAM is
+//! pre-provisioned, not initialized), the data arrays hold only the
+//! resident population, slots fill compactly from index 0 per bucket, and
+//! eviction moves the victim out by `mem::replace` — no clone, and (with
+//! the data arrays pre-reserved up to 2^20 resident pairs) no allocation on
+//! the steady-state per-packet path.
 
 use crate::geometry::CacheGeometry;
 use crate::hash::hash_key;
@@ -29,6 +69,23 @@ pub struct CacheEntry<K, V> {
     /// The value (fold state).
     pub value: V,
     /// When the key was inserted into the cache (this residency).
+    pub first_seen: Nanos,
+    /// When the key was last updated.
+    pub last_seen: Nanos,
+}
+
+/// A borrowed view of one resident slot, yielded by [`SramCache::iter`].
+///
+/// The struct-of-arrays layout stores each field in its own flat array, so
+/// there is no contiguous `CacheEntry` to hand out a reference to; this view
+/// borrows the key and value in place and copies the two timestamps.
+#[derive(Debug)]
+pub struct CacheSlotRef<'a, K, V> {
+    /// The resident key.
+    pub key: &'a K,
+    /// The resident value (fold state).
+    pub value: &'a V,
+    /// When the key was inserted (this residency).
     pub first_seen: Nanos,
     /// When the key was last updated.
     pub last_seen: Nanos,
@@ -90,7 +147,7 @@ impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
     #[must_use]
     pub fn len(&self) -> usize {
         match &self.inner {
-            Inner::Bucketed(c) => c.len,
+            Inner::Bucketed(c) => c.len(),
             Inner::Full(c) => c.map.len(),
         }
     }
@@ -195,70 +252,299 @@ impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
         }
     }
 
-    /// Iterate over resident entries (no recency side effects).
-    pub fn iter(&self) -> Box<dyn Iterator<Item = &CacheEntry<K, V>> + '_> {
+    /// Iterate over resident slots (no recency side effects).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = CacheSlotRef<'_, K, V>> + '_> {
         match &self.inner {
-            Inner::Bucketed(c) => Box::new(c.buckets.iter().flat_map(|b| b.iter().map(|s| &s.entry))),
-            Inner::Full(c) => Box::new(c.nodes.iter().filter_map(|n| n.as_ref().map(|n| &n.entry))),
+            Inner::Bucketed(c) => Box::new(c.iter()),
+            Inner::Full(c) => Box::new(c.nodes.iter().filter_map(|n| {
+                n.as_ref().map(|n| CacheSlotRef {
+                    key: &n.entry.key,
+                    value: &n.entry.value,
+                    first_seen: n.entry.first_seen,
+                    last_seen: n.entry.last_seen,
+                })
+            })),
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Bucketed implementation (n buckets × m ways)
+// Bucketed implementation (n buckets × m ways, struct-of-arrays layout)
 // ---------------------------------------------------------------------------
 
+/// Broadcast-byte constants for the SWAR tag compare.
+const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+const HI1: u64 = 0x8080_8080_8080_8080;
+/// The non-tag (arena index) bytes of a packed slot word; forced nonzero
+/// before the zero-byte test so only the two tag bytes can match.
+const INDEX_BYTES: u64 = 0x00ff_ffff_00ff_ffff;
+
+/// The 8-bit slot tag: the top byte of the seeded 64-bit key hash (the
+/// bucket index consumes the low bits via the modulo, so top bits stay
+/// independent of placement). Tag 0 marks an empty slot, so 0 remaps to 1 —
+/// the tag is a pure filter (a probe confirms on the full key), so the
+/// remap costs nothing but a hair more filter collision on two tag values.
+#[inline]
+fn tag_byte(h: u64) -> u8 {
+    let t = (h >> 56) as u8;
+    t | u8::from(t == 0)
+}
+
+/// Exact SWAR zero-byte finder: bit 7 of each result byte is set iff that
+/// byte of `v` is zero (Hacker's Delight §6-1; no cross-byte carries, so —
+/// unlike the `(v-1) & !v` shortcut — there are no false positives or
+/// misses on repeated tags).
+#[inline]
+fn zero_bytes(v: u64) -> u64 {
+    !(((v & LO7) + LO7) | v | LO7) & HI1
+}
+
+/// A value and its per-entry bookkeeping, one arena element: the fold state
+/// is updated on every hit and the stamps/recency beside it in the same
+/// cache lines, so a hit touches the key array and this array once each.
 #[derive(Debug, Clone)]
-struct Slot<K, V> {
-    entry: CacheEntry<K, V>,
-    /// Full key hash, compared before the key itself — the software analogue
-    /// of a tag compare (one word instead of a multi-word key equality on
-    /// every probed way).
-    tag: u64,
+struct Stamped<V> {
+    /// The fold state.
+    value: V,
+    /// Residency start.
+    first_seen: Nanos,
+    /// Last update.
+    last_seen: Nanos,
     /// Monotone counter value at last access (LRU victim = minimum).
     accessed: u64,
     /// Monotone counter value at insertion (FIFO victim = minimum).
     inserted: u64,
+    /// Back-pointer into the slot table (`bucket · ways + way`), so arena
+    /// compaction on `remove` can re-point the moved entry's slot.
+    back: u32,
 }
 
+/// Fig. 4's cache as a split tag store + parallel data arrays.
+///
+/// The *geometry-fixed* side is all primitive words — the packed 8-bit tag
+/// array (0 = empty slot), the slot→entry index table and the per-bucket
+/// occupancy counts — so building a cache of any capacity is one
+/// lazily-zeroed allocation per array (no per-slot initialization; SRAM is
+/// pre-provisioned, construction does O(1) work per page). The *entry* side
+/// is two parallel flat arrays — keys, and values fused with their
+/// residency timestamps/recency counters — indexed by the `u32` the slot
+/// table holds, dense (no holes), and only as long as the resident
+/// population.
+///
+/// Slots fill compactly from index 0 within each bucket (`lens[b]` counts
+/// the occupied prefix; `remove` back-fills the hole with the bucket's last
+/// slot), which keeps every victim scan a dense forward walk and makes slot
+/// index dynamics identical to the previous `Vec<Vec<Slot>>` layout — the
+/// differential suite pins hit/miss/eviction streams byte-for-byte.
+/// Eviction swaps the incoming entry into the victim's arena slot with
+/// `mem::replace`: no clone, no allocation, no free-list churn. The arenas
+/// are pre-reserved up to 2^20 resident pairs, so caches up to that
+/// population never reallocate after construction; beyond it, arena growth
+/// is amortized doubling that settles during warm-up.
 #[derive(Debug, Clone)]
 struct BucketedCache<K, V> {
-    buckets: Vec<Vec<Slot<K, V>>>,
+    /// Packed slot words, two slots per `u64` (geometry-fixed): each 32-bit
+    /// half is `tag << 24 | (arena index + 1)`, 0 = empty. The tag byte is
+    /// the flat tag array — compared a `u64` word at a time — and the low
+    /// 24 bits are the data-way pointer, so the probe's filter load *is*
+    /// the index load.
+    slot_words: Vec<u64>,
+    /// Occupied-prefix length per bucket (geometry-fixed).
+    lens: Vec<u32>,
+    /// Resident keys (dense arena), consulted only on tag match.
+    keys: Vec<K>,
+    /// Fold state + residency timestamps + recency, parallel to `keys`.
+    state: Vec<Stamped<V>>,
+    buckets: usize,
     ways: usize,
+    words_per_bucket: usize,
     seed: u64,
     seq: u64,
-    len: usize,
 }
 
 impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
     fn new(geometry: CacheGeometry, seed: u64) -> Self {
+        let (buckets, ways) = (geometry.buckets, geometry.ways);
+        let capacity = buckets * ways;
+        let words_per_bucket = ways.div_ceil(2);
+        assert!(
+            capacity < (1 << 24),
+            "bucketed cache capacity limited to 16M pairs (24-bit slot words)"
+        );
+        // Reserve the arenas up front (clamped like the full-LRU index, so a
+        // pathological geometry cannot demand gigabytes of address space):
+        // up to the clamp, steady-state churn never reallocates, and
+        // `with_capacity` maps pages lazily so over-reserving a sparse
+        // cache costs nothing. Populations past the clamp grow by amortized
+        // doubling during warm-up.
+        let reserve = capacity.min(1 << 20);
         BucketedCache {
-            buckets: (0..geometry.buckets).map(|_| Vec::new()).collect(),
-            ways: geometry.ways,
+            slot_words: vec![0; buckets * words_per_bucket],
+            lens: vec![0; buckets],
+            keys: Vec::with_capacity(reserve),
+            state: Vec::with_capacity(reserve),
+            buckets,
+            ways,
+            words_per_bucket,
             seed,
             seq: 0,
-            len: 0,
         }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn bucket_of(&self, h: u64) -> usize {
+        (h % self.buckets as u64) as usize
+    }
+
+    /// Read a slot's packed 32-bit word (`tag << 24 | arena+1`, 0 = empty).
+    #[inline]
+    fn slot_word(&self, b: usize, slot: usize) -> u32 {
+        (self.slot_words[b * self.words_per_bucket + slot / 2] >> ((slot % 2) * 32)) as u32
+    }
+
+    /// Write a slot's packed 32-bit word.
+    #[inline]
+    fn set_slot_word(&mut self, b: usize, slot: usize, v: u32) {
+        let w = &mut self.slot_words[b * self.words_per_bucket + slot / 2];
+        let sh = (slot % 2) * 32;
+        *w = (*w & !(0xffff_ffffu64 << sh)) | (u64::from(v) << sh);
+    }
+
+    #[inline]
+    fn pack(tag: u8, arena: usize) -> u32 {
+        (u32::from(tag) << 24) | (arena as u32 + 1)
+    }
+
+    /// Packed word at a flat slot-table index (`bucket · ways + way`).
+    #[inline]
+    fn slot_word_at(&self, flat: usize) -> u32 {
+        self.slot_word(flat / self.ways, flat % self.ways)
+    }
+
+    /// Write the packed word at a flat slot-table index.
+    #[inline]
+    fn set_slot_word_at(&mut self, flat: usize, v: u32) {
+        self.set_slot_word(flat / self.ways, flat % self.ways, v);
+    }
+
+    /// The arena index behind an occupied slot.
+    #[inline]
+    fn entry_of(&self, b: usize, slot: usize) -> usize {
+        let e = self.slot_word(b, slot) & 0x00ff_ffff;
+        debug_assert!(e != 0, "occupied slot has an arena entry");
+        (e - 1) as usize
+    }
+
+    /// The parallel tag compare: XOR each slot word's tag bytes with the
+    /// broadcast probe tag, find zero bytes, and confirm candidates with
+    /// full key equality. Empty slots hold tag 0 and the probe tag is never
+    /// 0, so no occupancy check is needed. Returns `(way, arena index)` of
+    /// the resident key.
+    #[inline]
+    fn probe(&self, b: usize, h: u64, key: &K) -> Option<(usize, usize)> {
+        let wbase = b * self.words_per_bucket;
+        // Tag bytes sit at bits 24..32 and 56..64 of each packed word; the
+        // index bytes are forced nonzero so only tag bytes can test zero.
+        let bcast = (u64::from(tag_byte(h)) * 0x0000_0001_0000_0001u64) << 24;
+        for w in 0..self.words_per_bucket {
+            // A tag match is necessary but not sufficient (1/256 false
+            // positive per occupied way): confirm on the full key.
+            let word = self.slot_words[wbase + w];
+            let mut matches = zero_bytes((word ^ bcast) | INDEX_BYTES);
+            while matches != 0 {
+                let half = matches.trailing_zeros() / 32;
+                let slot = w * 2 + half as usize;
+                let j = ((word >> (half * 32)) as u32 & 0x00ff_ffff) as usize - 1;
+                if self.keys[j] == *key {
+                    return Some((slot, j));
+                }
+                matches &= matches - 1;
+            }
+        }
+        None
     }
 
     fn find(&self, key: &K) -> Option<(usize, usize)> {
         let h = hash_key(self.seed, key);
-        let b = (h % self.buckets.len() as u64) as usize;
-        self.buckets[b]
-            .iter()
-            .position(|s| s.tag == h && &s.entry.key == key)
-            .map(|i| (b, i))
+        let b = self.bucket_of(h);
+        self.probe(b, h, key).map(|(slot, _)| (b, slot))
+    }
+
+    /// Append a new entry to the arena and fill the bucket's next free slot
+    /// (compact prefix invariant). Returns the arena index.
+    fn fill_slot(&mut self, b: usize, tag: u8, key: K, value: V, now: Nanos, seq: u64) -> usize {
+        let slot = self.lens[b] as usize;
+        debug_assert!(slot < self.ways, "bucket has a free slot");
+        let i = b * self.ways + slot;
+        let j = self.keys.len();
+        self.keys.push(key);
+        self.state.push(Stamped {
+            value,
+            first_seen: now,
+            last_seen: now,
+            accessed: seq,
+            inserted: seq,
+            back: i as u32,
+        });
+        self.set_slot_word(b, slot, Self::pack(tag, j));
+        self.lens[b] += 1;
+        j
+    }
+
+    /// Swap the incoming entry into the victim's arena slot via
+    /// `mem::replace`, returning the victim. The slot keeps its arena index;
+    /// only the tag byte changes.
+    fn replace_slot(
+        &mut self,
+        b: usize,
+        slot: usize,
+        tag: u8,
+        key: K,
+        value: V,
+        now: Nanos,
+        seq: u64,
+    ) -> (usize, CacheEntry<K, V>) {
+        let j = self.entry_of(b, slot);
+        let victim_key = std::mem::replace(&mut self.keys[j], key);
+        let victim_state = std::mem::replace(
+            &mut self.state[j],
+            Stamped {
+                value,
+                first_seen: now,
+                last_seen: now,
+                accessed: seq,
+                inserted: seq,
+                back: (b * self.ways + slot) as u32,
+            },
+        );
+        self.set_slot_word(b, slot, Self::pack(tag, j));
+        (
+            j,
+            CacheEntry {
+                key: victim_key,
+                value: victim_state.value,
+                first_seen: victim_state.first_seen,
+                last_seen: victim_state.last_seen,
+            },
+        )
     }
 
     fn get_mut(&mut self, key: &K, now: Nanos, refresh: bool) -> Option<&mut V> {
-        let (b, i) = self.find(key)?;
+        let h = hash_key(self.seed, key);
+        let b = self.bucket_of(h);
+        let (_, j) = self.probe(b, h, key)?;
         self.seq += 1;
-        let slot = &mut self.buckets[b][i];
+        let s = &mut self.state[j];
         if refresh {
-            slot.accessed = self.seq;
+            s.accessed = self.seq;
         }
-        slot.entry.last_seen = now;
-        Some(&mut slot.entry.value)
+        s.last_seen = now;
+        Some(&mut s.value)
     }
 
     fn insert(
@@ -268,24 +554,27 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         rng: &mut VictimRng,
     ) -> Option<CacheEntry<K, V>> {
         let h = hash_key(self.seed, &entry.key);
-        let b = (h % self.buckets.len() as u64) as usize;
+        let b = self.bucket_of(h);
         self.seq += 1;
-        let slot = Slot {
-            entry,
-            tag: h,
-            accessed: self.seq,
-            inserted: self.seq,
-        };
-        let ways = self.ways;
-        let bucket = &mut self.buckets[b];
-        if bucket.len() < ways {
-            bucket.push(slot);
-            self.len += 1;
+        let seq = self.seq;
+        let CacheEntry {
+            key,
+            value,
+            first_seen,
+            last_seen,
+        } = entry;
+        // fill_slot/replace_slot stamp one timestamp into both residency
+        // fields; insert() carries the entry's own interval, so restore its
+        // last_seen afterwards.
+        if (self.lens[b] as usize) < self.ways {
+            let j = self.fill_slot(b, tag_byte(h), key, value, first_seen, seq);
+            self.state[j].last_seen = last_seen;
             return None;
         }
-        let victim_idx = pick_victim(bucket, policy, rng);
-        let victim = std::mem::replace(&mut bucket[victim_idx], slot);
-        Some(victim.entry)
+        let victim_slot = self.pick_victim(b, policy, rng);
+        let (j, victim) = self.replace_slot(b, victim_slot, tag_byte(h), key, value, first_seen, seq);
+        self.state[j].last_seen = last_seen;
+        Some(victim)
     }
 
     fn upsert_with(
@@ -298,104 +587,154 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         rng: &mut VictimRng,
     ) -> (&mut V, UpsertOutcome<K, V>) {
         let h = hash_key(self.seed, &key);
-        let b = (h % self.buckets.len() as u64) as usize;
+        let b = self.bucket_of(h);
         self.seq += 1;
         let seq = self.seq;
-        let ways = self.ways;
-        let bucket = &mut self.buckets[b];
-        if let Some(i) = bucket
-            .iter()
-            .position(|s| s.tag == h && s.entry.key == key)
-        {
-            let slot = &mut bucket[i];
+        if let Some((_, j)) = self.probe(b, h, &key) {
+            let s = &mut self.state[j];
             if refresh {
-                slot.accessed = seq;
+                s.accessed = seq;
             }
-            slot.entry.last_seen = now;
+            s.last_seen = now;
             return (
-                &mut slot.entry.value,
+                &mut s.value,
                 UpsertOutcome {
                     hit: true,
                     victim: None,
                 },
             );
         }
-        let slot = Slot {
-            entry: CacheEntry {
-                key,
-                value: init(),
-                first_seen: now,
-                last_seen: now,
-            },
-            tag: h,
-            accessed: seq,
-            inserted: seq,
-        };
-        if bucket.len() < ways {
-            bucket.push(slot);
-            self.len += 1;
-            let value = &mut bucket.last_mut().expect("just pushed").entry.value;
+        if (self.lens[b] as usize) < self.ways {
+            let j = self.fill_slot(b, tag_byte(h), key, init(), now, seq);
             return (
-                value,
+                &mut self.state[j].value,
                 UpsertOutcome {
                     hit: false,
                     victim: None,
                 },
             );
         }
-        let victim_idx = pick_victim(bucket, policy, rng);
-        let victim = std::mem::replace(&mut bucket[victim_idx], slot);
+        let victim_slot = self.pick_victim(b, policy, rng);
+        let (j, victim) = self.replace_slot(b, victim_slot, tag_byte(h), key, init(), now, seq);
         (
-            &mut bucket[victim_idx].entry.value,
+            &mut self.state[j].value,
             UpsertOutcome {
                 hit: false,
-                victim: Some(victim.entry),
+                victim: Some(victim),
             },
         )
     }
 
+    /// Detach `(b, slot)` from the slot table and pull its entry out of the
+    /// arena (compacting both), returning the entry.
+    fn take_slot(&mut self, b: usize, slot: usize) -> CacheEntry<K, V> {
+        let base = b * self.ways;
+        let j = self.entry_of(b, slot);
+        // Keep the bucket's occupied prefix compact: back-fill the hole with
+        // the bucket's last slot (the SoA spelling of `Vec::swap_remove`).
+        let last = self.lens[b] as usize - 1;
+        if slot != last {
+            let moved_word = self.slot_word(b, last);
+            self.set_slot_word(b, slot, moved_word);
+            let moved = (moved_word & 0x00ff_ffff) as usize - 1;
+            self.state[moved].back = (base + slot) as u32;
+        }
+        self.set_slot_word(b, last, 0);
+        self.lens[b] -= 1;
+        self.detach_arena(j)
+    }
+
+    /// Pull arena entry `j` out, keeping the arena dense: `swap_remove` both
+    /// parallel arrays and re-point the moved (formerly last) entry's slot
+    /// word at its new index. The moved entry is always live — callers
+    /// detach entries only after unlinking them from the slot table.
+    fn detach_arena(&mut self, j: usize) -> CacheEntry<K, V> {
+        let key = self.keys.swap_remove(j);
+        let state = self.state.swap_remove(j);
+        if j < self.keys.len() {
+            let back = self.state[j].back as usize;
+            let tag = (self.slot_word_at(back) >> 24) as u8;
+            self.set_slot_word_at(back, Self::pack(tag, j));
+        }
+        CacheEntry {
+            key,
+            value: state.value,
+            first_seen: state.first_seen,
+            last_seen: state.last_seen,
+        }
+    }
+
     fn remove(&mut self, key: &K) -> Option<CacheEntry<K, V>> {
-        let (b, i) = self.find(key)?;
-        self.len -= 1;
-        Some(self.buckets[b].swap_remove(i).entry)
+        let (b, slot) = self.find(key)?;
+        Some(self.take_slot(b, slot))
     }
 
     fn drain_into(&mut self, mut sink: impl FnMut(CacheEntry<K, V>)) {
-        self.len = 0;
-        for bucket in &mut self.buckets {
-            for slot in bucket.drain(..) {
-                sink(slot.entry);
+        // Emit in bucket-major, slot-ascending order — the exact order the
+        // old `Vec<Vec<Slot>>` drain produced (the differential suite pins
+        // the sequence). Arena holes never form: the entry swapped in from
+        // the arena's end always belongs to a not-yet-drained slot (drained
+        // slots give up their entries immediately), so re-pointing its slot
+        // word keeps every later `entry_of` resolution live.
+        for b in 0..self.buckets {
+            let len = std::mem::replace(&mut self.lens[b], 0) as usize;
+            for slot in 0..len {
+                let j = self.entry_of(b, slot);
+                let entry = self.detach_arena(j);
+                sink(entry);
             }
+            let wbase = b * self.words_per_bucket;
+            self.tag_words_clear(wbase);
+        }
+        debug_assert!(self.keys.is_empty(), "drain empties the arena");
+    }
+
+    /// Zero one bucket's slot words (all slots empty).
+    #[inline]
+    fn tag_words_clear(&mut self, wbase: usize) {
+        for w in &mut self.slot_words[wbase..wbase + self.words_per_bucket] {
+            *w = 0;
         }
     }
-}
 
-/// The policy's in-bucket victim slot.
-fn pick_victim<K, V>(
-    bucket: &[Slot<K, V>],
-    policy: EvictionPolicy,
-    rng: &mut VictimRng,
-) -> usize {
-    match policy {
-        EvictionPolicy::Lru => {
-            let mut idx = 0;
-            for (i, s) in bucket.iter().enumerate() {
-                if s.accessed < bucket[idx].accessed {
-                    idx = i;
-                }
-            }
-            idx
+    /// Iterate occupied slots as borrowed views (no recency side effects),
+    /// in arena (insertion-churn) order.
+    fn iter(&self) -> impl Iterator<Item = CacheSlotRef<'_, K, V>> {
+        self.keys
+            .iter()
+            .zip(&self.state)
+            .map(|(key, s)| CacheSlotRef {
+                key,
+                value: &s.value,
+                first_seen: s.first_seen,
+                last_seen: s.last_seen,
+            })
+    }
+
+    /// The policy's in-bucket victim slot (the bucket is full: `len == ways`).
+    fn pick_victim(&mut self, b: usize, policy: EvictionPolicy, rng: &mut VictimRng) -> usize {
+        let len = self.lens[b] as usize;
+        match policy {
+            EvictionPolicy::Lru => self.min_slot(b, len, |s| s.accessed),
+            EvictionPolicy::Fifo => self.min_slot(b, len, |s| s.inserted),
+            EvictionPolicy::Random { .. } => rng.pick(len),
         }
-        EvictionPolicy::Fifo => {
-            let mut idx = 0;
-            for (i, s) in bucket.iter().enumerate() {
-                if s.inserted < bucket[idx].inserted {
-                    idx = i;
-                }
+    }
+
+    /// In-bucket slot whose recency field is strictly smallest (first
+    /// minimum wins — the same tie-break the old per-bucket scan used).
+    #[inline]
+    fn min_slot(&self, b: usize, len: usize, field: impl Fn(&Stamped<V>) -> u64) -> usize {
+        let mut idx = 0;
+        let mut best = u64::MAX;
+        for slot in 0..len {
+            let v = field(&self.state[(self.slot_word(b, slot) & 0x00ff_ffff) as usize - 1]);
+            if v < best {
+                best = v;
+                idx = slot;
             }
-            idx
         }
-        EvictionPolicy::Random { .. } => rng.pick(bucket.len()),
+        idx
     }
 }
 
@@ -722,7 +1061,7 @@ mod tests {
         for k in 0..10u64 {
             c.insert(k, k, Nanos(k));
         }
-        let mut keys: Vec<u64> = c.iter().map(|e| e.key).collect();
+        let mut keys: Vec<u64> = c.iter().map(|e| *e.key).collect();
         keys.sort_unstable();
         assert_eq!(keys, (0..10).collect::<Vec<_>>());
     }
@@ -785,7 +1124,7 @@ mod proptests {
                 prop_assert_eq!(model.map.len(), cache.len());
             }
             // Final contents agree.
-            let mut got: Vec<(u64, u64)> = cache.iter().map(|e| (e.key, e.value)).collect();
+            let mut got: Vec<(u64, u64)> = cache.iter().map(|e| (*e.key, *e.value)).collect();
             got.sort_unstable();
             let mut want: Vec<(u64, u64)> = model.map.into_iter().collect();
             want.sort_unstable();

@@ -221,4 +221,97 @@ mod tests {
         let b = hash_key(5, &(1u32, 2u16, 4u8));
         assert_ne!(a, b);
     }
+
+    /// Every fixed-width override must equal the generic byte-chunking path
+    /// (`write` of the little-endian bytes): the overrides exist purely to
+    /// skip the chunking loop, never to change the hash function. Pinning
+    /// them equal means adding or removing an override can never silently
+    /// re-seat every key in every cache.
+    #[test]
+    fn fixed_width_overrides_match_generic_path() {
+        fn via_write(seed: u64, bytes: &[u8]) -> u64 {
+            let mut h = SeededHasher::new(seed);
+            h.write(bytes);
+            h.finish()
+        }
+        fn via<F: FnOnce(&mut SeededHasher)>(seed: u64, f: F) -> u64 {
+            let mut h = SeededHasher::new(seed);
+            f(&mut h);
+            h.finish()
+        }
+        for seed in [0u64, 1, 0xdead_beef, u64::MAX] {
+            for v in [0u64, 1, 0x80, 0xffff, 0x1234_5678_9abc_def0, u64::MAX] {
+                assert_eq!(
+                    via(seed, |h| h.write_u8(v as u8)),
+                    via_write(seed, &(v as u8).to_le_bytes()),
+                    "write_u8({v:#x})"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_u16(v as u16)),
+                    via_write(seed, &(v as u16).to_le_bytes()),
+                    "write_u16({v:#x})"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_u32(v as u32)),
+                    via_write(seed, &(v as u32).to_le_bytes()),
+                    "write_u32({v:#x})"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_u64(v)),
+                    via_write(seed, &v.to_le_bytes()),
+                    "write_u64({v:#x})"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_usize(v as usize)),
+                    via_write(seed, &(v as usize as u64).to_le_bytes()),
+                    "write_usize({v:#x})"
+                );
+                let wide = (u128::from(v) << 64) | u128::from(v.wrapping_mul(3));
+                assert_eq!(
+                    via(seed, |h| h.write_u128(wide)),
+                    via_write(seed, &wide.to_le_bytes()),
+                    "write_u128({wide:#x})"
+                );
+                // Signed overrides are bit-casts of the unsigned ones.
+                assert_eq!(
+                    via(seed, |h| h.write_i8(v as i8)),
+                    via_write(seed, &(v as i8).to_le_bytes()),
+                    "write_i8"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_i16(v as i16)),
+                    via_write(seed, &(v as i16).to_le_bytes()),
+                    "write_i16"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_i32(v as i32)),
+                    via_write(seed, &(v as i32).to_le_bytes()),
+                    "write_i32"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_i64(v as i64)),
+                    via_write(seed, &(v as i64).to_le_bytes()),
+                    "write_i64"
+                );
+                assert_eq!(
+                    via(seed, |h| h.write_isize(v as isize)),
+                    via_write(seed, &(v as isize as i64).to_le_bytes()),
+                    "write_isize"
+                );
+            }
+        }
+        // Multi-write streams chunk identically too (the InlineKey shape:
+        // one usize length + several i64 words).
+        let mut a = SeededHasher::new(7);
+        a.write_usize(3);
+        for w in [1i64, -2, 3] {
+            a.write_i64(w);
+        }
+        let mut b = SeededHasher::new(7);
+        b.write(&3u64.to_le_bytes());
+        for w in [1i64, -2, 3] {
+            b.write(&w.to_le_bytes());
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
 }

@@ -19,6 +19,35 @@
 //! * [`sketch`] — a count-min sketch baseline for the §5 comparison;
 //! * [`hash`] — deterministic seeded hashing.
 //!
+//! # Memory layout
+//!
+//! Both halves of the split store are laid out the way the hardware is, not
+//! the way a convenience container would be:
+//!
+//! * **Cache — split tag/data arrays (Fig. 4).** A real cache way keeps an
+//!   SRAM tag array separate from the data array and compares *every* tag
+//!   in a set against the probe tag in one cycle. The bucketed cache
+//!   mirrors that: a geometry-fixed flat array of packed slot words (8-bit
+//!   hash tag + 24-bit data-way index, two slots per `u64`) is probed with
+//!   an XOR-broadcast + SWAR zero-byte test — one `u64` word op tag-compares
+//!   two ways, and only tag matches touch the parallel key/state arrays for
+//!   the full-key confirm. A probe is one hash, `⌈m/2⌉` word compares and
+//!   (almost always) one key confirm; eviction moves the victim out by
+//!   `mem::replace`. See [`cache`]'s module docs for the diagram.
+//! * **Backing store — open addressing.** Evictions land in a seeded
+//!   SplitMix linear-probe table (tombstone-free backward-shift deletes),
+//!   so absorbing an eviction or a sharded drain walks one contiguous probe
+//!   run instead of hashing into `std`'s SipHash buckets — and re-absorbing
+//!   a known key allocates nothing.
+//!
+//! The layout is behaviorally invisible — `tests/store_differential.rs`
+//! pins hit/miss/eviction streams and Fig. 5 hit rates byte-identical to
+//! the previous `Vec<Vec<Slot>>` / `HashMap` implementations — but it makes
+//! cache construction O(1) work per page instead of O(capacity) (SRAM is
+//! provisioned, not initialized), keeps the resident population dense in
+//! two arrays, and leaves the steady-state per-packet path allocation-free
+//! (`tests/alloc_discipline.rs`).
+//!
 //! # Example: the Fig. 5 query
 //!
 //! ```
@@ -55,7 +84,7 @@ pub mod split;
 pub mod stats;
 
 pub use backing::{BackingEntry, BackingStore, Epoch, MergeMode};
-pub use cache::{CacheEntry, SramCache};
+pub use cache::{CacheEntry, CacheSlotRef, SramCache};
 pub use geometry::CacheGeometry;
 pub use key::{InlineKey, INLINE_KEY_WORDS};
 pub use policy::EvictionPolicy;

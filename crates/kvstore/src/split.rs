@@ -184,7 +184,7 @@ impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
         let in_cache_only = self
             .cache
             .iter()
-            .filter(|e| self.backing.get(&e.key).is_none())
+            .filter(|e| self.backing.get(e.key).is_none())
             .count();
         self.backing.len() + in_cache_only
     }

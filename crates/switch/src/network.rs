@@ -72,12 +72,20 @@ impl Default for NetworkConfig {
 pub struct Network {
     cfg: NetworkConfig,
     switches: Vec<Switch>,
+    /// Pooled storage of the event heap: kept across runs so steady-state
+    /// replay never grows a fresh heap (zero allocations per packet).
+    heap_scratch: Vec<Reverse<Ev>>,
+    /// Reusable per-event route buffer (topologies with unbounded hop
+    /// counts — `Linear(n)` — rule out a fixed-size array).
+    route_scratch: Vec<Hop>,
+    /// Reusable batch buffer for [`Network::run_batched`].
+    batch_scratch: Vec<QueueRecord>,
 }
 
 /// One hop of a packet's route: (switch index, output port).
 type Hop = (usize, usize);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Ev {
     time: Nanos,
     seq: u64,
@@ -129,6 +137,9 @@ impl Network {
             switches: (0..n_switches)
                 .map(|i| Switch::new(i as u32, &cfg.switch))
                 .collect(),
+            heap_scratch: Vec::new(),
+            route_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -155,30 +166,39 @@ impl Network {
     /// The route a packet takes, as (switch, out-port) hops.
     #[must_use]
     pub fn route(&self, packet: &Packet) -> Vec<Hop> {
+        let mut hops = Vec::new();
+        self.route_into(packet, &mut hops);
+        hops
+    }
+
+    /// Compute a packet's route into a reusable buffer (cleared first) — the
+    /// event loop's allocation-free form of [`Network::route`].
+    pub fn route_into(&self, packet: &Packet, hops: &mut Vec<Hop>) {
+        hops.clear();
         let dst = packet.headers.ipv4.dst;
         let ports = self.cfg.switch.ports;
         match self.cfg.topology {
-            Topology::Single => vec![(0, self.hash_ip(dst, ports))],
-            Topology::Linear(n) => (0..n.max(1))
-                .map(|i| (i, self.hash_ip(dst, ports)))
-                .collect(),
+            Topology::Single => hops.push((0, self.hash_ip(dst, ports))),
+            Topology::Linear(n) => {
+                let port = self.hash_ip(dst, ports);
+                hops.extend((0..n.max(1)).map(|i| (i, port)));
+            }
             Topology::LeafSpine { leaves, spines } => {
                 let src_leaf = self.hash_ip(packet.headers.ipv4.src, leaves);
                 let dst_leaf = self.hash_ip(dst, leaves);
                 // Host-facing ports sit above the spine-facing ports.
                 let host_port = spines + self.hash_ip(dst, ports - spines);
                 if src_leaf == dst_leaf {
-                    return vec![(src_leaf, host_port)];
+                    hops.push((src_leaf, host_port));
+                    return;
                 }
                 let spine = (hash_key(
                     self.cfg.routing_seed ^ 0xecae,
                     &packet.five_tuple().to_bits(),
                 ) % spines as u64) as usize;
-                vec![
-                    (src_leaf, spine),                  // leaf → spine
-                    (leaves + spine, dst_leaf % ports), // spine → dst leaf
-                    (dst_leaf, host_port),              // leaf → host
-                ]
+                hops.push((src_leaf, spine)); // leaf → spine
+                hops.push((leaves + spine, dst_leaf % ports)); // spine → dst leaf
+                hops.push((dst_leaf, host_port)); // leaf → host
             }
         }
     }
@@ -203,34 +223,46 @@ impl Network {
     /// produces identical records and identical [`Network::total_drops`].
     pub fn run(&mut self, packets: impl Iterator<Item = Packet>, mut sink: impl FnMut(QueueRecord)) {
         self.reset();
-        let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+        // The heap holds only *internal* (next-hop) events; arrivals merge
+        // in straight from the sorted input iterator, so a single-switch
+        // topology never touches the heap at all. Its storage is pooled on
+        // the Network (as is the route buffer), so steady-state replay
+        // allocates nothing per packet.
+        let mut heap: BinaryHeap<Reverse<Ev>> =
+            BinaryHeap::from(std::mem::take(&mut self.heap_scratch));
+        debug_assert!(heap.is_empty());
+        let mut route = std::mem::take(&mut self.route_scratch);
         let mut seq = 0u64;
         let mut input = packets.peekable();
 
         loop {
-            // Feed input packets that arrive before the next internal event.
-            while let Some(p) = input.peek() {
-                let due = heap
-                    .peek()
-                    .map(|Reverse(e)| p.arrival <= e.time)
-                    .unwrap_or(true);
-                if !due {
-                    break;
-                }
+            // Two-way merge, internal events first on time ties — identical
+            // order to the old push-everything-through-the-heap loop, where
+            // an arrival tied with an earlier-pushed (lower-seq) internal
+            // event popped second.
+            let take_input = match (input.peek(), heap.peek()) {
+                (Some(p), Some(Reverse(e))) => p.arrival < e.time,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let ev = if take_input {
                 let p = input.next().expect("peeked");
                 seq += 1;
-                heap.push(Reverse(Ev {
+                Ev {
                     time: p.arrival,
                     seq,
                     hop: 0,
                     path: 0,
                     packet: p,
-                }));
-            }
-            let Some(Reverse(ev)) = heap.pop() else {
-                break;
+                }
+            } else {
+                let Some(Reverse(ev)) = heap.pop() else {
+                    unreachable!("heap side chosen only when non-empty");
+                };
+                ev
             };
-            let route = self.route(&ev.packet);
+            self.route_into(&ev.packet, &mut route);
             let (sw_idx, port) = route[usize::from(ev.hop)];
             let sw = &mut self.switches[sw_idx];
             sw.release(ev.time, &mut sink);
@@ -253,6 +285,8 @@ impl Network {
         for sw in &mut self.switches {
             sw.flush(&mut sink);
         }
+        self.heap_scratch = heap.into_vec();
+        self.route_scratch = route;
     }
 
     /// Convenience: run and collect all records (small traces/tests).
@@ -273,7 +307,9 @@ impl Network {
         mut sink: impl FnMut(&[QueueRecord]),
     ) {
         assert!(batch_size > 0, "batch size must be positive");
-        let mut buf: Vec<QueueRecord> = Vec::with_capacity(batch_size);
+        let mut buf = std::mem::take(&mut self.batch_scratch);
+        buf.clear();
+        buf.reserve(batch_size);
         self.run(packets, |r| {
             buf.push(r);
             if buf.len() == batch_size {
@@ -284,6 +320,8 @@ impl Network {
         if !buf.is_empty() {
             sink(&buf);
         }
+        buf.clear();
+        self.batch_scratch = buf;
     }
 
     /// Run a packet stream, routing every queue record to one of `shards`

@@ -88,12 +88,13 @@ impl OutputQueue {
     }
 
     /// Current occupancy at time `now` (packets not yet departed).
+    ///
+    /// FIFO service at one rate makes `tout` non-decreasing along the
+    /// deque, so the count of still-present packets is a partition point —
+    /// O(log n) instead of a full scan on the per-packet enqueue path.
     #[must_use]
     pub fn occupancy(&self, now: Nanos) -> u32 {
-        self.inflight
-            .iter()
-            .filter(|f| f.record.tout > now)
-            .count() as u32
+        (self.inflight.len() - self.inflight.partition_point(|f| f.record.tout <= now)) as u32
     }
 
     /// Offer a packet at time `now` (arrivals must be non-decreasing in
@@ -144,12 +145,9 @@ impl OutputQueue {
             let mut rec = self.inflight.pop_front().expect("front exists").record;
             // Occupancy at departure: packets already enqueued (tin < tout)
             // and still present (their tout > this one's — FIFO order means
-            // all remaining entries qualify on departure order).
-            rec.qout = self
-                .inflight
-                .iter()
-                .take_while(|f| f.record.tin < tout)
-                .count() as u32;
+            // all remaining entries qualify on departure order). Arrivals
+            // are non-decreasing, so the count is a partition point.
+            rec.qout = self.inflight.partition_point(|f| f.record.tin < tout) as u32;
             sink(rec);
         }
     }
@@ -164,6 +162,15 @@ impl OutputQueue {
     #[must_use]
     pub fn horizon(&self) -> Nanos {
         self.last_departure
+    }
+
+    /// Departure time of the oldest unreleased packet, if any — the
+    /// earliest time at which [`OutputQueue::release`] would produce a
+    /// record (`Switch` caches the minimum across its queues to skip
+    /// release scans entirely between departures).
+    #[must_use]
+    pub fn next_release(&self) -> Option<Nanos> {
+        self.inflight.front().map(|f| f.record.tout)
     }
 
     /// Return the queue to its just-built state: no inflight packets, an

@@ -54,6 +54,11 @@ pub enum Forwarded {
 pub struct Switch {
     id: u32,
     queues: Vec<OutputQueue>,
+    /// Lower bound on the earliest unreleased departure across all queues
+    /// (`Nanos::INFINITY` when idle): [`Switch::release`] returns in one
+    /// compare when no record can be due yet, instead of scanning every
+    /// port's queue on every event.
+    next_release: Nanos,
 }
 
 impl Switch {
@@ -67,6 +72,7 @@ impl Switch {
             queues: (0..cfg.ports)
                 .map(|p| OutputQueue::new(base + p as u32, cfg.port_rate_bps, cfg.queue_capacity))
                 .collect(),
+            next_release: Nanos::INFINITY,
         }
     }
 
@@ -93,19 +99,34 @@ impl Switch {
         let queue = &mut self.queues[port];
         match queue.offer(packet, now, path) {
             Some(drop) => Forwarded::Dropped(drop),
-            None => Forwarded::Enqueued {
-                tout: queue.horizon(),
-                path: QueueRecord::extend_path(path, queue.qid()),
-            },
+            None => {
+                let tout = queue.horizon();
+                // The accepted packet can only lower the earliest pending
+                // departure (it *is* the queue's front when the queue was
+                // idle), so the cached bound stays a lower bound.
+                self.next_release = self.next_release.min(tout);
+                Forwarded::Enqueued {
+                    tout,
+                    path: QueueRecord::extend_path(path, queue.qid()),
+                }
+            }
         }
     }
 
     /// Release departure records up to `now` from all queues, straight into
-    /// `sink` (no intermediate collection).
+    /// `sink` (no intermediate collection). One compare when nothing is due.
     pub fn release(&mut self, now: Nanos, sink: &mut impl FnMut(QueueRecord)) {
+        if now < self.next_release {
+            return;
+        }
+        let mut next = Nanos::INFINITY;
         for q in &mut self.queues {
             q.release(now, &mut *sink);
+            if let Some(t) = q.next_release() {
+                next = next.min(t);
+            }
         }
+        self.next_release = next;
     }
 
     /// Release everything (end of run).
@@ -113,6 +134,7 @@ impl Switch {
         for q in &mut self.queues {
             q.flush(&mut *sink);
         }
+        self.next_release = Nanos::INFINITY;
     }
 
     /// Aggregate queue statistics.
@@ -127,6 +149,7 @@ impl Switch {
         for q in &mut self.queues {
             q.reset();
         }
+        self.next_release = Nanos::INFINITY;
     }
 }
 

@@ -53,9 +53,7 @@ QLAT = SELECT qid, ewma GROUPBY qid
 
     let compiled = compile_query(query, &params, CompileOptions::default()).expect("compiles");
     let mut runtime = Runtime::new(compiled);
-    network.run_batched(SyntheticTrace::new(cfg), 256, |batch| {
-        runtime.process_batch(batch)
-    });
+    runtime.process_network(&mut network, SyntheticTrace::new(cfg), 256);
     runtime.finish();
 
     let results = runtime.collect();

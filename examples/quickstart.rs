@@ -45,7 +45,7 @@ fn main() {
 
     let mut network = Network::new(NetworkConfig::default());
     let mut runtime = Runtime::new(compiled);
-    network.run_batched(trace, 256, |batch| runtime.process_batch(batch));
+    runtime.process_network(&mut network, trace, 256);
     runtime.finish();
 
     // ------------------------------------------------------------------

@@ -16,18 +16,26 @@ TOLERANCE="${BENCH_SMOKE_TOLERANCE:-0.10}"
 OUT="$(mktemp /tmp/perfq_bench_smoke.XXXXXX.json)"
 trap 'rm -f "$OUT"' EXIT
 
-echo "== equivalence gate: batched + sharded engines vs single-stream =="
+echo "== equivalence gate: engines + store layout vs references =="
+# A fast benchmark that computes the wrong answer is worthless: re-prove the
+# batched/sharded engines equivalent to single-stream, the SoA store
+# byte-identical to the reference layout, and the steady-state path
+# allocation-free before timing anything.
 cargo test --release -q \
     --test batch_equivalence \
     --test shard_equivalence \
-    --test shard_property
+    --test shard_property \
+    --test store_differential \
+    --test alloc_discipline
 
 echo "== building release benches =="
 cargo build --release -p perfq-bench --benches
 
 echo "== running pipeline smoke (median of 7 iterations per bench) =="
+# No filter: the guard block covers query_runtime*, end_to_end*, network_run
+# and fig5_sweep, so every guarded group must actually run.
 PERFQ_BENCH_SMOKE=7 PERFQ_BENCH_JSON="$OUT" \
-    cargo bench -p perfq-bench --bench pipeline query_runtime
+    cargo bench -p perfq-bench --bench pipeline
 
 python3 - "$OUT" "$TOLERANCE" <<'EOF'
 import json

@@ -1,0 +1,114 @@
+//! Allocation discipline of the batched replay path.
+//!
+//! The end-to-end pipeline — packets through the network event loop, queue
+//! records through `Runtime::process_batch` — must perform **zero heap
+//! allocations per record in steady state**: every buffer it needs (event
+//! heap, route scratch, batch buffer, row buffers, bytecode stack, cache
+//! arenas, backing-store table) is either pooled on a long-lived struct or
+//! sized during warm-up. A counting global allocator proves it: after one
+//! full warm-up replay, a second replay of the same trace through the same
+//! runtime must not move the allocation counter at all.
+
+use perfq_core::{compile_query, Runtime};
+use perfq_lang::fig2;
+use perfq_switch::{Network, NetworkConfig, Topology};
+use perfq_trace::{SyntheticTrace, TraceConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation-path entry (alloc, alloc_zeroed, realloc); frees
+/// are not counted — the assertion is about *acquiring* memory.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One test fn (not several) so no concurrently-running sibling test can
+/// touch the global counter inside a measurement window.
+#[test]
+fn steady_state_batched_replay_allocates_nothing() {
+    let packets: Vec<_> = SyntheticTrace::new(TraceConfig::test_small(7))
+        .take(10_000)
+        .collect();
+    // Single topology exercises the heap-free merge fast path; the
+    // leaf-spine fabric exercises the pooled event heap and the multi-hop
+    // route scratch (3-hop routes, internal next-hop events).
+    let topologies = [
+        NetworkConfig::default(),
+        NetworkConfig {
+            topology: Topology::LeafSpine {
+                leaves: 4,
+                spines: 2,
+            },
+            ..Default::default()
+        },
+    ];
+
+    for cfg in topologies {
+        let mut net = Network::new(cfg);
+        for q in [
+            &fig2::PER_FLOW_COUNTERS,
+            &fig2::LATENCY_EWMA,
+            &fig2::TCP_NON_MONOTONIC,
+        ] {
+            let compiled =
+                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+            let mut rt = Runtime::new(compiled);
+
+            // Warm-up replay: all flows enter the caches, every pooled
+            // buffer (event heap, route/batch scratch, row buffers, arenas,
+            // backing table) reaches its steady-state capacity.
+            net.run_batched(packets.iter().copied(), 256, |chunk| {
+                rt.process_batch(chunk);
+            });
+            let processed_warmup = rt.records();
+            assert!(processed_warmup > 0, "warm-up processed records");
+
+            // Steady state: the identical record window again, through the
+            // same network and runtime. Zero allocations per record means
+            // zero allocations total.
+            let before = allocs();
+            net.run_batched(packets.iter().copied(), 256, |chunk| {
+                rt.process_batch(chunk);
+            });
+            let after = allocs();
+            assert_eq!(
+                after - before,
+                0,
+                "{} over {:?}: steady-state batched replay allocated {} times over {} records",
+                q.name,
+                cfg.topology,
+                after - before,
+                rt.records() - processed_warmup,
+            );
+            assert_eq!(rt.records(), processed_warmup * 2, "second replay ran fully");
+        }
+    }
+}
