@@ -13,8 +13,7 @@
 //! * streaming dataflow edges (query composition) are wired up.
 
 use crate::foldops::FoldOps;
-use perfq_lang::schema::base_column_header_field;
-use perfq_lang::{QueryInput, ResolvedKind, ResolvedProgram, ValueType};
+use perfq_lang::{QueryInput, ResolvedKind, ResolvedProgram};
 use perfq_kvstore::{CacheGeometry, EvictionPolicy};
 use perfq_switch::{AluReport, AluSpec, AluViolation};
 use std::fmt;
@@ -132,25 +131,6 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// Width in bits of a column when used as part of an aggregation key.
-fn column_key_bits(program: &ResolvedProgram, input: &QueryInput, col: usize) -> u32 {
-    match input {
-        QueryInput::Base => {
-            if let Some(f) = base_column_header_field(col) {
-                return f.bits();
-            }
-            // Metadata columns: qid/qsize/qout are 32-bit, timestamps and
-            // path are 64-bit.
-            let name = program.base.name_of(col);
-            match name {
-                "qid" | "qsize" | "qout" => 32,
-                _ => 64,
-            }
-        }
-        QueryInput::Table(_) | QueryInput::Join { .. } => 64,
-    }
-}
-
 /// Compile a resolved program against a hardware configuration.
 pub fn compile_program(
     program: ResolvedProgram,
@@ -158,6 +138,10 @@ pub fn compile_program(
 ) -> Result<CompiledProgram, CompileError> {
     let n = program.queries.len();
     let params = program.param_values();
+    // The §3.3/§4 width arithmetic lives with the language resolver: the
+    // front end reports every aggregation's key/state bit widths, and the
+    // physical planner (and the SRAM area planner downstream) consume them.
+    let widths = program.store_widths();
     let mut stores = Vec::with_capacity(n);
     let mut alu = Vec::with_capacity(n);
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -179,28 +163,13 @@ pub fn compile_program(
                         });
                     }
                 }
-                let key_bits: u32 = g
-                    .key_cols
-                    .iter()
-                    .map(|c| column_key_bits(&program, &q.input, *c))
-                    .sum();
-                let value_bits: u32 = g
-                    .fold
-                    .state
-                    .iter()
-                    .map(|v| match v.ty {
-                        ValueType::Float => 32, // fixed-point in hardware
-                        ValueType::Int => 32,
-                        ValueType::Bool => 1,
-                    })
-                    .sum::<u32>()
-                    .max(24); // the paper's minimum counter width
+                let width = widths[idx].expect("groupby reports a store width");
                 stores.push(Some(StorePlan {
                     geometry: options.geometry(),
                     policy: options.policy,
                     hash_seed: options.hash_seed ^ (idx as u64).wrapping_mul(0x9e37_79b9),
-                    key_bits,
-                    value_bits,
+                    key_bits: width.key_bits,
+                    value_bits: width.value_bits,
                     ops: FoldOps::new(g.fold.clone(), params.clone()),
                 }));
                 alu.push(Some(report));

@@ -93,6 +93,27 @@
 //! overflows its capture limit the retained sample is shard-biased, though
 //! totals and row counts stay exact (see [`sharded`] for the full caveat).
 //!
+//! # Multi-query execution
+//!
+//! The paper's §3.3 prices **one** fixed slice of switch SRAM that every
+//! concurrently-installed query shares — so concurrent queries are the
+//! normal case, not K independent deployments. [`MultiRuntime`] installs
+//! several compiled programs behind a single ingest pass: each record's
+//! base row materializes **once**, with the union of the programs' pruned
+//! column masks, and is dispatched to every program's flat plan — K
+//! concurrent Fig. 2 queries cost one trip through the network event loop
+//! instead of K full replays (the `multi_query` bench group guards the
+//! speedup). On the provisioning side, [`provision`] runs
+//! `perfq_kvstore::CachePlanner` over the programs' reported key/state
+//! widths and rewrites every store's geometry to its slice of the budget;
+//! [`MultiSharded`] extends both to the sharded dataplane, sizing each
+//! shard's cache at `1/N` of its program's slice so total area stays
+//! constant as the dataplane scales out. Execution is byte-identical to K
+//! independent sequential replays with the same geometries
+//! (`tests/multi_query_equivalence.rs` pins single-stream, batched and
+//! 1/2/4/8-shard paths; `tests/area_plan.rs` fuzzes the planner's
+//! never-over-budget invariant).
+//!
 //! # Example
 //!
 //! ```
@@ -116,6 +137,7 @@
 
 pub mod compiler;
 pub mod foldops;
+pub mod multi;
 pub mod oracle;
 mod plan;
 pub mod result;
@@ -125,6 +147,7 @@ pub mod windows;
 
 pub use compiler::{compile_program, CompileError, CompileOptions, CompiledProgram, StorePlan};
 pub use foldops::{FoldOps, FoldState};
+pub use multi::{demand_of, provision, shard_programs, MultiRuntime, MultiSharded};
 pub use oracle::Oracle;
 pub use result::{diff_tables, ResultRow, ResultSet, ResultTable};
 pub use runtime::Runtime;

@@ -1,0 +1,529 @@
+//! The multi-query concurrent dataplane under one SRAM area budget.
+//!
+//! §3.3's hardware argument prices a *fixed* slice of switch SRAM
+//! (~32 Mbit, < 2.5 % of a 200 mm² die) that every concurrently-installed
+//! query shares. Running one [`Runtime`] per query with an
+//! independently-sized cache quietly multiplies that budget by the number of
+//! queries; this module closes the gap from both ends:
+//!
+//! * **Provisioning** ([`provision`]): the kvstore's
+//!   [`CachePlanner`] divides a budget in bits across the installed
+//!   programs — using the key/state widths each compiled program reports
+//!   (`StorePlan::pair_bits`, ultimately `ResolvedProgram::store_widths` in
+//!   the language front end) — and the resulting [`AreaPlan`] is written
+//!   back into every store's [`CacheGeometry`]. The §4 arithmetic becomes
+//!   the geometry the dataplane actually runs.
+//! * **Shared ingest** ([`MultiRuntime`]): K installed programs are driven
+//!   from **one** replay pass. Each record's base row materializes once,
+//!   with the *union* of the programs' pruned column masks, and the row is
+//!   dispatched to every program's flat plan — so K concurrent Fig. 2
+//!   queries cost one trip through the network event loop and one row
+//!   materialization instead of K full replays.
+//!
+//! ```text
+//!                          ┌─▶ ExecPlan(program 0) ─▶ stores₀ (slice₀)
+//!   packets ─▶ Network ─▶ row (union mask, once) ─▶ ExecPlan(program 1) ─▶ stores₁ (slice₁)
+//!                          └─▶ ExecPlan(program K) ─▶ storesₖ (sliceₖ)
+//! ```
+//!
+//! [`MultiSharded`] extends the same discipline across cores: each program
+//! runs its own [`ShardedRuntime`], and under a plan every shard's cache is
+//! sized at `1/N` of the program's slice
+//! ([`StoreAllocation::shard_geometry`]) — total area stays constant as the
+//! dataplane scales out, which is what lets the Fig. 5 eviction behaviour
+//! carry over to the sharded configuration (`tests/area_sweep.rs`).
+//!
+//! Execution is *byte-identical* to K independent sequential replays with
+//! the same geometries — the shared pass changes when rows materialize, not
+//! what any program observes (`tests/multi_query_equivalence.rs` pins
+//! single-stream, batched and 1/2/4/8-shard paths; the steady state of the
+//! batched path allocates nothing, `tests/alloc_discipline.rs`).
+
+use crate::compiler::CompiledProgram;
+use crate::result::ResultSet;
+use crate::runtime::Runtime;
+use crate::sharded::{ShardedRuntime, DEFAULT_BATCH, DEFAULT_QUEUE_CAPACITY};
+use perfq_kvstore::{
+    AreaPlan, CacheGeometry, CachePlanner, PlanError, QueryAllocation, QueryDemand, StoreDemand,
+};
+use perfq_lang::Value;
+use perfq_switch::{Network, QueueRecord};
+
+/// The cache demand one compiled program places on the SRAM budget: one
+/// [`StoreDemand`] per `GROUPBY` store, at the pair width the program's
+/// resolved key/state layout implies. `None` for programs without
+/// aggregations (pure selections occupy no cache SRAM).
+#[must_use]
+pub fn demand_of(name: impl Into<String>, compiled: &CompiledProgram) -> Option<QueryDemand> {
+    let stores: Vec<StoreDemand> = compiled
+        .stores
+        .iter()
+        .flatten()
+        .map(|s| StoreDemand {
+            pair_bits: s.pair_bits(),
+            ways: compiled.options.ways,
+        })
+        .collect();
+    (!stores.is_empty()).then(|| QueryDemand::new(name, stores))
+}
+
+/// Plan `budget_bits` of cache SRAM across `programs` (equal shares) and
+/// rewrite every store's geometry to its allocation. Programs without
+/// aggregation stores take no share. Returns the plan (query `i` appears as
+/// `"q{i}"`) so callers can inspect slices or derive per-shard geometries.
+///
+/// # Panics
+///
+/// Panics when no program has any aggregation store.
+pub fn provision(
+    programs: &mut [CompiledProgram],
+    budget_bits: u64,
+) -> Result<AreaPlan, PlanError> {
+    let mut idxs = Vec::new();
+    let mut demands = Vec::new();
+    for (i, p) in programs.iter().enumerate() {
+        if let Some(d) = demand_of(format!("q{i}"), p) {
+            idxs.push(i);
+            demands.push(d);
+        }
+    }
+    assert!(
+        !demands.is_empty(),
+        "no aggregation stores to provision in {} program(s)",
+        programs.len()
+    );
+    let plan = CachePlanner::new(budget_bits).plan(&demands)?;
+    for (i, alloc) in idxs.iter().zip(&plan.queries) {
+        apply_allocation(&mut programs[*i], alloc);
+    }
+    Ok(plan)
+}
+
+/// Write an allocation's geometries into a compiled program's store plans.
+fn apply_allocation(compiled: &mut CompiledProgram, alloc: &QueryAllocation) {
+    let mut allocs = alloc.stores.iter();
+    for s in compiled.stores.iter_mut().flatten() {
+        let a = allocs.next().expect("allocation covers every store");
+        debug_assert_eq!(a.pair_bits, s.pair_bits(), "allocation order matches");
+        s.geometry = a.geometry;
+    }
+    assert!(allocs.next().is_none(), "allocation covers exactly the stores");
+}
+
+/// The per-worker programs of a sharded deployment under an allocation:
+/// `shards` clones of `compiled`, each store sized at `1/shards` of its
+/// slice — constant total area as the dataplane scales out.
+pub fn shard_programs(
+    compiled: &CompiledProgram,
+    alloc: &QueryAllocation,
+    shards: usize,
+) -> Result<Vec<CompiledProgram>, PlanError> {
+    assert!(shards > 0, "need at least one shard");
+    // Resolve the shard geometries once (they are identical per shard).
+    let geoms: Vec<CacheGeometry> = alloc
+        .stores
+        .iter()
+        .map(|s| {
+            s.shard_geometry(shards).map_err(|mut e| {
+                e.query = alloc.name.clone();
+                e
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((0..shards)
+        .map(|_| {
+            let mut p = compiled.clone();
+            let mut it = geoms.iter();
+            for s in p.stores.iter_mut().flatten() {
+                s.geometry = *it.next().expect("geometry per store");
+            }
+            p
+        })
+        .collect())
+}
+
+/// K installed programs behind one shared ingest pass. Usage mirrors
+/// [`Runtime`]; every entry point is semantically K independent runtimes
+/// fed the same records, and is pinned byte-identical to exactly that.
+///
+/// ```
+/// use perfq_core::{compile_query, MultiRuntime};
+/// use perfq_lang::fig2;
+/// use perfq_switch::{Network, NetworkConfig};
+/// use perfq_trace::{SyntheticTrace, TraceConfig};
+///
+/// let programs: Vec<_> = [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA]
+///     .iter()
+///     .map(|q| {
+///         compile_query(q.source, &fig2::default_params(), Default::default()).unwrap()
+///     })
+///     .collect();
+/// // One 32 Mbit SRAM budget provisions both queries' caches…
+/// let (mut multi, plan) =
+///     MultiRuntime::provisioned(programs, 32 * 1024 * 1024).unwrap();
+/// assert!(plan.allocated_bits() <= plan.budget_bits);
+/// // …and one replay pass drives both programs.
+/// let mut net = Network::new(NetworkConfig::default());
+/// multi.process_network(&mut net, SyntheticTrace::new(TraceConfig::test_small(1)).take(2_000), 256);
+/// multi.finish();
+/// let results = multi.collect();
+/// assert_eq!(results.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MultiRuntime {
+    runtimes: Vec<Runtime>,
+    /// Union of the programs' pruned base-column masks.
+    union_cols: u64,
+    /// Shared row buffer, materialized once per record
+    /// ([`MultiRuntime::process_record`]).
+    row_buf: Vec<Value>,
+    /// Batch-wide row buffers ([`MultiRuntime::process_batch`]): the whole
+    /// batch materializes once, then each program sweeps it consecutively —
+    /// a program's stores and bytecode state stay hot across the batch
+    /// instead of being evicted K−1 times per record.
+    rows: Vec<Vec<Value>>,
+    /// Observation times of the current batch, parallel to `rows`.
+    nows: Vec<perfq_packet::Nanos>,
+}
+
+impl MultiRuntime {
+    /// Install several compiled programs behind one ingest pass, with
+    /// whatever geometries they already carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty program list.
+    #[must_use]
+    pub fn new(programs: Vec<CompiledProgram>) -> Self {
+        assert!(!programs.is_empty(), "need at least one program");
+        let runtimes: Vec<Runtime> = programs.into_iter().map(Runtime::new).collect();
+        let union_cols = runtimes.iter().fold(0u64, |m, rt| m | rt.base_cols());
+        MultiRuntime {
+            runtimes,
+            union_cols,
+            row_buf: Vec::new(),
+            rows: Vec::new(),
+            nows: Vec::new(),
+        }
+    }
+
+    /// Install programs under a shared SRAM budget: [`provision`] the
+    /// geometries first, then build the runtime. Returns the plan alongside.
+    pub fn provisioned(
+        mut programs: Vec<CompiledProgram>,
+        budget_bits: u64,
+    ) -> Result<(Self, AreaPlan), PlanError> {
+        let plan = provision(&mut programs, budget_bits)?;
+        Ok((Self::new(programs), plan))
+    }
+
+    /// Number of installed programs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// True when no program is installed (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runtimes.is_empty()
+    }
+
+    /// The installed runtimes, in program order.
+    #[must_use]
+    pub fn runtimes(&self) -> &[Runtime] {
+        &self.runtimes
+    }
+
+    /// Records each program has processed (identical across programs).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.runtimes[0].records()
+    }
+
+    /// Process one queue record: materialize the row once (union mask) and
+    /// dispatch it to every program's plan.
+    pub fn process_record(&mut self, rec: &QueueRecord) {
+        let now = rec.observed_at();
+        let mut row = std::mem::take(&mut self.row_buf);
+        rec.write_row_masked(&mut row, self.union_cols);
+        for rt in &mut self.runtimes {
+            rt.process_row(&row, now);
+        }
+        self.row_buf = row;
+    }
+
+    /// Process a batch of records — the multi-query analogue of
+    /// [`Runtime::process_batch`]: the whole batch materializes **once**
+    /// (union column mask, reused row buffers), then every program's plan
+    /// sweeps the materialized rows consecutively. Semantically identical
+    /// to [`MultiRuntime::process_record`] per element (and tested to be);
+    /// programs are independent, so per-program stream order — the order
+    /// that matters — is preserved.
+    pub fn process_batch(&mut self, recs: &[QueueRecord]) {
+        let mask = self.union_cols;
+        if self.rows.len() < recs.len() {
+            self.rows.resize(recs.len(), Vec::new());
+        }
+        self.nows.clear();
+        self.nows.reserve(recs.len());
+        for (rec, row) in recs.iter().zip(&mut self.rows) {
+            rec.write_row_masked(row, mask);
+            self.nows
+                .push(rec.observed_at());
+        }
+        for rt in &mut self.runtimes {
+            for (row, now) in self.rows[..recs.len()].iter().zip(&self.nows) {
+                rt.process_row(row, *now);
+            }
+        }
+    }
+
+    /// Replay a packet stream through a network straight into every
+    /// installed program: **one** shared ingest pass (the network event
+    /// loop runs once, records stream in batches), K plan executions.
+    pub fn process_network(
+        &mut self,
+        net: &mut Network,
+        packets: impl Iterator<Item = perfq_packet::Packet>,
+        batch: usize,
+    ) {
+        net.run_batched(packets, batch, |chunk| self.process_batch(chunk));
+    }
+
+    /// Flush every program's caches (end of measurement window).
+    pub fn finish(&mut self) {
+        for rt in &mut self.runtimes {
+            rt.finish();
+        }
+    }
+
+    /// Collect every program's final tables, in program order. Call after
+    /// [`MultiRuntime::finish`].
+    #[must_use]
+    pub fn collect(&self) -> Vec<ResultSet> {
+        self.runtimes.iter().map(Runtime::collect).collect()
+    }
+
+    /// Tear down into the per-program runtimes.
+    #[must_use]
+    pub fn into_runtimes(self) -> Vec<Runtime> {
+        self.runtimes
+    }
+}
+
+/// K programs × N shards behind one shared ingest pass: each program owns a
+/// [`ShardedRuntime`] (its own router and SPSC queues), and every record is
+/// routed once per program. Under [`MultiSharded::provisioned`], each
+/// shard's cache is `1/N` of the program's SRAM slice, so the whole
+/// deployment still fits the single fixed budget.
+#[derive(Debug)]
+pub struct MultiSharded {
+    sharded: Vec<ShardedRuntime>,
+}
+
+impl MultiSharded {
+    /// Spawn `shards` workers per program with the geometries the programs
+    /// already carry (replicated per shard — the *unprovisioned*
+    /// configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty program list or zero shards.
+    #[must_use]
+    pub fn new(programs: Vec<CompiledProgram>, shards: usize) -> Self {
+        assert!(!programs.is_empty(), "need at least one program");
+        MultiSharded {
+            sharded: programs
+                .into_iter()
+                .map(|p| ShardedRuntime::new(p, shards))
+                .collect(),
+        }
+    }
+
+    /// Spawn under a shared SRAM budget: the budget divides across programs
+    /// ([`provision`]), and each program's slice divides across its `shards`
+    /// workers ([`shard_programs`]) — constant total area at any scale.
+    pub fn provisioned(
+        mut programs: Vec<CompiledProgram>,
+        budget_bits: u64,
+        shards: usize,
+    ) -> Result<(Self, AreaPlan), PlanError> {
+        let plan = provision(&mut programs, budget_bits)?;
+        let mut sharded = Vec::with_capacity(programs.len());
+        let mut allocs = plan.queries.iter();
+        for (i, p) in programs.into_iter().enumerate() {
+            // `provision` named the i-th store-bearing program `q{i}`.
+            let workers = if p.stores.iter().any(Option::is_some) {
+                let alloc = allocs.next().expect("plan covers store-bearing programs");
+                debug_assert_eq!(alloc.name, format!("q{i}"));
+                shard_programs(&p, alloc, shards)?
+            } else {
+                vec![p; shards]
+            };
+            sharded.push(ShardedRuntime::with_worker_programs(
+                workers,
+                DEFAULT_QUEUE_CAPACITY,
+                DEFAULT_BATCH,
+            ));
+        }
+        Ok((MultiSharded { sharded }, plan))
+    }
+
+    /// Number of installed programs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sharded.len()
+    }
+
+    /// True when no program is installed (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sharded.is_empty()
+    }
+
+    /// Worker shards per program.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.sharded[0].shards()
+    }
+
+    /// Route one record to its shard in **every** program's dataplane.
+    pub fn process_record(&mut self, rec: &QueueRecord) {
+        for sh in &mut self.sharded {
+            sh.process_record(rec);
+        }
+    }
+
+    /// Route a batch of records to every program's dataplane.
+    pub fn process_batch(&mut self, recs: &[QueueRecord]) {
+        for rec in recs {
+            self.process_record(rec);
+        }
+    }
+
+    /// Replay a packet stream through a network into every program's shard
+    /// queues in one pass — the multi-program producer
+    /// ([`Network::run_multi_sharded`]). Returns per-program, per-shard
+    /// routed counts.
+    pub fn run_network(
+        &mut self,
+        net: &mut Network,
+        packets: impl Iterator<Item = perfq_packet::Packet>,
+        batch: usize,
+    ) -> Vec<Vec<u64>> {
+        let (mut routers, senders): (Vec<_>, Vec<_>) = self
+            .sharded
+            .iter_mut()
+            .map(ShardedRuntime::take_feeds)
+            .unzip();
+        net.run_multi_sharded(packets, |i, r| routers[i].route(r), senders, batch)
+    }
+
+    /// Drain every program's dataplane (join workers, merge fold state)
+    /// into finished per-program runtimes, in program order.
+    #[must_use]
+    pub fn finish(self) -> Vec<Runtime> {
+        self.sharded.into_iter().map(ShardedRuntime::finish).collect()
+    }
+
+    /// Drain and collect every program's final tables in one step.
+    #[must_use]
+    pub fn finish_collect(self) -> Vec<ResultSet> {
+        self.finish().iter().map(Runtime::collect).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_query;
+    use crate::compiler::CompileOptions;
+    use perfq_lang::fig2;
+    use perfq_switch::NetworkConfig;
+    use perfq_trace::{SyntheticTrace, TraceConfig};
+
+    const MBIT: u64 = 1024 * 1024;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        compile_query(src, &fig2::default_params(), CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn demand_reports_the_papers_pair_width() {
+        let c = compiled("SELECT COUNT GROUPBY 5tuple");
+        let d = demand_of("counters", &c).unwrap();
+        assert_eq!(d.stores.len(), 1);
+        // §4's 104-bit 5-tuple key; the compiled counter state is a 32-bit
+        // integer (the paper's 128-bit figure uses its 24-bit minimum
+        // counter width — pinned separately against `area::PAIR_BITS`).
+        assert_eq!(d.stores[0].pair_bits, 104 + 32);
+        assert!(demand_of("sel", &compiled("SELECT srcip FROM T")).is_none());
+    }
+
+    #[test]
+    fn provision_rewrites_geometries_within_budget() {
+        let mut programs: Vec<CompiledProgram> = [
+            "SELECT COUNT GROUPBY 5tuple",
+            "SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
+        ]
+        .iter()
+        .map(|s| compiled(s))
+        .collect();
+        let plan = provision(&mut programs, 8 * MBIT).unwrap();
+        assert!(plan.allocated_bits() <= 8 * MBIT);
+        for (p, alloc) in programs.iter().zip(&plan.queries) {
+            let store = p.stores[0].as_ref().unwrap();
+            assert_eq!(store.geometry, alloc.stores[0].geometry);
+            assert_ne!(
+                store.geometry,
+                CompileOptions::default().geometry(),
+                "provisioning must actually resize the cache"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_runtime_matches_sequential_replays() {
+        let sources = [
+            fig2::PER_FLOW_COUNTERS.source,
+            fig2::LATENCY_EWMA.source,
+            fig2::TCP_NON_MONOTONIC.source,
+        ];
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(5)).take(4_000));
+        let mut multi = MultiRuntime::new(sources.iter().map(|s| compiled(s)).collect());
+        multi.process_batch(&records);
+        multi.finish();
+        let got = multi.collect();
+        for (i, src) in sources.iter().enumerate() {
+            let mut rt = Runtime::new(compiled(src));
+            for r in &records {
+                rt.process_record(r);
+            }
+            rt.finish();
+            assert_eq!(got[i], rt.collect(), "program {i}");
+        }
+    }
+
+    #[test]
+    fn multi_sharded_provisioned_sizes_shards_at_one_nth() {
+        let programs = vec![compiled("SELECT COUNT GROUPBY 5tuple")];
+        let shards = 4;
+        let (sh, plan) =
+            MultiSharded::provisioned(programs, 32 * MBIT, shards).unwrap();
+        assert_eq!(sh.shards(), shards);
+        let store = plan.queries[0].stores[0];
+        let per_shard = store.shard_geometry(shards).unwrap();
+        assert_eq!(per_shard.capacity(), store.geometry.capacity() / shards);
+        // Drive a few records through so drain has work to merge.
+        let mut net = Network::new(NetworkConfig::default());
+        let recs = net.run_collect(SyntheticTrace::new(TraceConfig::test_small(9)).take(1_000));
+        let mut sh = sh;
+        sh.process_batch(&recs);
+        let results = sh.finish_collect();
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].tables[0].rows.is_empty());
+    }
+}

@@ -134,6 +134,14 @@ impl Runtime {
         self.records
     }
 
+    /// Bitmap of base-schema columns the compiled plan reads — what the
+    /// multi-query dataplane unions across programs to materialize each
+    /// record's row once.
+    #[must_use]
+    pub(crate) fn base_cols(&self) -> u64 {
+        self.plan.base_cols
+    }
+
     /// Store statistics of a GROUPBY query (by query index).
     #[must_use]
     pub fn store_stats(&self, idx: usize) -> Option<StoreStats> {
@@ -144,7 +152,7 @@ impl Runtime {
     /// reused across calls, and only the columns the compiled program reads
     /// are written — no per-record allocation, no dead column extraction.
     pub fn process_record(&mut self, rec: &QueueRecord) {
-        let now = if rec.is_drop() { rec.tin } else { rec.tout };
+        let now = rec.observed_at();
         let mut row = std::mem::take(&mut self.row_buf);
         rec.write_row_masked(&mut row, self.plan.base_cols);
         self.process_row(&row, now);
@@ -159,7 +167,7 @@ impl Runtime {
         let mask = self.plan.base_cols;
         let mut row = std::mem::take(&mut self.row_buf);
         for rec in recs {
-            let now = if rec.is_drop() { rec.tin } else { rec.tout };
+            let now = rec.observed_at();
             rec.write_row_masked(&mut row, mask);
             self.process_row(&row, now);
         }

@@ -263,13 +263,42 @@ impl ShardedRuntime {
         batch: usize,
     ) -> Self {
         assert!(shards > 0, "need at least one shard");
+        let programs = vec![compiled; shards];
+        Self::with_worker_programs(programs, queue_capacity, batch)
+    }
+
+    /// Spawn one worker per element of `programs` — all compiled from the
+    /// same source, but each worker may carry its own *physical* store
+    /// geometries. This is how an area-plan-provisioned dataplane
+    /// ([`crate::multi::shard_programs`]) sizes each shard's cache at `1/N`
+    /// of the query's SRAM slice (constant total area) instead of
+    /// replicating the single-stream geometry per core; routing uses the
+    /// first program's shard spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty program list, mismatched query shapes, or
+    /// `batch`/`queue_capacity` out of range.
+    #[must_use]
+    pub fn with_worker_programs(
+        programs: Vec<CompiledProgram>,
+        queue_capacity: usize,
+        batch: usize,
+    ) -> Self {
+        let shards = programs.len();
+        assert!(shards > 0, "need at least one shard");
         assert!(batch > 0 && batch <= queue_capacity, "0 < batch ≤ capacity");
-        let spec = ShardSpec::from_compiled(&compiled);
+        assert!(
+            programs.iter().all(|p| p.program == programs[0].program),
+            "all shard workers must run the same resolved program \
+             (only physical store geometries may differ)"
+        );
+        let spec = ShardSpec::from_compiled(&programs[0]);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for compiled in programs {
             let (tx, rx) = spsc::channel::<QueueRecord>(queue_capacity);
-            let mut rt = Runtime::new(compiled.clone());
+            let mut rt = Runtime::new(compiled);
             workers.push(std::thread::spawn(move || {
                 let mut buf: Vec<QueueRecord> = Vec::with_capacity(batch);
                 loop {

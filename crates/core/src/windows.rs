@@ -74,7 +74,7 @@ impl WindowedRuntime {
     /// Records must arrive in non-decreasing observation-time order, which
     /// the network's record stream provides.
     pub fn process_record(&mut self, rec: &QueueRecord) {
-        let at = if rec.is_drop() { rec.tin } else { rec.tout };
+        let at = rec.observed_at();
         while at >= self.window_end() {
             self.roll();
         }

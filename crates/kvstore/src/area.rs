@@ -1,4 +1,5 @@
-//! Chip-area and workload feasibility model (§3.3 and §4 of the paper).
+//! Chip-area and workload feasibility model (§3.3 and §4 of the paper),
+//! and the **SRAM area planner** that turns it into enforced behavior.
 //!
 //! The paper's hardware argument is back-of-the-envelope arithmetic over
 //! published numbers; this module encodes that arithmetic so the `area`
@@ -12,6 +13,40 @@
 //!   utilization) on a 1 GHz pipeline that can forward 10⁹ 64 B packets/s
 //!   ⇒ 22.6 M average-sized packets/s;
 //! * 3.55 % eviction rate at 32 Mbit ⇒ ~802 K backing-store writes/s.
+//!
+//! # Area-budgeted provisioning
+//!
+//! §3.3's premise is that one *fixed* slice of die SRAM (the 32 Mbit of the
+//! running example) is shared by **every concurrently-installed query** — the
+//! cache is a provisioned resource, not a per-query constant. The
+//! [`CachePlanner`] makes that arithmetic executable: given a total budget in
+//! bits and the per-query pair widths (key bits + state bits, as each
+//! compiled program reports them), [`CachePlanner::plan`] emits an
+//! [`AreaPlan`] of concrete [`CacheGeometry`] allocations.
+//!
+//! The planner arithmetic, top down:
+//!
+//! 1. the budget divides across queries in proportion to their weights
+//!    (equal shares by default): `slice_q = budget · w_q / Σw`;
+//! 2. a query's slice divides equally across its aggregation stores (one
+//!    per `GROUPBY`): `slice_s = slice_q / n_stores`;
+//! 3. a store's slice becomes a geometry by fitting the largest
+//!    hardware-shaped cache under it: `pairs = slice_s / pair_bits`, then
+//!    the bucket count is rounded *down* to a power of two (SRAM rows are
+//!    decoded by address bits) at the store's associativity, so
+//!    `geometry.sram_bits(pair_bits) ≤ slice_s` always;
+//! 4. sharded execution splits a store's slice a further `1/N` per shard
+//!    ([`StoreAllocation::shard_geometry`]), keeping **total** area constant
+//!    as the dataplane scales across cores — the shard geometries sum to no
+//!    more than the single-stream allocation.
+//!
+//! Rounding means a plan may under-use the budget (that slack is the same
+//! slack a hardware floorplan has), but a plan can never over-allocate:
+//! `tests/area_plan.rs` property-fuzzes exactly that invariant, plus the §4
+//! pins above.
+
+use crate::geometry::CacheGeometry;
+use std::fmt;
 
 /// SRAM density in kilobits per mm² (§4: "SRAM densities are now around
 /// 7000 Kb/mm²").
@@ -110,6 +145,267 @@ impl WorkloadModel {
     }
 }
 
+/// Planning failure: some slice of the budget is too small to hold even a
+/// single key-value pair of the demanded width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Name of the query whose store could not be provisioned.
+    pub query: String,
+    /// The slice that was available for the store, in bits.
+    pub slice_bits: u64,
+    /// The store's pair width, in bits.
+    pub pair_bits: u32,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The query name is empty when the error comes from a bare
+        // `StoreAllocation::shard_geometry` call (the allocation does not
+        // know its owner; `perfq_core::shard_programs` back-fills it).
+        if !self.query.is_empty() {
+            write!(f, "query `{}`: ", self.query)?;
+        }
+        write!(
+            f,
+            "a {}-bit slice cannot hold a single {}-bit pair",
+            self.slice_bits, self.pair_bits
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One aggregation store's demand on the SRAM budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreDemand {
+    /// Bits per key-value pair (key width + state width).
+    pub pair_bits: u32,
+    /// Requested associativity; 0 selects a fully-associative geometry.
+    pub ways: usize,
+}
+
+/// One query's demand: a name (for diagnostics), its stores, and a share
+/// weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryDemand {
+    /// Query name (diagnostics and plan lookup).
+    pub name: String,
+    /// One entry per aggregation store (per `GROUPBY`).
+    pub stores: Vec<StoreDemand>,
+    /// Relative share of the budget (equal shares when all are 1).
+    pub weight: u64,
+}
+
+impl QueryDemand {
+    /// An equal-share demand.
+    #[must_use]
+    pub fn new(name: impl Into<String>, stores: Vec<StoreDemand>) -> Self {
+        QueryDemand {
+            name: name.into(),
+            stores,
+            weight: 1,
+        }
+    }
+
+    /// Override the share weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        assert!(weight > 0, "weight must be positive");
+        self.weight = weight;
+        self
+    }
+}
+
+/// A concrete SRAM allocation for one aggregation store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreAllocation {
+    /// Bits per key-value pair.
+    pub pair_bits: u32,
+    /// The slice of the budget this store may use, in bits.
+    pub slice_bits: u64,
+    /// The provisioned cache shape (`sram_bits(pair_bits) ≤ slice_bits`).
+    pub geometry: CacheGeometry,
+}
+
+impl StoreAllocation {
+    /// SRAM bits the provisioned geometry actually occupies.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.geometry.sram_bits(self.pair_bits)
+    }
+
+    /// The geometry of one shard when this store's slice is split `1/N`
+    /// across `shards` workers (constant total area): each shard fits under
+    /// `slice_bits / shards`, so the shard geometries sum to no more than
+    /// the single-stream slice.
+    pub fn shard_geometry(&self, shards: usize) -> Result<CacheGeometry, PlanError> {
+        assert!(shards > 0, "need at least one shard");
+        fit_geometry(
+            self.slice_bits / shards as u64,
+            self.pair_bits,
+            self.geometry_ways_hint(),
+        )
+        .ok_or(PlanError {
+            query: String::new(),
+            slice_bits: self.slice_bits / shards as u64,
+            pair_bits: self.pair_bits,
+        })
+    }
+
+    /// The associativity to preserve when re-fitting (1-bucket geometries
+    /// were fully associative by construction).
+    fn geometry_ways_hint(&self) -> usize {
+        if self.geometry.buckets == 1 {
+            0
+        } else {
+            self.geometry.ways
+        }
+    }
+}
+
+/// A concrete SRAM allocation for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAllocation {
+    /// Query name (from the demand).
+    pub name: String,
+    /// The query's slice of the total budget, in bits.
+    pub slice_bits: u64,
+    /// Per-store allocations, in demand order.
+    pub stores: Vec<StoreAllocation>,
+}
+
+impl QueryAllocation {
+    /// SRAM bits this query's provisioned geometries actually occupy.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.stores.iter().map(StoreAllocation::bits).sum()
+    }
+}
+
+/// The planner's output: every query's share of one SRAM budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaPlan {
+    /// The total budget planned against, in bits.
+    pub budget_bits: u64,
+    /// Per-query allocations, in demand order.
+    pub queries: Vec<QueryAllocation>,
+}
+
+impl AreaPlan {
+    /// SRAM bits the provisioned geometries actually occupy
+    /// (≤ [`AreaPlan::budget_bits`], always).
+    #[must_use]
+    pub fn allocated_bits(&self) -> u64 {
+        self.queries.iter().map(QueryAllocation::bits).sum()
+    }
+
+    /// Die-area fraction of the *budget* (the provisioned envelope, what the
+    /// floorplan reserves), per the §4 density constants.
+    #[must_use]
+    pub fn area_fraction(&self, chip_mm2: f64) -> f64 {
+        chip_area_fraction(self.budget_bits, chip_mm2)
+    }
+
+    /// Look up a query's allocation by name.
+    #[must_use]
+    pub fn query(&self, name: &str) -> Option<&QueryAllocation> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+}
+
+/// Fit the largest hardware-shaped geometry under `slice_bits`:
+/// `pairs = slice / pair_bits` rounded down to a power-of-two row count at
+/// the requested associativity (0 = fully associative, one bucket whose way
+/// count is the power-of-two pair budget). `None` when not even one pair
+/// fits.
+fn fit_geometry(slice_bits: u64, pair_bits: u32, ways: usize) -> Option<CacheGeometry> {
+    assert!(pair_bits > 0, "pair width must be positive");
+    let pairs = usize::try_from(slice_bits / u64::from(pair_bits)).ok()?;
+    if pairs == 0 {
+        return None;
+    }
+    let floor_pow2 = |n: usize| 1usize << (usize::BITS - 1 - n.leading_zeros());
+    Some(if ways == 0 {
+        CacheGeometry::fully_associative(floor_pow2(pairs))
+    } else {
+        // Clamp associativity to the pair budget, then round the row count
+        // down to a power of two (SRAM rows decode from address bits).
+        let ways_eff = ways.min(pairs);
+        CacheGeometry::new(floor_pow2(pairs / ways_eff), ways_eff)
+    })
+}
+
+/// The SRAM area planner: one fixed budget, shared by every installed query.
+/// See the module docs for the provisioning arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePlanner {
+    budget_bits: u64,
+}
+
+impl CachePlanner {
+    /// A planner over `budget_bits` of cache SRAM (§4's running example:
+    /// `32 * 1024 * 1024`).
+    #[must_use]
+    pub fn new(budget_bits: u64) -> Self {
+        CachePlanner { budget_bits }
+    }
+
+    /// The budget, in bits.
+    #[must_use]
+    pub fn budget_bits(&self) -> u64 {
+        self.budget_bits
+    }
+
+    /// Divide the budget across `demands` and provision every store.
+    ///
+    /// Errors when some store's slice cannot hold a single pair — the
+    /// multi-query analogue of "this query does not fit the chip".
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty demand list or a query without stores (a program
+    /// with no `GROUPBY` has no cache demand and must not be planned).
+    pub fn plan(&self, demands: &[QueryDemand]) -> Result<AreaPlan, PlanError> {
+        assert!(!demands.is_empty(), "plan() needs at least one query");
+        let total_weight: u128 = demands.iter().map(|d| u128::from(d.weight)).sum();
+        assert!(total_weight > 0, "weights must be positive");
+        let mut queries = Vec::with_capacity(demands.len());
+        for d in demands {
+            assert!(
+                !d.stores.is_empty(),
+                "query `{}` has no aggregation stores to provision",
+                d.name
+            );
+            let slice_bits =
+                (u128::from(self.budget_bits) * u128::from(d.weight) / total_weight) as u64;
+            let store_slice = slice_bits / d.stores.len() as u64;
+            let mut stores = Vec::with_capacity(d.stores.len());
+            for s in &d.stores {
+                let geometry =
+                    fit_geometry(store_slice, s.pair_bits, s.ways).ok_or_else(|| PlanError {
+                        query: d.name.clone(),
+                        slice_bits: store_slice,
+                        pair_bits: s.pair_bits,
+                    })?;
+                stores.push(StoreAllocation {
+                    pair_bits: s.pair_bits,
+                    slice_bits: store_slice,
+                    geometry,
+                });
+            }
+            queries.push(QueryAllocation {
+                name: d.name.clone(),
+                slice_bits,
+                stores,
+            });
+        }
+        Ok(AreaPlan {
+            budget_bits: self.budget_bits,
+            queries,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +475,119 @@ mod tests {
     fn sram_area_is_linear_in_bits() {
         assert!((sram_area_mm2(7_000_000) - 1.0).abs() < 1e-9);
         assert!((sram_area_mm2(14_000_000) - 2.0).abs() < 1e-9);
+    }
+
+    fn demand(name: &str, pair_bits: u32, ways: usize) -> QueryDemand {
+        QueryDemand::new(name, vec![StoreDemand { pair_bits, ways }])
+    }
+
+    #[test]
+    fn planner_gives_the_whole_budget_to_a_single_query() {
+        // §4's running example: one 128-bit-pair query on 32 Mbit lands the
+        // full 2^18-pair 8-way geometry with zero slack.
+        let plan = CachePlanner::new(32 * MBIT)
+            .plan(&[demand("counters", PAIR_BITS, 8)])
+            .unwrap();
+        let g = plan.queries[0].stores[0].geometry;
+        assert_eq!(g.capacity(), 1 << 18);
+        assert_eq!(g.ways, 8);
+        assert_eq!(plan.allocated_bits(), 32 * MBIT);
+        assert!(plan.area_fraction(MIN_CHIP_AREA_MM2) < 0.025);
+    }
+
+    #[test]
+    fn planner_splits_equal_shares_and_never_overallocates() {
+        let plan = CachePlanner::new(32 * MBIT)
+            .plan(&[
+                demand("a", 128, 8),
+                demand("b", 160, 8),
+                demand("c", 128, 0),
+            ])
+            .unwrap();
+        assert!(plan.allocated_bits() <= 32 * MBIT);
+        for q in &plan.queries {
+            assert!(q.bits() <= q.slice_bits, "{} over its slice", q.name);
+            for s in &q.stores {
+                assert!(s.geometry.buckets.is_power_of_two());
+                assert!(s.geometry.ways >= 1);
+            }
+        }
+        // Equal weights: slices match exactly.
+        assert_eq!(plan.queries[0].slice_bits, plan.queries[1].slice_bits);
+    }
+
+    #[test]
+    fn weights_skew_the_split() {
+        let plan = CachePlanner::new(32 * MBIT)
+            .plan(&[
+                demand("heavy", 128, 8).with_weight(3),
+                demand("light", 128, 8),
+            ])
+            .unwrap();
+        assert_eq!(plan.queries[0].slice_bits, 24 * MBIT);
+        assert_eq!(plan.queries[1].slice_bits, 8 * MBIT);
+    }
+
+    #[test]
+    fn multi_store_queries_split_their_slice_per_store() {
+        // Loss rate's two 5-tuple counters: each store gets half the slice.
+        let plan = CachePlanner::new(32 * MBIT)
+            .plan(&[QueryDemand::new(
+                "loss",
+                vec![
+                    StoreDemand { pair_bits: 128, ways: 8 },
+                    StoreDemand { pair_bits: 128, ways: 8 },
+                ],
+            )])
+            .unwrap();
+        let q = &plan.queries[0];
+        assert_eq!(q.stores.len(), 2);
+        assert_eq!(q.stores[0].slice_bits, 16 * MBIT);
+        assert_eq!(q.stores[0].geometry.capacity(), 1 << 17);
+        assert!(q.bits() <= 32 * MBIT);
+    }
+
+    #[test]
+    fn shard_geometries_keep_total_area_constant() {
+        let plan = CachePlanner::new(32 * MBIT)
+            .plan(&[demand("counters", PAIR_BITS, 8)])
+            .unwrap();
+        let store = plan.queries[0].stores[0];
+        for shards in [1usize, 2, 4, 8] {
+            let g = store.shard_geometry(shards).unwrap();
+            let total: u64 = g.sram_bits(store.pair_bits) * shards as u64;
+            assert!(total <= store.slice_bits, "{shards} shards: {total} bits");
+            assert_eq!(g.capacity(), (1 << 18) / shards);
+            assert!(g.buckets.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn too_small_slices_are_rejected() {
+        // 100 bits cannot hold a single 128-bit pair.
+        let err = CachePlanner::new(100)
+            .plan(&[demand("tiny", 128, 8)])
+            .unwrap_err();
+        assert_eq!(err.pair_bits, 128);
+        assert!(err.slice_bits < 128);
+        assert!(err.to_string().contains("tiny"));
+        // And a budget that feeds one query can starve four.
+        assert!(CachePlanner::new(400).plan(&[demand("one", 128, 8)]).is_ok());
+        let starved: Vec<QueryDemand> =
+            ["a", "b", "c", "d"].iter().map(|n| demand(n, 128, 8)).collect();
+        assert!(CachePlanner::new(400).plan(&starved).is_err());
+    }
+
+    #[test]
+    fn fully_associative_demand_provisions_one_bucket() {
+        let plan = CachePlanner::new(1 << 20)
+            .plan(&[demand("fa", 128, 0)])
+            .unwrap();
+        let g = plan.queries[0].stores[0].geometry;
+        assert_eq!(g.buckets, 1);
+        assert!(g.ways.is_power_of_two());
+        // Shard re-fit preserves full associativity.
+        let sg = plan.queries[0].stores[0].shard_geometry(4).unwrap();
+        assert_eq!(sg.buckets, 1);
     }
 }

@@ -48,6 +48,28 @@
 //! two arrays, and leaves the steady-state per-packet path allocation-free
 //! (`tests/alloc_discipline.rs`).
 //!
+//! # Area-budgeted provisioning
+//!
+//! §3.3's fixed SRAM slice (~32 Mbit, < 2.5 % of a 200 mm² die) is shared
+//! by every concurrently-installed query — so cache geometries are
+//! *planned*, not picked per query. [`CachePlanner`] divides a budget in
+//! bits across queries (weighted shares), across each query's stores, and
+//! across dataplane shards at `1/N` per shard (constant total area), fitting
+//! the largest power-of-two-row geometry under every slice:
+//!
+//! ```text
+//!   budget ──┬─ query slice = budget·w/Σw ──┬─ store slice = slice/n_stores
+//!            │                              └─ geometry: pairs = slice/pair_bits,
+//!            │                                 rows ⌊pow2⌋ at the demanded ways
+//!            └─ shard split: store slice / N per shard (Σ shards ≤ slice)
+//! ```
+//!
+//! A plan can under-use the budget (power-of-two rounding slack) but never
+//! exceed it; `tests/area_plan.rs` fuzzes that invariant and pins the §4
+//! numbers. `perfq-core` applies plans to compiled programs, turning the
+//! paper's back-of-the-envelope arithmetic into the geometries the
+//! multi-query dataplane actually runs. See [`area`] for the arithmetic.
+//!
 //! # Example: the Fig. 5 query
 //!
 //! ```
@@ -83,6 +105,9 @@ pub mod sketch;
 pub mod split;
 pub mod stats;
 
+pub use area::{
+    AreaPlan, CachePlanner, PlanError, QueryAllocation, QueryDemand, StoreAllocation, StoreDemand,
+};
 pub use backing::{BackingEntry, BackingStore, Epoch, MergeMode};
 pub use cache::{CacheEntry, CacheSlotRef, SramCache};
 pub use geometry::CacheGeometry;

@@ -60,6 +60,7 @@ pub use error::{LangError, LangResult};
 pub use ir::{FoldClass, FoldIr, RExpr, RStmt, VarClass};
 pub use resolve::{
     GroupBySpec, GroupOutput, ProjCol, QueryInput, ResolvedKind, ResolvedProgram, ResolvedQuery,
+    StoreWidth,
 };
 pub use schema::{base_schema, Schema};
 pub use types::{Value, ValueType, INFINITY_NS};

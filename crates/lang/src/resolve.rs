@@ -143,6 +143,66 @@ impl ResolvedProgram {
     pub fn query(&self, name: &str) -> Option<&ResolvedQuery> {
         self.queries.iter().find(|q| q.name == name)
     }
+
+    /// Per-query hardware widths of the aggregation state (`Some` for
+    /// GROUPBYs): the inputs to the §3.3/§4 chip-area arithmetic, derived
+    /// from the resolved key columns and the fold's state variable types.
+    /// The running example — `SELECT COUNT GROUPBY 5tuple` — reports the
+    /// paper's 104-bit key and 24-bit value (a 128-bit pair).
+    #[must_use]
+    pub fn store_widths(&self) -> Vec<Option<StoreWidth>> {
+        self.queries
+            .iter()
+            .map(|q| {
+                let ResolvedKind::GroupBy(g) = &q.kind else {
+                    return None;
+                };
+                let key_bits = g
+                    .key_cols
+                    .iter()
+                    .map(|c| match &q.input {
+                        // Base columns carry their wire width; composed
+                        // inputs (upstream tables, joins) are 64-bit values.
+                        QueryInput::Base => crate::schema::base_column_key_bits(*c),
+                        QueryInput::Table(_) | QueryInput::Join { .. } => 64,
+                    })
+                    .sum();
+                let value_bits = g
+                    .fold
+                    .state
+                    .iter()
+                    .map(|v| match v.ty {
+                        ValueType::Float => 32, // fixed-point in hardware
+                        ValueType::Int => 32,
+                        ValueType::Bool => 1,
+                    })
+                    .sum::<u32>()
+                    .max(24); // the paper's minimum counter width
+                Some(StoreWidth {
+                    key_bits,
+                    value_bits,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Hardware width of one aggregation's key-value pair, as the §3.3/§4 area
+/// arithmetic counts it (see [`ResolvedProgram::store_widths`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreWidth {
+    /// Key width on the wire, in bits (5-tuple = 104).
+    pub key_bits: u32,
+    /// Fold state width, in bits (≥ the paper's 24-bit minimum counter).
+    pub value_bits: u32,
+}
+
+impl StoreWidth {
+    /// Bits per key-value pair.
+    #[must_use]
+    pub fn pair_bits(&self) -> u32 {
+        self.key_bits + self.value_bits
+    }
 }
 
 /// Resolve a parsed program. `params` supplies values for free names such as

@@ -140,6 +140,29 @@ pub fn base_column_header_field(idx: usize) -> Option<HeaderField> {
     HeaderField::ALL.get(idx).copied()
 }
 
+/// Width in bits of base column `idx` when used as part of an aggregation
+/// key — the §3.3/§4 hardware arithmetic's input. Header fields use their
+/// wire width (so the transport 5-tuple sums to 104 bits, the paper's
+/// running example); among the queue metadata, `qid`/`qsize`/`qout` are
+/// 32-bit and the timestamps and path identifier 64-bit.
+///
+/// # Panics
+///
+/// Panics when `idx` is outside the base schema.
+#[must_use]
+pub fn base_column_key_bits(idx: usize) -> u32 {
+    if let Some(f) = base_column_header_field(idx) {
+        return f.bits();
+    }
+    match META_COLUMNS
+        .get(idx - HeaderField::ALL.len())
+        .unwrap_or_else(|| panic!("column {idx} outside the base schema"))
+    {
+        &"qid" | &"qsize" | &"qout" => 32,
+        _ => 64,
+    }
+}
+
 /// Expand a field-list abbreviation to canonical column names.
 ///
 /// * `5tuple` → the transport five-tuple fields;
@@ -216,5 +239,23 @@ mod tests {
         let mut s = Schema::default();
         s.push("x", ValueType::Int);
         s.push("x", ValueType::Int);
+    }
+
+    #[test]
+    fn key_bits_match_wire_widths() {
+        let s = base_schema();
+        // §4's running example: the transport 5-tuple sums to 104 bits.
+        let five_tuple: u32 = ["srcip", "dstip", "srcport", "dstport", "proto"]
+            .iter()
+            .map(|n| base_column_key_bits(s.index_of(n).unwrap()))
+            .sum();
+        assert_eq!(five_tuple, 104);
+        // Queue metadata: depths/ids are 32-bit, times and path 64-bit.
+        assert_eq!(base_column_key_bits(s.index_of("qid").unwrap()), 32);
+        assert_eq!(base_column_key_bits(s.index_of("qsize").unwrap()), 32);
+        assert_eq!(base_column_key_bits(s.index_of("qout").unwrap()), 32);
+        assert_eq!(base_column_key_bits(s.index_of("tin").unwrap()), 64);
+        assert_eq!(base_column_key_bits(s.index_of("tout").unwrap()), 64);
+        assert_eq!(base_column_key_bits(s.index_of("pkt_path").unwrap()), 64);
     }
 }

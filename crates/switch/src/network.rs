@@ -374,6 +374,83 @@ impl Network {
         }
         routed
     }
+
+    /// Run a packet stream once, fanning every queue record out to several
+    /// sharded consumers — the producer half of the **multi-query** sharded
+    /// dataplane, where K installed programs each own N worker shards but
+    /// the network event loop runs a single time.
+    ///
+    /// `shard_of(k, record)` maps a record to consumer `k`'s shard (each
+    /// program routes by its own group key); `senders[k]` holds consumer
+    /// `k`'s per-shard queues. Staging and backpressure behave exactly as
+    /// in [`Network::run_sharded`], per consumer. All senders are dropped
+    /// on return, closing every stream.
+    ///
+    /// Returns per-consumer, per-shard routed counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_of` returns an index out of range, or a consumer
+    /// disappears mid-run.
+    pub fn run_multi_sharded(
+        &mut self,
+        packets: impl Iterator<Item = Packet>,
+        mut shard_of: impl FnMut(usize, &QueueRecord) -> usize,
+        senders: Vec<Vec<spsc::Sender<QueueRecord>>>,
+        batch: usize,
+    ) -> Vec<Vec<u64>> {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(
+            senders.iter().all(|s| !s.is_empty()) && !senders.is_empty(),
+            "every consumer needs at least one shard"
+        );
+        let mut buffers: Vec<Vec<Vec<QueueRecord>>> = senders
+            .iter()
+            .map(|s| (0..s.len()).map(|_| Vec::with_capacity(batch)).collect())
+            .collect();
+        let mut routed: Vec<Vec<u64>> = senders.iter().map(|s| vec![0u64; s.len()]).collect();
+        let last = senders.len() - 1;
+        self.run(packets, |r| {
+            // The final consumer takes the record by move — K consumers
+            // cost K-1 clones per record, and the common K=1 case none.
+            for (k, txs) in senders[..last].iter().enumerate() {
+                let s = shard_of(k, &r);
+                assert!(
+                    s < txs.len(),
+                    "shard_of returned {s} for consumer {k} with {} shards",
+                    txs.len()
+                );
+                routed[k][s] += 1;
+                buffers[k][s].push(r.clone());
+                if buffers[k][s].len() == batch {
+                    txs[s]
+                        .send_all(&mut buffers[k][s])
+                        .expect("shard worker disconnected");
+                }
+            }
+            let s = shard_of(last, &r);
+            assert!(
+                s < senders[last].len(),
+                "shard_of returned {s} for consumer {last} with {} shards",
+                senders[last].len()
+            );
+            routed[last][s] += 1;
+            buffers[last][s].push(r);
+            if buffers[last][s].len() == batch {
+                senders[last][s]
+                    .send_all(&mut buffers[last][s])
+                    .expect("shard worker disconnected");
+            }
+        });
+        for (bufs, txs) in buffers.iter_mut().zip(&senders) {
+            for (buf, tx) in bufs.iter_mut().zip(txs) {
+                if !buf.is_empty() {
+                    tx.send_all(buf).expect("shard worker disconnected");
+                }
+            }
+        }
+        routed
+    }
 }
 
 #[cfg(test)]

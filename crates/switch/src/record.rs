@@ -44,6 +44,18 @@ impl QueueRecord {
         self.tout.delta(self.tin)
     }
 
+    /// The time this observation is charged to: departure for forwarded
+    /// packets, arrival for drops (a drop has no finite `tout`) — the `now`
+    /// every streaming consumer hands its stores.
+    #[must_use]
+    pub fn observed_at(&self) -> Nanos {
+        if self.is_drop() {
+            self.tin
+        } else {
+            self.tout
+        }
+    }
+
     /// Extend a path identifier with a traversed queue (an opaque encoding;
     /// the paper leaves `pkt_path` uninterpreted).
     #[must_use]

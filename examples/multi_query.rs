@@ -1,0 +1,107 @@
+//! Multi-query: every Fig. 2 query installed at once, under one SRAM budget.
+//!
+//! ```sh
+//! cargo run --release --example multi_query
+//! ```
+//!
+//! §3.3's premise is that a *fixed* slice of switch SRAM (~32 Mbit, under
+//! 2.5 % of the die) is shared by every concurrently-installed query. This
+//! example makes that concrete: the area planner divides the budget across
+//! all seven Fig. 2 programs (resizing each cache to its slice), and one
+//! shared replay pass answers all of them — the network event loop runs
+//! once, each record's row materializes once, and every program's compiled
+//! plan executes over it.
+
+use perfq::prelude::*;
+use perfq_kvstore::area;
+
+const MBIT: u64 = 1024 * 1024;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Install all seven Fig. 2 queries under the §4 budget.
+    // ------------------------------------------------------------------
+    let programs: Vec<CompiledProgram> = fig2::ALL
+        .iter()
+        .map(|q| {
+            compile_query(q.source, &fig2::default_params(), CompileOptions::default())
+                .expect("the paper's queries compile")
+        })
+        .collect();
+
+    let budget = 32 * MBIT;
+    let (mut multi, plan) =
+        MultiRuntime::provisioned(programs, budget).expect("the budget fits all queries");
+
+    println!(
+        "SRAM budget: {} Mbit → {:.2}% of a {} mm² die ({} queries installed)\n",
+        area::bits_to_mbit(budget),
+        plan.area_fraction(area::MIN_CHIP_AREA_MM2) * 100.0,
+        area::MIN_CHIP_AREA_MM2,
+        fig2::ALL.len(),
+    );
+    println!("{:<34} {:>10} {:>22}", "query", "slice", "store geometries");
+    let mut allocs = plan.queries.iter();
+    for (q, compiled) in fig2::ALL.iter().zip(multi.runtimes()) {
+        let geoms: Vec<String> = compiled
+            .compiled()
+            .stores
+            .iter()
+            .flatten()
+            .map(|s| format!("{} ({}b pairs)", s.geometry, s.pair_bits()))
+            .collect();
+        if geoms.is_empty() {
+            println!("{:<34} {:>10} {:>22}", q.name, "—", "no aggregation state");
+            continue;
+        }
+        let alloc = allocs.next().expect("plan covers store-bearing programs");
+        println!(
+            "{:<34} {:>7.2} Mbit {}",
+            q.name,
+            area::bits_to_mbit(alloc.slice_bits),
+            geoms.join(", "),
+        );
+    }
+    println!(
+        "\nallocated {:.2} of {:.0} Mbit (power-of-two rounding slack stays on-die)\n",
+        area::bits_to_mbit(plan.allocated_bits()),
+        area::bits_to_mbit(budget),
+    );
+
+    // ------------------------------------------------------------------
+    // 2. One shared replay pass answers every query.
+    // ------------------------------------------------------------------
+    let trace = SyntheticTrace::new(TraceConfig::test_small(7)).take(40_000);
+    // One slow port with a deep queue: the workload overloads it, so the
+    // congestion-sensitive queries (loss rate, high latency, p99 queue
+    // size) have something to report.
+    let mut network = Network::new(NetworkConfig {
+        switch: SwitchConfig {
+            ports: 1,
+            port_rate_bps: 1e8,
+            queue_capacity: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    multi.process_network(&mut network, trace, 256);
+    multi.finish();
+    println!(
+        "one ingest pass: {} records through the event loop, {} plans executed per record\n",
+        multi.records(),
+        multi.len(),
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Every query's results, from its own slice of the budget.
+    // ------------------------------------------------------------------
+    for (q, rs) in fig2::ALL.iter().zip(multi.collect()) {
+        let t = rs.tables.last().expect("every program yields a table");
+        println!(
+            "{:<34} {:>6} result rows (of {} matched)",
+            q.name,
+            t.rows.len(),
+            t.total_matched
+        );
+    }
+}

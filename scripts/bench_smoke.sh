@@ -18,14 +18,17 @@ trap 'rm -f "$OUT"' EXIT
 
 echo "== equivalence gate: engines + store layout vs references =="
 # A fast benchmark that computes the wrong answer is worthless: re-prove the
-# batched/sharded engines equivalent to single-stream, the SoA store
-# byte-identical to the reference layout, and the steady-state path
-# allocation-free before timing anything.
+# batched/sharded/multi-query engines equivalent to single-stream, the SoA
+# store byte-identical to the reference layout, the area planner within
+# budget, and the steady-state path allocation-free before timing anything.
 cargo test --release -q \
     --test batch_equivalence \
     --test shard_equivalence \
     --test shard_property \
     --test store_differential \
+    --test multi_query_equivalence \
+    --test area_plan \
+    --test area_sweep \
     --test alloc_discipline
 
 echo "== building release benches =="
@@ -62,8 +65,31 @@ for bench, want in sorted(baseline.items()):
         failed = True
     print(f"{bench:<48} {want:>12.0f} {got:>12.0f} {ratio:>6.2f}x{flag}")
 
+def guard_ratio(num, den, floor):
+    a, b = current.get(num), current.get(den)
+    if a is None or b is None:
+        missing = " and ".join(n for n, v in ((num, a), (den, b)) if v is None)
+        print(f"ratio {num} / {den}: MISSING ({missing})")
+        return False
+    ratio = a / b
+    ok = ratio >= floor
+    print(f"ratio {num} / {den}: {ratio:.2f}x (floor {floor:.2f}x)"
+          + ("" if ok else "  << REGRESSION"))
+    return ok
+
+# The multi-query shared-ingest win must hold as a RATIO within this run
+# (same machine-noise phase for both sides), not just via absolute floors.
+ratio_guards = doc.get("multi_query_ratio_guard", {})
+if ratio_guards:
+    print()
+for key, floor in ratio_guards.items():
+    num, den = key.split("_over_")
+    if not guard_ratio(f"multi_query/{num}", f"multi_query/{den}", floor):
+        failed = True
+
 if failed:
-    print(f"\nFAIL: throughput regressed more than {tolerance:.0%} against BENCH_pipeline.json")
+    print(f"\nFAIL: a throughput floor (tolerance {tolerance:.0%}) or ratio guard "
+          "failed against BENCH_pipeline.json — see the flagged lines above")
     sys.exit(1)
 print(f"\nOK: all benchmarks within {tolerance:.0%} of the committed baseline")
 EOF

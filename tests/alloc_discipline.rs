@@ -9,7 +9,7 @@
 //! full warm-up replay, a second replay of the same trace through the same
 //! runtime must not move the allocation counter at all.
 
-use perfq_core::{compile_query, Runtime};
+use perfq_core::{compile_query, MultiRuntime, Runtime};
 use perfq_lang::fig2;
 use perfq_switch::{Network, NetworkConfig, Topology};
 use perfq_trace::{SyntheticTrace, TraceConfig};
@@ -111,4 +111,36 @@ fn steady_state_batched_replay_allocates_nothing() {
             assert_eq!(rt.records(), processed_warmup * 2, "second replay ran fully");
         }
     }
+
+    // The multi-query dataplane inherits the discipline: all three Fig. 2
+    // queries installed concurrently behind ONE shared ingest pass (one
+    // union-mask row materialization per record, K plan dispatches) must
+    // also run allocation-free once warmed — the shared row buffer, every
+    // program's node buffers and stores, and the network scratch are all
+    // pooled.
+    let mut net = Network::new(NetworkConfig::default());
+    let programs: Vec<_> = [
+        &fig2::PER_FLOW_COUNTERS,
+        &fig2::LATENCY_EWMA,
+        &fig2::TCP_NON_MONOTONIC,
+    ]
+    .iter()
+    .map(|q| compile_query(q.source, &fig2::default_params(), Default::default()).unwrap())
+    .collect();
+    let mut multi = MultiRuntime::new(programs);
+    multi.process_network(&mut net, packets.iter().copied(), 256);
+    let processed_warmup = multi.records();
+    assert!(processed_warmup > 0, "warm-up processed records");
+
+    let before = allocs();
+    multi.process_network(&mut net, packets.iter().copied(), 256);
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "multi-query steady-state batched replay allocated {} times over {} records",
+        after - before,
+        multi.records() - processed_warmup,
+    );
+    assert_eq!(multi.records(), processed_warmup * 2, "second replay ran fully");
 }

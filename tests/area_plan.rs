@@ -1,0 +1,202 @@
+//! Property suite + §4 pins for the SRAM area planner.
+//!
+//! The planner turns the paper's chip-area arithmetic into enforced
+//! behavior, so two kinds of test pin it:
+//!
+//! * **exact §4 numbers** — 32 Mbit ⇒ < 2.5 % of a 200 mm² die, 128-bit
+//!   pairs for the 5-tuple counter example, ~802 K evictions/s under
+//!   `WorkloadModel::paper()`;
+//! * **properties** (vendored proptest) — for random budgets and query
+//!   mixes, allocations never exceed the budget, every provisioned geometry
+//!   is hardware-shaped (power-of-two rows, ways ≥ 1), and per-shard
+//!   splits sum to no more than the query's slice (constant total area).
+
+use perfq::prelude::*;
+use perfq_kvstore::area::{self, WorkloadModel};
+use perfq_kvstore::{CachePlanner, QueryDemand, StoreDemand};
+use proptest::prelude::*;
+
+const MBIT: u64 = 1024 * 1024;
+
+// ---------------------------------------------------------------- §4 pins --
+
+#[test]
+fn paper_numbers_pin_the_planner() {
+    // The running example: one query of 128-bit pairs on the 32 Mbit budget.
+    let plan = CachePlanner::new(32 * MBIT)
+        .plan(&[QueryDemand::new(
+            "per-flow counters",
+            vec![StoreDemand {
+                pair_bits: area::PAIR_BITS,
+                ways: 8,
+            }],
+        )])
+        .unwrap();
+    // 104-bit key + 24-bit counter = 128-bit pairs…
+    assert_eq!(area::PAIR_BITS, 128);
+    // …so 32 Mbit holds exactly 2^18 pairs, with zero rounding slack.
+    assert_eq!(plan.queries[0].stores[0].geometry.capacity(), 1 << 18);
+    assert_eq!(plan.allocated_bits(), 32 * MBIT);
+    // §4: "a 32-Mbit cache in SRAM costs under 2.5% additional area".
+    let frac = plan.area_fraction(area::MIN_CHIP_AREA_MM2);
+    assert!(frac < 0.025, "fraction = {frac}");
+    assert!(frac > 0.02, "fraction = {frac} (sanity: close to the bound)");
+    // §4: 3.55 % evictions at 32 Mbit ⇒ ~802 K backing-store writes/s.
+    let writes = WorkloadModel::paper().evictions_per_sec(0.0355);
+    assert!((writes - 802e3).abs() < 2e3, "writes/s = {writes}");
+}
+
+#[test]
+fn compiled_five_tuple_counter_reports_paper_key_width() {
+    // The language front end reports the widths the planner consumes: the
+    // 5-tuple key is §4's 104 bits (value state is a 32-bit counter; the
+    // paper's 128-bit pair figure uses its 24-bit minimum counter width).
+    let c = compile_query(
+        "SELECT COUNT GROUPBY 5tuple",
+        &fig2::default_params(),
+        CompileOptions::default(),
+    )
+    .unwrap();
+    let widths = c.program.store_widths();
+    let w = widths[0].expect("groupby reports widths");
+    assert_eq!(w.key_bits, 104);
+    assert_eq!(w.value_bits, 32);
+    assert_eq!(w.pair_bits(), c.stores[0].as_ref().unwrap().pair_bits());
+}
+
+#[test]
+fn provisioning_all_fig2_queries_fits_one_budget() {
+    // Every Fig. 2 program installed concurrently under the §4 budget.
+    let mut programs: Vec<CompiledProgram> = fig2::ALL
+        .iter()
+        .map(|q| {
+            compile_query(q.source, &fig2::default_params(), CompileOptions::default()).unwrap()
+        })
+        .collect();
+    let plan = perfq_core::provision(&mut programs, 32 * MBIT).unwrap();
+    assert!(plan.allocated_bits() <= 32 * MBIT);
+    assert!(plan.area_fraction(area::MIN_CHIP_AREA_MM2) < 0.025);
+    // Every store-bearing program now runs the provisioned geometry.
+    let mut allocs = plan.queries.iter();
+    for p in &programs {
+        if p.stores.iter().all(Option::is_none) {
+            continue;
+        }
+        let alloc = allocs.next().unwrap();
+        for (plan_store, store) in alloc.stores.iter().zip(p.stores.iter().flatten()) {
+            assert_eq!(store.geometry, plan_store.geometry);
+            assert!(store.geometry.buckets.is_power_of_two());
+        }
+    }
+}
+
+// -------------------------------------------------------------- properties --
+
+/// A random demand mix: 1–5 queries, each 1–3 stores of 32–512-bit pairs at
+/// an associativity from the hardware-plausible set, with 1–4× weights.
+fn demand_strategy() -> impl Strategy<Value = Vec<(Vec<(u32, usize)>, u64)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(
+                (32u32..512, prop_oneof![Just(0usize), Just(1), Just(2), Just(4), Just(8)]),
+                1..4,
+            ),
+            1u64..5,
+        ),
+        1..6,
+    )
+}
+
+fn build_demands(mix: &[(Vec<(u32, usize)>, u64)]) -> Vec<QueryDemand> {
+    mix.iter()
+        .enumerate()
+        .map(|(i, (stores, weight))| {
+            QueryDemand::new(
+                format!("q{i}"),
+                stores
+                    .iter()
+                    .map(|(pair_bits, ways)| StoreDemand {
+                        pair_bits: *pair_bits,
+                        ways: *ways,
+                    })
+                    .collect(),
+            )
+            .with_weight(*weight)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The planner never over-allocates, and every geometry it emits is
+    /// hardware-shaped. When it errors, the slice genuinely cannot hold one
+    /// pair.
+    #[test]
+    fn plans_never_exceed_the_budget(
+        budget in 1u64 << 10..1u64 << 34,
+        mix in demand_strategy(),
+    ) {
+        let demands = build_demands(&mix);
+        match CachePlanner::new(budget).plan(&demands) {
+            Ok(plan) => {
+                prop_assert_eq!(plan.budget_bits, budget);
+                prop_assert!(plan.allocated_bits() <= budget,
+                    "allocated {} of {budget}", plan.allocated_bits());
+                let mut slice_sum = 0u64;
+                for (q, d) in plan.queries.iter().zip(&demands) {
+                    slice_sum += q.slice_bits;
+                    prop_assert!(q.bits() <= q.slice_bits,
+                        "{} uses {} of its {}-bit slice", q.name, q.bits(), q.slice_bits);
+                    prop_assert_eq!(q.stores.len(), d.stores.len());
+                    for s in &q.stores {
+                        prop_assert!(s.geometry.buckets.is_power_of_two());
+                        prop_assert!(s.geometry.ways >= 1);
+                        prop_assert!(s.bits() <= s.slice_bits);
+                    }
+                }
+                prop_assert!(slice_sum <= budget, "slices sum to {slice_sum}");
+            }
+            Err(e) => {
+                // An error must mean some slice is under one pair width.
+                prop_assert!(e.slice_bits < u64::from(e.pair_bits),
+                    "rejected a feasible slice: {e}");
+            }
+        }
+    }
+
+    /// Constant total area under sharding: the per-shard geometries of any
+    /// store sum to no more than the store's slice (hence the query's).
+    #[test]
+    fn shard_splits_preserve_the_area_budget(
+        budget in 1u64 << 16..1u64 << 34,
+        mix in demand_strategy(),
+        shards in 1usize..9,
+    ) {
+        let demands = build_demands(&mix);
+        let Ok(plan) = CachePlanner::new(budget).plan(&demands) else {
+            return Ok(()); // rejected budgets covered by the other property
+        };
+        for q in &plan.queries {
+            let mut store_total = 0u64;
+            for s in &q.stores {
+                match s.shard_geometry(shards) {
+                    Ok(g) => {
+                        prop_assert!(g.buckets.is_power_of_two());
+                        prop_assert!(g.ways >= 1);
+                        let total = g.sram_bits(s.pair_bits) * shards as u64;
+                        prop_assert!(total <= s.slice_bits,
+                            "{} shards of {g} = {total} bits > slice {}", shards, s.slice_bits);
+                        store_total += total;
+                    }
+                    Err(e) => {
+                        prop_assert!(e.slice_bits < u64::from(e.pair_bits),
+                            "rejected a feasible shard slice: {e}");
+                    }
+                }
+            }
+            prop_assert!(store_total <= q.slice_bits,
+                "{}: shard totals {store_total} exceed the query slice {}", q.name, q.slice_bits);
+        }
+    }
+}

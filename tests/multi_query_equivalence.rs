@@ -1,0 +1,230 @@
+//! Referee tests for the multi-query dataplane: K programs behind one
+//! shared ingest pass must be **byte-identical** to K independent
+//! sequential replays of the same trace with the same geometries — on the
+//! single-stream, batched, and 1/2/4/8-shard paths — including capture
+//! totals and network drop counters. The shared pass changes when rows
+//! materialize (once, with the union of the programs' column masks), never
+//! what any program observes.
+
+use perfq::prelude::*;
+use perfq_switch::QueueRecord;
+
+/// A trace with drops, TCP anomalies and multi-queue records.
+fn records(n: usize) -> Vec<QueueRecord> {
+    let mut net = Network::new(NetworkConfig {
+        topology: Topology::Linear(2),
+        ..Default::default()
+    });
+    net.run_collect(SyntheticTrace::new(TraceConfig::test_small(21)).take(n))
+}
+
+fn compiled_all(opts: CompileOptions) -> Vec<CompiledProgram> {
+    fig2::ALL
+        .iter()
+        .map(|q| {
+            perfq_core::compile_query(q.source, &fig2::default_params(), opts)
+                .expect("fig2 queries compile")
+        })
+        .collect()
+}
+
+/// Sequential baseline: one independent full replay per program.
+fn sequential(programs: &[CompiledProgram], recs: &[QueueRecord]) -> Vec<ResultSet> {
+    programs
+        .iter()
+        .map(|c| {
+            let mut rt = Runtime::new(c.clone());
+            for r in recs {
+                rt.process_record(r);
+            }
+            rt.finish();
+            rt.collect()
+        })
+        .collect()
+}
+
+fn sorted(mut rs: ResultSet) -> ResultSet {
+    rs.sort();
+    rs
+}
+
+/// Single-stream and batched shared passes over all seven Fig. 2 programs
+/// at once are byte-identical (no sorting applied) to seven sequential
+/// replays.
+#[test]
+fn multi_matches_sequential_byte_identical() {
+    let recs = records(4_000);
+    let programs = compiled_all(CompileOptions::default());
+    let want = sequential(&programs, &recs);
+
+    let mut by_record = MultiRuntime::new(programs.clone());
+    for r in &recs {
+        by_record.process_record(r);
+    }
+    by_record.finish();
+    assert_eq!(by_record.records(), recs.len() as u64);
+    let got = by_record.collect();
+    assert_eq!(got.len(), want.len());
+    for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(a, b, "{} (record-at-a-time)", fig2::ALL[i].name);
+    }
+
+    let mut batched = MultiRuntime::new(programs);
+    for part in recs.chunks(256) {
+        batched.process_batch(part);
+    }
+    batched.finish();
+    for (i, (a, b)) in batched.collect().iter().zip(&want).enumerate() {
+        assert_eq!(a, b, "{} (batched)", fig2::ALL[i].name);
+    }
+}
+
+/// The shared network replay (`MultiRuntime::process_network`, one event
+/// loop for K programs) matches K per-program `run_batched` replays, and
+/// the network's drop counters agree run for run — on a congested
+/// configuration where drops actually occur.
+#[test]
+fn shared_network_replay_matches_per_program_replays() {
+    let packets: Vec<Packet> = SyntheticTrace::new(TraceConfig::test_small(33))
+        .take(3_000)
+        .collect();
+    let cfg = NetworkConfig {
+        switch: SwitchConfig {
+            ports: 1,
+            port_rate_bps: 1e8, // slow port: the workload overloads it
+            queue_capacity: 4,
+        },
+        ..Default::default()
+    };
+    let programs = compiled_all(CompileOptions::default());
+    let mut net = Network::new(cfg);
+
+    // Per-program sequential replays, each its own pass over the network.
+    let mut want = Vec::new();
+    let mut drops_want = None;
+    for c in &programs {
+        let mut rt = Runtime::new(c.clone());
+        rt.process_network(&mut net, packets.iter().copied(), 256);
+        rt.finish();
+        let drops = net.total_drops();
+        assert!(drops > 0, "workload must overload the port");
+        if let Some(d) = drops_want {
+            assert_eq!(d, drops, "replays must drop identically");
+        }
+        drops_want = Some(drops);
+        want.push(rt.collect());
+    }
+
+    // One shared pass for all programs.
+    let mut multi = MultiRuntime::new(programs);
+    multi.process_network(&mut net, packets.iter().copied(), 256);
+    multi.finish();
+    assert_eq!(Some(net.total_drops()), drops_want, "shared pass drops");
+    for (i, (a, b)) in multi.collect().iter().zip(&want).enumerate() {
+        assert_eq!(a, b, "{}", fig2::ALL[i].name);
+    }
+}
+
+/// The sharded multi-query dataplane at 1/2/4/8 shards matches the
+/// sequential single-stream baseline for every program (sorted by key, as
+/// the sharded drain is key-ordered not stream-ordered).
+#[test]
+fn multi_sharded_matches_sequential_at_every_shard_count() {
+    let recs = records(3_000);
+    let programs = compiled_all(CompileOptions::default());
+    let want: Vec<ResultSet> = sequential(&programs, &recs)
+        .into_iter()
+        .map(sorted)
+        .collect();
+    for shards in [1usize, 2, 4, 8] {
+        let mut multi = MultiSharded::new(programs.clone(), shards);
+        assert_eq!(multi.len(), programs.len());
+        assert_eq!(multi.shards(), shards);
+        for part in recs.chunks(512) {
+            multi.process_batch(part);
+        }
+        let merged = multi.finish();
+        for (i, (rt, b)) in merged.iter().zip(&want).enumerate() {
+            assert_eq!(rt.records(), recs.len() as u64, "{shards} shards");
+            assert_eq!(
+                sorted(rt.collect()),
+                *b,
+                "{} ({shards} shards)",
+                fig2::ALL[i].name
+            );
+        }
+    }
+}
+
+/// The one-pass multi-program network producer
+/// (`Network::run_multi_sharded` feeding every program's shard queues)
+/// matches the collected-record path, with consistent routed counts and
+/// drop counters.
+#[test]
+fn multi_sharded_network_producer_matches_collected_records() {
+    let packets: Vec<Packet> = SyntheticTrace::new(TraceConfig::test_small(21))
+        .take(3_000)
+        .collect();
+    let cfg = NetworkConfig {
+        topology: Topology::Linear(2),
+        ..Default::default()
+    };
+    let programs = compiled_all(CompileOptions::default());
+    let mut net = Network::new(cfg);
+    let recs = net.run_collect(packets.clone().into_iter());
+    let drops_want = net.total_drops();
+    let want: Vec<ResultSet> = sequential(&programs, &recs)
+        .into_iter()
+        .map(sorted)
+        .collect();
+
+    let mut multi = MultiSharded::new(programs.clone(), 4);
+    let routed = multi.run_network(&mut net, packets.into_iter(), 128);
+    assert_eq!(net.total_drops(), drops_want, "shared pass drops");
+    assert_eq!(routed.len(), programs.len());
+    for (i, per_shard) in routed.iter().enumerate() {
+        assert_eq!(
+            per_shard.iter().sum::<u64>() as usize,
+            recs.len(),
+            "program {i} must see every record once"
+        );
+    }
+    for (i, (got, b)) in multi.finish_collect().iter().zip(&want).enumerate() {
+        assert_eq!(sorted(got.clone()), *b, "{}", fig2::ALL[i].name);
+    }
+}
+
+/// Equivalence survives area provisioning: under one shared SRAM budget
+/// (including a small one that forces eviction churn), the provisioned
+/// multi-runtime is byte-identical to sequential replays of the *same
+/// provisioned programs* — the planner changes the geometries, not the
+/// execution semantics.
+#[test]
+fn provisioned_multi_matches_sequential_with_same_geometries() {
+    const MBIT: u64 = 1024 * 1024;
+    let recs = records(4_000);
+    for budget in [32 * MBIT, 256 * 1024] {
+        let mut programs = compiled_all(CompileOptions::default());
+        let plan = perfq_core::provision(&mut programs, budget).unwrap();
+        assert!(plan.allocated_bits() <= budget);
+        let want = sequential(&programs, &recs);
+        let mut multi = MultiRuntime::new(programs);
+        for part in recs.chunks(256) {
+            multi.process_batch(part);
+        }
+        multi.finish();
+        for (i, (a, b)) in multi.collect().iter().zip(&want).enumerate() {
+            assert_eq!(a, b, "{} (budget {budget})", fig2::ALL[i].name);
+        }
+        // The small budget must actually churn the caches, or the case
+        // proves nothing.
+        if budget < MBIT {
+            let stats = multi
+                .runtimes()
+                .iter()
+                .filter_map(|rt| rt.store_stats(0))
+                .fold(0u64, |acc, s| acc + s.evictions);
+            assert!(stats > 0, "small budget must force evictions");
+        }
+    }
+}
