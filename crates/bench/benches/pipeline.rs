@@ -285,6 +285,87 @@ fn bench_multi_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-query execution sharing: K=3 programs with **real overlap** — the
+/// §4 running-example counter (`SELECT COUNT GROUPBY 5tuple`), the
+/// loss-rate program (whose `R1` is that same counter, so its store
+/// dedups), and the latency EWMA (which shares the 5-tuple key extraction).
+///
+/// Three deployment regimes per topology:
+/// * `sequential_3q` — three independent full replays;
+/// * `ingest_only_3q` — `MultiRuntime::new_unshared`: the PR 4 dataplane
+///   (one event loop, one union-mask row materialization, three full plan
+///   executions);
+/// * `shared_3q` — `MultiRuntime::new`: ingest sharing **plus** the
+///   cross-query layer (loss-rate R1's store elided, shared 5-tuple key
+///   slots, shared filters).
+///
+/// All use `Throughput::Elements(n_records)` with the same n (the unit of
+/// work is "answer all three queries"), so elems/sec ratios read directly
+/// as speedups. `scripts/bench_smoke.sh` guards `shared/sequential` and
+/// `shared/ingest_only` as same-run ratios.
+fn bench_multi_query_shared(c: &mut Criterion) {
+    let packets: Vec<Packet> = SyntheticTrace::new(TraceConfig::test_small(7))
+        .take(20_000)
+        .collect();
+    let mut net = Network::new(NetworkConfig::default());
+    let n_records = net.run_collect(packets.iter().copied()).len() as u64;
+    let compiled: Vec<_> = [
+        "SELECT COUNT GROUPBY 5tuple\n",
+        fig2::PER_FLOW_LOSS_RATE.source,
+        fig2::LATENCY_EWMA.source,
+    ]
+    .iter()
+    .map(|src| compile_query(src, &fig2::default_params(), Default::default()).unwrap())
+    .collect();
+    // The overlap must actually be there, or the bench measures nothing.
+    assert!(!MultiRuntime::new(compiled.clone()).sharing().stores.is_empty());
+
+    let fabric = NetworkConfig {
+        topology: Topology::LeafSpine {
+            leaves: 4,
+            spines: 2,
+        },
+        ..Default::default()
+    };
+    let mut fabric_net = Network::new(fabric);
+    let fabric_records = fabric_net.run_collect(packets.iter().copied()).len() as u64;
+
+    let mut group = c.benchmark_group("multi_query_shared");
+    for (suffix, records) in [("", n_records), ("_fabric", fabric_records)] {
+        group.throughput(Throughput::Elements(records));
+        let net: &mut Network = if suffix.is_empty() { &mut net } else { &mut fabric_net };
+        group.bench_function(format!("sequential_3q{suffix}"), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for cq in &compiled {
+                    let mut rt = Runtime::new(cq.clone());
+                    rt.process_network(net, packets.iter().copied(), 256);
+                    rt.finish();
+                    total += rt.records();
+                }
+                black_box(total)
+            });
+        });
+        group.bench_function(format!("ingest_only_3q{suffix}"), |b| {
+            b.iter(|| {
+                let mut multi = MultiRuntime::new_unshared(compiled.clone());
+                multi.process_network(net, packets.iter().copied(), 256);
+                multi.finish();
+                black_box(multi.records())
+            });
+        });
+        group.bench_function(format!("shared_3q{suffix}"), |b| {
+            b.iter(|| {
+                let mut multi = MultiRuntime::new(compiled.clone());
+                multi.process_network(net, packets.iter().copied(), 256);
+                multi.finish();
+                black_box(multi.records())
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The Fig. 5 experiment kernel: `SELECT COUNT GROUPBY 5tuple` through a
 /// split store, swept over the three paper geometries × three eviction
 /// policies at a fixed capacity. This is the loop the `fig5`/`ablation`
@@ -342,6 +423,7 @@ criterion_group!(
     bench_runtime_sharded,
     bench_end_to_end,
     bench_multi_query,
+    bench_multi_query_shared,
     bench_fig5_sweep
 );
 criterion_main!(benches);

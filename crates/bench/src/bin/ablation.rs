@@ -1,4 +1,4 @@
-//! Ablations of the hardware design choices (DESIGN.md, ablations A–C).
+//! Ablations of the hardware design choices (ablations A–C; see `ARCHITECTURE.md`).
 //!
 //! * **A — eviction policy**: the paper picks LRU within buckets; FIFO and
 //!   random-victim are cheaper in silicon. How much eviction rate do they

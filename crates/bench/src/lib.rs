@@ -1,7 +1,7 @@
 //! # perfq-bench
 //!
 //! Shared infrastructure for the benchmark binaries that regenerate the
-//! paper's evaluation (see DESIGN.md's experiment index):
+//! paper's evaluation (see `ARCHITECTURE.md` for the paper-to-code map):
 //!
 //! * `fig2` — the example-query table (expressiveness + linearity verdicts);
 //! * `fig5` — eviction rate vs cache size for the three geometries;
@@ -13,6 +13,10 @@
 //! Scale control: the binaries default to the `caida_like` workload
 //! (≈15 M packets). Set `PERFQ_SCALE` (e.g. `0.1`) to shrink run time
 //! proportionally, or `PERFQ_SEED` to change the workload seed.
+
+//!
+//! For the paper-section → crate/file map of the whole workspace, see
+//! `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 

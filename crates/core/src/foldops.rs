@@ -232,6 +232,32 @@ impl FoldOps {
         self.additive
     }
 
+    /// True when two ops drive **byte-identical** store state on identical
+    /// input streams: same compiled (param-folded) update bytecode, same
+    /// state layout (variable types and initial values — names are
+    /// cosmetic), same per-variable linearity classes, and therefore the
+    /// same merge machinery. This is the fold half of the multi-query
+    /// store-dedup legality rule; the physical half (geometry, eviction
+    /// policy, hash seed) is compared on the [`crate::StorePlan`]s.
+    #[must_use]
+    pub fn dataplane_identical(&self, other: &FoldOps) -> bool {
+        self.program == other.program
+            && self.mode == other.mode
+            && self.window == other.window
+            && self.additive == other.additive
+            && self.constant_a == other.constant_a
+            && self.linear_vars == other.linear_vars
+            && self.fold.class == other.fold.class
+            && self.fold.var_classes == other.fold.var_classes
+            && self.fold.state.len() == other.fold.state.len()
+            && self
+                .fold
+                .state
+                .iter()
+                .zip(&other.fold.state)
+                .all(|(a, b)| a.ty == b.ty && a.init == b.init)
+    }
+
     fn k(&self) -> usize {
         self.linear_vars.len()
     }

@@ -114,6 +114,27 @@
 //! 1/2/4/8-shard paths; `tests/area_plan.rs` fuzzes the planner's
 //! never-over-budget invariant).
 //!
+//! # Cross-query sharing
+//!
+//! Installed programs overlap: the paper's own Fig. 2 set keys the 5-tuple
+//! five times, filters `proto == TCP` twice, and repeats the §4 running
+//! example (`SELECT COUNT GROUPBY 5tuple`) verbatim inside the loss-rate
+//! program. [`MultiRuntime`]/[`MultiSharded`] therefore run an install-time
+//! sharing pass — fingerprint with `perfq_lang::fingerprint`, confirm
+//! structurally + physically, rewrite the plans — that (a) evaluates each
+//! unique base filter and builds each unique group key **once per record**
+//! (the shared execution prefix), and (b) binds structurally-identical
+//! stores to **one** physical store, eliding the duplicates from the
+//! streaming pass and substituting the owner's finished store at drain.
+//! Two stores may legally dedup only when their input chains, filters, key
+//! tuples and fold semantics are identical *and* their physical
+//! configurations (geometry, eviction policy, hash seed) match — which
+//! makes sharing byte-identical to unshared execution for every fold
+//! class, eviction for eviction. Under [`provision`], deduplicated stores
+//! are also charged to the SRAM budget once and the reclaimed bits grow
+//! every physical cache. See [`multi`] for the full legality rule and
+//! [`multi::SharingReport`] for what a given install shared.
+//!
 //! # Example
 //!
 //! ```
@@ -132,6 +153,10 @@
 //! assert_eq!(results.tables.len(), 1);
 //! ```
 
+//!
+//! For the paper-section → crate/file map of the whole workspace, see
+//! `ARCHITECTURE.md` at the repository root.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -147,7 +172,10 @@ pub mod windows;
 
 pub use compiler::{compile_program, CompileError, CompileOptions, CompiledProgram, StorePlan};
 pub use foldops::{FoldOps, FoldState};
-pub use multi::{demand_of, provision, shard_programs, MultiRuntime, MultiSharded};
+pub use multi::{
+    demand_of, provision, shard_programs, MultiRuntime, MultiSharded, SharedSlot, SharedStore,
+    SharingReport,
+};
 pub use oracle::Oracle;
 pub use result::{diff_tables, ResultRow, ResultSet, ResultTable};
 pub use runtime::Runtime;

@@ -19,34 +19,94 @@
 //!   dispatched to every program's flat plan — so K concurrent Fig. 2
 //!   queries cost one trip through the network event loop and one row
 //!   materialization instead of K full replays.
+//! * **Cross-query execution sharing** (this PR's layer; see below): work
+//!   that several installed programs would repeat — identical `WHERE`
+//!   predicates, identical `GROUPBY` key extractions, and entire
+//!   structurally-identical stores — executes **once**.
 //!
 //! ```text
-//!                          ┌─▶ ExecPlan(program 0) ─▶ stores₀ (slice₀)
-//!   packets ─▶ Network ─▶ row (union mask, once) ─▶ ExecPlan(program 1) ─▶ stores₁ (slice₁)
-//!                          └─▶ ExecPlan(program K) ─▶ storesₖ (sliceₖ)
+//!                                             ┌─▶ ExecPlan(program 0) ─▶ stores₀ (slice₀)
+//!   packets ─▶ Network ─▶ row (union mask) ─▶ shared prefix ─▶ ExecPlan(program 1) ─▶ stores₁ (slice₁)
+//!                          (once)             (filters/keys,  └─▶ ExecPlan(program K) ─▶ storesₖ (sliceₖ)
+//!                                              once)               (deduped aggregations: skipped,
+//!                                                                   one physical store serves all readers)
 //! ```
+//!
+//! # Cross-query sharing
+//!
+//! The sharing pass runs once at install time ([`MultiRuntime::new`] /
+//! [`MultiSharded::new`]) over the compiled programs, in three steps:
+//!
+//! 1. **Fingerprint** — `perfq-lang`'s
+//!    [`perfq_lang::fingerprint`] module hashes every resolved
+//!    subplan in canonical param-folded form (filter predicates, key
+//!    tuples, fold bodies, whole store contents). Equal hashes nominate
+//!    sharing candidates.
+//! 2. **Confirm** — candidates are re-checked with collision-proof
+//!    structural comparisons
+//!    ([`store_equivalent`](perfq_lang::fingerprint::store_equivalent))
+//!    *and* physical-plan equality: two stores may legally collapse into
+//!    one only when their input chains, filters, key tuples and fold
+//!    semantics are identical **and** their physical configurations match —
+//!    same [`CacheGeometry`], same eviction policy, same placement hash
+//!    seed, with every upstream store in the chain equally identical
+//!    (downstream queries observe *cache-resident* running values, §3.2, so
+//!    eviction timing is part of a stream's identity). Under that rule the
+//!    deduplicated dataplane is byte-identical to the private-store one for
+//!    every fold class — eviction for eviction, epoch for epoch.
+//! 3. **Rewrite** — each *alias* aggregation (a duplicate whose rows no
+//!    downstream query consumes) is removed from its program's streaming
+//!    pass entirely; at [`MultiRuntime::finish`] the owning program's
+//!    finished store is substituted back, so collection reads exactly what
+//!    a private store would have held. Identical base-table filters and
+//!    `GROUPBY` key tuples that remain active are annotated with **shared
+//!    prefix** slots: per record, the multi-runtime evaluates each unique
+//!    predicate and builds each unique key once, and every annotated plan
+//!    node reads the precomputed result.
+//!
+//! The paper's own query set overlaps this way: the loss-rate program's
+//! `R1 = SELECT COUNT GROUPBY 5tuple` *is* the §4 running-example counter
+//! query, five of the Fig. 2 queries key the same base 5-tuple, and both
+//! TCP queries filter `proto == TCP`. [`SharingReport`] (from
+//! [`MultiRuntime::sharing`]) lists what was shared; under [`provision`]
+//! the deduplicated stores are also charged to the SRAM budget **once**,
+//! and the reclaimed bits grow every physical cache
+//! ([`StoreDemand::dedup`](perfq_kvstore::StoreDemand)).
 //!
 //! [`MultiSharded`] extends the same discipline across cores: each program
 //! runs its own [`ShardedRuntime`], and under a plan every shard's cache is
 //! sized at `1/N` of the program's slice
-//! ([`StoreAllocation::shard_geometry`]) — total area stays constant as the
-//! dataplane scales out, which is what lets the Fig. 5 eviction behaviour
-//! carry over to the sharded configuration (`tests/area_sweep.rs`).
+//! ([`StoreAllocation::shard_geometry`](perfq_kvstore::StoreAllocation::shard_geometry))
+//! — total area stays constant as the dataplane scales out, which is what
+//! lets the Fig. 5 eviction behaviour carry over to the sharded
+//! configuration (`tests/area_sweep.rs`). Store dedup applies there too
+//! (worker plans skip alias aggregations; the drain substitutes the owning
+//! program's merged store) — gated on both programs' shard partitioning
+//! being statically exact ([`ShardSpec::is_exact`](crate::ShardSpec)) *and*
+//! routing identically ([`ShardSpec::routes_like`](crate::ShardSpec)), so
+//! every worker of the owner sees exactly the records the matching worker
+//! of the alias would have seen and the substituted store equals the one
+//! the alias would have drained itself, eviction for eviction. The
+//! per-record shared prefix is a single-stream optimization and does not
+//! cross SPSC queues.
 //!
-//! Execution is *byte-identical* to K independent sequential replays with
-//! the same geometries — the shared pass changes when rows materialize, not
-//! what any program observes (`tests/multi_query_equivalence.rs` pins
-//! single-stream, batched and 1/2/4/8-shard paths; the steady state of the
-//! batched path allocates nothing, `tests/alloc_discipline.rs`).
+//! Sharing is a **pure optimization**: execution with sharing enabled is
+//! byte-identical to [`MultiRuntime::new_unshared`] — and to K independent
+//! sequential replays — on every single/batched/1–8-shard configuration
+//! (`tests/multi_query_equivalence.rs` pins all of them; the steady state
+//! of the batched path still allocates nothing, `tests/alloc_discipline.rs`).
 
-use crate::compiler::CompiledProgram;
+use crate::compiler::{CompiledProgram, StorePlan};
+use crate::plan::{ExecPlan, Filter, NodeKind, RowSource};
 use crate::result::ResultSet;
 use crate::runtime::Runtime;
-use crate::sharded::{ShardedRuntime, DEFAULT_BATCH, DEFAULT_QUEUE_CAPACITY};
+use crate::sharded::{ShardSpec, ShardedRuntime, DEFAULT_BATCH, DEFAULT_QUEUE_CAPACITY};
 use perfq_kvstore::{
-    AreaPlan, CacheGeometry, CachePlanner, PlanError, QueryAllocation, QueryDemand, StoreDemand,
+    AreaPlan, CacheGeometry, CachePlanner, InlineKey, PlanError, QueryAllocation, QueryDemand,
+    StoreDemand,
 };
-use perfq_lang::Value;
+use perfq_lang::bytecode::EvalStack;
+use perfq_lang::{fingerprint, QueryInput, Value};
 use perfq_switch::{Network, QueueRecord};
 
 /// The cache demand one compiled program places on the SRAM budget: one
@@ -59,10 +119,7 @@ pub fn demand_of(name: impl Into<String>, compiled: &CompiledProgram) -> Option<
         .stores
         .iter()
         .flatten()
-        .map(|s| StoreDemand {
-            pair_bits: s.pair_bits(),
-            ways: compiled.options.ways,
-        })
+        .map(|s| StoreDemand::new(s.pair_bits(), compiled.options.ways))
         .collect();
     (!stores.is_empty()).then(|| QueryDemand::new(name, stores))
 }
@@ -72,6 +129,15 @@ pub fn demand_of(name: impl Into<String>, compiled: &CompiledProgram) -> Option<
 /// aggregation stores take no share. Returns the plan (query `i` appears as
 /// `"q{i}"`) so callers can inspect slices or derive per-shard geometries.
 ///
+/// Structurally-identical stores across (or within) programs are
+/// deduplicated: the sharing analysis tags them into one
+/// [`StoreDemand::dedup`] group, the planner charges the group once, and
+/// every member program receives the **same** (larger) geometry — the
+/// reclaimed bits are redistributed across all physical stores. Execution
+/// semantics are unchanged: a member program still runs correctly alone;
+/// only a [`MultiRuntime`]/[`MultiSharded`] additionally collapses the
+/// duplicate stores into one at run time.
+///
 /// # Panics
 ///
 /// Panics when no program has any aggregation store.
@@ -79,12 +145,68 @@ pub fn provision(
     programs: &mut [CompiledProgram],
     budget_bits: u64,
 ) -> Result<AreaPlan, PlanError> {
+    let analysis = analyze_sharing(programs);
+    provision_with(programs, budget_bits, &analysis)
+}
+
+/// [`provision`] against a caller-supplied (possibly gated) sharing
+/// analysis — [`MultiSharded::provisioned`] computes the analysis once,
+/// applies the shard-exactness gate, and threads the same result through
+/// both the planner and the worker rewrite so the two can never disagree.
+///
+/// The planner itself tags only aliases whose terminal store reads the
+/// **base table**: for those, the plan forces every group member onto the
+/// canonical geometry, so the alias provably stays valid after the
+/// rewrite. A *composed* duplicate (identical `GROUPBY` chains) is charged
+/// conservatively as its own store — its upstream stores may be re-sized
+/// differently per program, which would invalidate the alias at run time
+/// while the plan had already pocketed its SRAM. Composed duplicates still
+/// dedup at run time whenever their provisioned geometries coincide; the
+/// area accounting is just never optimistic about it.
+fn provision_with(
+    programs: &mut [CompiledProgram],
+    budget_bits: u64,
+    analysis: &SharingAnalysis,
+) -> Result<AreaPlan, PlanError> {
+    // A dedup group is named by its owner's (program, query) coordinates.
+    let group_token = |p: usize, q: usize| ((p as u64) << 32) | q as u64;
+    let mut groups: Vec<((usize, usize), u64)> = Vec::new();
+    for ((ap, aq), (op, oq)) in &analysis.aliases {
+        if !matches!(programs[*ap].program.queries[*aq].input, QueryInput::Base) {
+            continue;
+        }
+        let token = group_token(*op, *oq);
+        if !groups.contains(&((*op, *oq), token)) {
+            groups.push(((*op, *oq), token));
+        }
+        groups.push(((*ap, *aq), token));
+    }
+    let dedup_of = |p: usize, q: usize| {
+        groups
+            .iter()
+            .find(|((gp, gq), _)| *gp == p && *gq == q)
+            .map(|(_, t)| *t)
+    };
+
     let mut idxs = Vec::new();
     let mut demands = Vec::new();
     for (i, p) in programs.iter().enumerate() {
-        if let Some(d) = demand_of(format!("q{i}"), p) {
+        let stores: Vec<StoreDemand> = p
+            .stores
+            .iter()
+            .enumerate()
+            .filter_map(|(qi, s)| s.as_ref().map(|sp| (qi, sp)))
+            .map(|(qi, sp)| {
+                let mut d = StoreDemand::new(sp.pair_bits(), p.options.ways);
+                if let Some(g) = dedup_of(i, qi) {
+                    d = d.with_dedup(g);
+                }
+                d
+            })
+            .collect();
+        if !stores.is_empty() {
             idxs.push(i);
-            demands.push(d);
+            demands.push(QueryDemand::new(format!("q{i}"), stores));
         }
     }
     assert!(
@@ -142,6 +264,358 @@ pub fn shard_programs(
         .collect())
 }
 
+// ---------------------------------------------------------------------------
+// Sharing analysis
+// ---------------------------------------------------------------------------
+
+/// When a shared key slot's tuple actually gets built for a record. The
+/// unshared per-node path only builds a key after the node's filter
+/// passes; the shared prefix must never do *more* work than that, so a
+/// slot whose every user sits behind a filter is gated on those verdicts.
+#[derive(Debug, Clone)]
+pub(crate) enum KeyGate {
+    /// Some user is unfiltered: the key is read for every record.
+    Always,
+    /// Every user sits behind one of these shared filter slots: build the
+    /// key only when at least one of them passed (otherwise no node will
+    /// read it this record).
+    AnyOf(Vec<u32>),
+}
+
+/// What the install-time sharing pass decided (crate-private form; the
+/// user-facing summary is [`SharingReport`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SharingAnalysis {
+    /// `(alias (program, query)) → (owner (program, query))`. The owner
+    /// precedes its aliases in (program, query) order and is never itself
+    /// an alias.
+    pub aliases: Vec<((usize, usize), (usize, usize))>,
+    /// Unique base-table filters evaluated once per record, each with its
+    /// ≥ 2 users.
+    pub filters: Vec<(Filter, Vec<(usize, usize)>)>,
+    /// Unique base-table `GROUPBY` key tuples built once per record, each
+    /// with its construction gate and its ≥ 2 annotated users.
+    pub keys: Vec<(Vec<usize>, KeyGate, Vec<(usize, usize)>)>,
+}
+
+/// Physical store-plan identity: the non-structural half of the dedup
+/// legality rule (the structural half is
+/// [`perfq_lang::fingerprint::store_equivalent`]).
+fn phys_eq(a: &StorePlan, b: &StorePlan) -> bool {
+    a.geometry == b.geometry
+        && a.policy == b.policy
+        && a.hash_seed == b.hash_seed
+        && a.key_bits == b.key_bits
+        && a.value_bits == b.value_bits
+        && a.ops.dataplane_identical(&b.ops)
+}
+
+/// Every store *upstream* of the two queries must also be physically
+/// identical: composed queries stream the cache-resident running values
+/// (§3.2), so upstream eviction timing shapes the downstream stream.
+fn upstream_phys_identical(
+    a: &CompiledProgram,
+    ai: usize,
+    b: &CompiledProgram,
+    bi: usize,
+) -> bool {
+    match (&a.program.queries[ai].input, &b.program.queries[bi].input) {
+        (QueryInput::Base, QueryInput::Base) => true,
+        (QueryInput::Table(x), QueryInput::Table(y)) => {
+            let stores_match = match (&a.stores[*x], &b.stores[*y]) {
+                (Some(p), Some(q)) => phys_eq(p, q),
+                (None, None) => true,
+                _ => false,
+            };
+            stores_match && upstream_phys_identical(a, *x, b, *y)
+        }
+        _ => false,
+    }
+}
+
+/// The full store-dedup legality check for one candidate pair.
+fn stores_dedupable(a: &CompiledProgram, ai: usize, b: &CompiledProgram, bi: usize) -> bool {
+    let (Some(x), Some(y)) = (&a.stores[ai], &b.stores[bi]) else {
+        return false;
+    };
+    phys_eq(x, y)
+        && upstream_phys_identical(a, ai, b, bi)
+        && fingerprint::store_equivalent(&a.program, ai, &b.program, bi)
+}
+
+/// Decide, at install time, what the given program set can share. Pure
+/// analysis — applying the result to runtimes/worker programs is the
+/// caller's job.
+pub(crate) fn analyze_sharing(programs: &[CompiledProgram]) -> SharingAnalysis {
+    let plans: Vec<ExecPlan> = programs
+        .iter()
+        .map(|p| ExecPlan::build(&p.program))
+        .collect();
+    let fps: Vec<Vec<perfq_lang::SubplanFp>> = programs
+        .iter()
+        .map(|p| p.program.subplan_fingerprints())
+        .collect();
+
+    // --- store dedup -------------------------------------------------------
+    // First occurrence of each store shape owns it; later structurally +
+    // physically identical, *non-emitting* occurrences alias it. (An
+    // emitting aggregation feeds downstream queries its per-record running
+    // values and cannot leave the streaming pass.)
+    let mut aliases = Vec::new();
+    let mut aliased: Vec<Vec<bool>> = plans
+        .iter()
+        .map(|p| vec![false; p.nodes.len()])
+        .collect();
+    let mut owners: Vec<(u64, (usize, usize))> = Vec::new();
+    for (pi, prog) in programs.iter().enumerate() {
+        for (qi, node) in plans[pi].nodes.iter().enumerate() {
+            if !node.active || prog.stores[qi].is_none() {
+                continue;
+            }
+            let Some(store_fp) = fps[pi][qi].store else {
+                continue;
+            };
+            let alias_of = (!node.emits)
+                .then(|| {
+                    owners.iter().find(|(ofp, (op, oq))| {
+                        *ofp == store_fp && stores_dedupable(prog, qi, &programs[*op], *oq)
+                    })
+                })
+                .flatten()
+                .map(|(_, owner)| *owner);
+            match alias_of {
+                Some(owner) => {
+                    aliases.push(((pi, qi), owner));
+                    aliased[pi][qi] = true;
+                }
+                None => owners.push((store_fp, (pi, qi))),
+            }
+        }
+    }
+
+    // --- common-subexpression slots over the surviving base-rooted nodes ---
+    // Filters first: their retained slot indices gate the key slots below.
+    let mut filters: Vec<(Filter, Vec<(usize, usize)>)> = Vec::new();
+    for (pi, plan) in plans.iter().enumerate() {
+        for (qi, node) in plan.nodes.iter().enumerate() {
+            if !node.active || aliased[pi][qi] || node.source != RowSource::Base {
+                continue;
+            }
+            if let Some(f) = &node.filter {
+                match filters.iter_mut().find(|(g, _)| g == f) {
+                    Some((_, users)) => users.push((pi, qi)),
+                    None => filters.push((f.clone(), vec![(pi, qi)])),
+                }
+            }
+        }
+    }
+    filters.retain(|(_, users)| users.len() >= 2);
+
+    // Key tuples, with each user's filter status: unfiltered, behind a
+    // shared filter slot, or behind a private (single-user) filter.
+    enum UserFilter {
+        None,
+        Shared(u32),
+        Private,
+    }
+    let mut key_groups: Vec<(Vec<usize>, Vec<((usize, usize), UserFilter)>)> = Vec::new();
+    for (pi, plan) in plans.iter().enumerate() {
+        for (qi, node) in plan.nodes.iter().enumerate() {
+            if !node.active || aliased[pi][qi] || node.source != RowSource::Base {
+                continue;
+            }
+            let NodeKind::GroupBy { key_cols, .. } = &node.kind else {
+                continue;
+            };
+            // Single-column keys are as cheap to rebuild as to copy; only
+            // multi-word tuples (the 5-tuple, pkt_uniq) pay for a slot.
+            if key_cols.len() < 2 {
+                continue;
+            }
+            let status = match &node.filter {
+                None => UserFilter::None,
+                Some(f) => match filters.iter().position(|(g, _)| g == f) {
+                    Some(slot) => UserFilter::Shared(slot as u32),
+                    None => UserFilter::Private,
+                },
+            };
+            match key_groups.iter_mut().find(|(k, _)| k == key_cols) {
+                Some((_, users)) => users.push(((pi, qi), status)),
+                None => key_groups.push((key_cols.clone(), vec![((pi, qi), status)])),
+            }
+        }
+    }
+    let mut keys = Vec::new();
+    for (cols, users) in key_groups {
+        if users.iter().any(|(_, s)| matches!(s, UserFilter::None)) {
+            // An unfiltered user forces construction every record anyway;
+            // everyone (including privately-filtered users) reads the slot.
+            if users.len() >= 2 {
+                keys.push((
+                    cols,
+                    KeyGate::Always,
+                    users.into_iter().map(|(u, _)| u).collect(),
+                ));
+            }
+        } else {
+            // Every user is filtered. Gate the build on the shared filter
+            // verdicts (already computed by the prefix); privately-filtered
+            // users keep building their own key — the prefix cannot know
+            // whether their predicate passed without evaluating it, which
+            // would be net-new work.
+            let mut slots: Vec<u32> = Vec::new();
+            let mut gated: Vec<(usize, usize)> = Vec::new();
+            for (u, s) in &users {
+                if let UserFilter::Shared(slot) = s {
+                    if !slots.contains(slot) {
+                        slots.push(*slot);
+                    }
+                    gated.push(*u);
+                }
+            }
+            if gated.len() >= 2 {
+                keys.push((cols, KeyGate::AnyOf(slots), gated));
+            }
+        }
+    }
+    SharingAnalysis {
+        aliases,
+        filters,
+        keys,
+    }
+}
+
+/// Restrict a sharing analysis to what the **sharded** dataplane can
+/// honour. Store dedup requires, on top of the single-stream rule:
+///
+/// * both programs' partitionings statically exact
+///   ([`ShardSpec::is_exact`]; every Fig. 2 program is) — otherwise even a
+///   private store's drain is only best-effort and substitution compounds
+///   the error;
+/// * both programs **routing identically** ([`ShardSpec::routes_like`]) —
+///   shard `r` of the owner must see exactly the records shard `r` of the
+///   alias would have seen, so the per-worker store states (and their
+///   eviction timing, which epoch/overwrite folds observe) coincide.
+///   Programs whose primary group keys differ keep their private stores.
+///
+/// The per-record shared prefix never crosses the SPSC queues, so the
+/// filter/key slots are dropped entirely (workers evaluate their own;
+/// reporting them as shared would be a lie).
+fn retain_shard_exact(analysis: &mut SharingAnalysis, programs: &[CompiledProgram]) {
+    let specs: Vec<ShardSpec> = programs.iter().map(ShardSpec::from_compiled).collect();
+    analysis.aliases.retain(|((ap, _), (op, _))| {
+        specs[*ap].is_exact() && specs[*op].is_exact() && specs[*ap].routes_like(&specs[*op])
+    });
+    analysis.filters.clear();
+    analysis.keys.clear();
+}
+
+/// One shared subexpression: what it computes and who reads it.
+#[derive(Debug, Clone)]
+pub struct SharedSlot {
+    /// Rendered form of the shared work (a predicate like `proto == 6`, or
+    /// a key tuple like `srcip, dstip, srcport, dstport, proto`).
+    pub desc: String,
+    /// The sharing queries as `(program index, query name)`.
+    pub users: Vec<(usize, String)>,
+}
+
+/// One deduplicated store: the alias reads the owner's physical store.
+#[derive(Debug, Clone)]
+pub struct SharedStore {
+    /// The program/query owning the physical store.
+    pub owner: (usize, String),
+    /// The program/query whose private store was elided.
+    pub alias: (usize, String),
+}
+
+/// What a multi-query install shared, for reports and examples
+/// ([`MultiRuntime::sharing`] / [`MultiSharded::sharing`]).
+#[derive(Debug, Clone, Default)]
+pub struct SharingReport {
+    /// Base filters evaluated once per record.
+    pub filters: Vec<SharedSlot>,
+    /// Base group keys built once per record.
+    pub keys: Vec<SharedSlot>,
+    /// Aggregation stores collapsed into one physical store.
+    pub stores: Vec<SharedStore>,
+}
+
+impl SharingReport {
+    /// True when the pass found anything to share.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        !self.filters.is_empty() || !self.keys.is_empty() || !self.stores.is_empty()
+    }
+}
+
+fn report_of(programs: &[CompiledProgram], analysis: &SharingAnalysis) -> SharingReport {
+    let schema = perfq_lang::base_schema();
+    let named = |p: usize, q: usize| (p, programs[p].program.queries[q].name.clone());
+    let filters = analysis
+        .filters
+        .iter()
+        .map(|(_, users)| {
+            let (p, q) = users[0];
+            let prog = &programs[p].program;
+            let desc = prog.queries[q]
+                .pre_filter
+                .as_ref()
+                .map(|f| {
+                    fingerprint::render_expr(
+                        &perfq_lang::bytecode::bind_params(f, &prog.param_values()),
+                        &schema,
+                    )
+                })
+                .unwrap_or_default();
+            SharedSlot {
+                desc,
+                users: users.iter().map(|(p, q)| named(*p, *q)).collect(),
+            }
+        })
+        .collect();
+    let keys = analysis
+        .keys
+        .iter()
+        .map(|(cols, _, users)| SharedSlot {
+            desc: cols
+                .iter()
+                .map(|c| schema.name_of(*c))
+                .collect::<Vec<_>>()
+                .join(", "),
+            users: users.iter().map(|(p, q)| named(*p, *q)).collect(),
+        })
+        .collect();
+    let stores = analysis
+        .aliases
+        .iter()
+        .map(|((ap, aq), (op, oq))| SharedStore {
+            owner: named(*op, *oq),
+            alias: named(*ap, *aq),
+        })
+        .collect();
+    SharingReport {
+        filters,
+        keys,
+        stores,
+    }
+}
+
+/// Substitute every alias query's (never-updated) store with a clone of its
+/// owner's finished store, so collection reads what a private store would
+/// have held. All runtimes must be finished.
+fn substitute_stores(runtimes: &mut [Runtime], aliases: &[((usize, usize), (usize, usize))]) {
+    for ((ap, aq), (op, oq)) in aliases {
+        if ap == op {
+            runtimes[*ap].adopt_store_within(*aq, *oq);
+        } else {
+            debug_assert!(op < ap, "owners precede aliases");
+            let (left, right) = runtimes.split_at_mut(*ap);
+            right[0].adopt_store(*aq, &left[*op], *oq);
+        }
+    }
+}
+
 /// K installed programs behind one shared ingest pass. Usage mirrors
 /// [`Runtime`]; every entry point is semantically K independent runtimes
 /// fed the same records, and is pinned byte-identical to exactly that.
@@ -184,19 +658,102 @@ pub struct MultiRuntime {
     rows: Vec<Vec<Value>>,
     /// Observation times of the current batch, parallel to `rows`.
     nows: Vec<perfq_packet::Nanos>,
+    /// Unique base filters of the shared execution prefix, by slot.
+    shared_filters: Vec<Filter>,
+    /// Unique base key tuples of the shared execution prefix, by slot,
+    /// each with its construction gate.
+    shared_keys: Vec<(Vec<usize>, KeyGate)>,
+    /// Reusable scratch for wider-than-inline shared keys.
+    key_spill: Vec<i64>,
+    /// Store-dedup substitutions applied at [`MultiRuntime::finish`].
+    aliases: Vec<((usize, usize), (usize, usize))>,
+    /// Per-batch shared filter verdicts, row-major (`row * n_filters + f`).
+    pass_buf: Vec<bool>,
+    /// Per-batch shared keys, row-major (`row * n_keys + k`).
+    key_buf: Vec<InlineKey>,
+    /// Bytecode stack for shared filter evaluation.
+    stack: EvalStack,
+    /// What the install-time sharing pass found.
+    report: SharingReport,
+}
+
+/// Evaluate the shared prefix for one row, appending `n_filters` verdicts
+/// and `n_keys` keys to the output buffers.
+fn eval_shared_prefix(
+    filters: &[Filter],
+    keys: &[(Vec<usize>, KeyGate)],
+    stack: &mut EvalStack,
+    row: &[Value],
+    spill: &mut Vec<i64>,
+    pass_out: &mut Vec<bool>,
+    key_out: &mut Vec<InlineKey>,
+) {
+    let base = pass_out.len();
+    for f in filters {
+        // Shared filters are compiled with params folded: no parameter
+        // vector is needed at evaluation time.
+        pass_out.push(f.pass(stack, row, &[]));
+    }
+    let row_pass = &pass_out[base..];
+    for (cols, gate) in keys {
+        let build = match gate {
+            KeyGate::Always => true,
+            KeyGate::AnyOf(slots) => slots.iter().any(|s| row_pass[*s as usize]),
+        };
+        key_out.push(if build {
+            crate::runtime::build_group_key(cols, row, spill)
+        } else {
+            // Placeholder: every reader of this slot sits behind one of the
+            // gate's filters, all of which failed — nothing reads this row.
+            InlineKey::from_slice(&[])
+        });
+    }
 }
 
 impl MultiRuntime {
     /// Install several compiled programs behind one ingest pass, with
-    /// whatever geometries they already carry.
+    /// whatever geometries they already carry and cross-query sharing
+    /// enabled (see the module docs; sharing is a pure optimization, pinned
+    /// byte-identical to [`MultiRuntime::new_unshared`]).
     ///
     /// # Panics
     ///
     /// Panics on an empty program list.
     #[must_use]
     pub fn new(programs: Vec<CompiledProgram>) -> Self {
+        Self::with_sharing(programs, true)
+    }
+
+    /// [`MultiRuntime::new`] without the cross-query sharing pass — the
+    /// PR 4 shared-ingest-only configuration. Differential tests and the
+    /// `multi_query_shared` benchmarks use this as the sharing baseline.
+    #[must_use]
+    pub fn new_unshared(programs: Vec<CompiledProgram>) -> Self {
+        Self::with_sharing(programs, false)
+    }
+
+    fn with_sharing(programs: Vec<CompiledProgram>, share: bool) -> Self {
         assert!(!programs.is_empty(), "need at least one program");
-        let runtimes: Vec<Runtime> = programs.into_iter().map(Runtime::new).collect();
+        let analysis = if share {
+            analyze_sharing(&programs)
+        } else {
+            SharingAnalysis::default()
+        };
+        let report = report_of(&programs, &analysis);
+        let mut runtimes: Vec<Runtime> = programs.into_iter().map(Runtime::new).collect();
+        for ((ap, aq), _) in &analysis.aliases {
+            runtimes[*ap].deactivate_query(*aq);
+        }
+        for (slot, (_, users)) in analysis.filters.iter().enumerate() {
+            for (p, q) in users {
+                runtimes[*p].set_shared_slots(*q, Some(slot as u32), None);
+            }
+        }
+        for (slot, (_, _, users)) in analysis.keys.iter().enumerate() {
+            for (p, q) in users {
+                runtimes[*p].set_shared_slots(*q, None, Some(slot as u32));
+            }
+        }
         let union_cols = runtimes.iter().fold(0u64, |m, rt| m | rt.base_cols());
         MultiRuntime {
             runtimes,
@@ -204,6 +761,14 @@ impl MultiRuntime {
             row_buf: Vec::new(),
             rows: Vec::new(),
             nows: Vec::new(),
+            shared_filters: analysis.filters.into_iter().map(|(f, _)| f).collect(),
+            shared_keys: analysis.keys.into_iter().map(|(k, g, _)| (k, g)).collect(),
+            key_spill: Vec::new(),
+            aliases: analysis.aliases,
+            pass_buf: Vec::new(),
+            key_buf: Vec::new(),
+            stack: EvalStack::new(),
+            report,
         }
     }
 
@@ -235,29 +800,48 @@ impl MultiRuntime {
         &self.runtimes
     }
 
+    /// What the install-time sharing pass shared across the programs.
+    #[must_use]
+    pub fn sharing(&self) -> &SharingReport {
+        &self.report
+    }
+
     /// Records each program has processed (identical across programs).
     #[must_use]
     pub fn records(&self) -> u64 {
         self.runtimes[0].records()
     }
 
-    /// Process one queue record: materialize the row once (union mask) and
-    /// dispatch it to every program's plan.
+    /// Process one queue record: materialize the row once (union mask),
+    /// evaluate the shared prefix once, and dispatch to every program's
+    /// plan.
     pub fn process_record(&mut self, rec: &QueueRecord) {
         let now = rec.observed_at();
         let mut row = std::mem::take(&mut self.row_buf);
         rec.write_row_masked(&mut row, self.union_cols);
+        self.pass_buf.clear();
+        self.key_buf.clear();
+        eval_shared_prefix(
+            &self.shared_filters,
+            &self.shared_keys,
+            &mut self.stack,
+            &row,
+            &mut self.key_spill,
+            &mut self.pass_buf,
+            &mut self.key_buf,
+        );
         for rt in &mut self.runtimes {
-            rt.process_row(&row, now);
+            rt.process_row_shared(&row, now, &self.pass_buf, &self.key_buf);
         }
         self.row_buf = row;
     }
 
     /// Process a batch of records — the multi-query analogue of
     /// [`Runtime::process_batch`]: the whole batch materializes **once**
-    /// (union column mask, reused row buffers), then every program's plan
-    /// sweeps the materialized rows consecutively. Semantically identical
-    /// to [`MultiRuntime::process_record`] per element (and tested to be);
+    /// (union column mask, reused row buffers) along with the shared
+    /// prefix's per-row verdicts and keys, then every program's plan sweeps
+    /// the materialized rows consecutively. Semantically identical to
+    /// [`MultiRuntime::process_record`] per element (and tested to be);
     /// programs are independent, so per-program stream order — the order
     /// that matters — is preserved.
     pub fn process_batch(&mut self, recs: &[QueueRecord]) {
@@ -267,14 +851,30 @@ impl MultiRuntime {
         }
         self.nows.clear();
         self.nows.reserve(recs.len());
+        self.pass_buf.clear();
+        self.key_buf.clear();
         for (rec, row) in recs.iter().zip(&mut self.rows) {
             rec.write_row_masked(row, mask);
-            self.nows
-                .push(rec.observed_at());
+            self.nows.push(rec.observed_at());
+            eval_shared_prefix(
+                &self.shared_filters,
+                &self.shared_keys,
+                &mut self.stack,
+                row,
+                &mut self.key_spill,
+                &mut self.pass_buf,
+                &mut self.key_buf,
+            );
         }
+        let (nf, nk) = (self.shared_filters.len(), self.shared_keys.len());
         for rt in &mut self.runtimes {
-            for (row, now) in self.rows[..recs.len()].iter().zip(&self.nows) {
-                rt.process_row(row, *now);
+            for (i, (row, now)) in self.rows[..recs.len()].iter().zip(&self.nows).enumerate() {
+                rt.process_row_shared(
+                    row,
+                    *now,
+                    &self.pass_buf[i * nf..(i + 1) * nf],
+                    &self.key_buf[i * nk..(i + 1) * nk],
+                );
             }
         }
     }
@@ -291,11 +891,14 @@ impl MultiRuntime {
         net.run_batched(packets, batch, |chunk| self.process_batch(chunk));
     }
 
-    /// Flush every program's caches (end of measurement window).
+    /// Flush every program's caches (end of measurement window), then
+    /// substitute deduplicated stores so every alias query collects from
+    /// the owning program's physical store.
     pub fn finish(&mut self) {
         for rt in &mut self.runtimes {
             rt.finish();
         }
+        substitute_stores(&mut self.runtimes, &self.aliases);
     }
 
     /// Collect every program's final tables, in program order. Call after
@@ -316,43 +919,96 @@ impl MultiRuntime {
 /// [`ShardedRuntime`] (its own router and SPSC queues), and every record is
 /// routed once per program. Under [`MultiSharded::provisioned`], each
 /// shard's cache is `1/N` of the program's SRAM slice, so the whole
-/// deployment still fits the single fixed budget.
+/// deployment still fits the single fixed budget. Duplicate stores across
+/// programs are deduplicated exactly as in [`MultiRuntime`] (see the module
+/// docs): alias aggregations leave every worker's streaming pass, and the
+/// drain substitutes the owning program's merged store.
 #[derive(Debug)]
 pub struct MultiSharded {
     sharded: Vec<ShardedRuntime>,
+    /// Store-dedup substitutions applied on drain.
+    aliases: Vec<((usize, usize), (usize, usize))>,
+    report: SharingReport,
 }
 
 impl MultiSharded {
     /// Spawn `shards` workers per program with the geometries the programs
     /// already carry (replicated per shard — the *unprovisioned*
-    /// configuration).
+    /// configuration), with cross-program store dedup enabled.
     ///
     /// # Panics
     ///
     /// Panics on an empty program list or zero shards.
     #[must_use]
     pub fn new(programs: Vec<CompiledProgram>, shards: usize) -> Self {
+        Self::with_sharing(programs, shards, true)
+    }
+
+    /// [`MultiSharded::new`] without the sharing pass (differential
+    /// baseline).
+    #[must_use]
+    pub fn new_unshared(programs: Vec<CompiledProgram>, shards: usize) -> Self {
+        Self::with_sharing(programs, shards, false)
+    }
+
+    fn with_sharing(mut programs: Vec<CompiledProgram>, shards: usize, share: bool) -> Self {
         assert!(!programs.is_empty(), "need at least one program");
+        let (aliases, report) = if share {
+            let mut analysis = analyze_sharing(&programs);
+            retain_shard_exact(&mut analysis, &programs);
+            let report = report_of(&programs, &analysis);
+            for ((ap, aq), _) in &analysis.aliases {
+                programs[*ap].deduped_queries.push(*aq);
+            }
+            (analysis.aliases, report)
+        } else {
+            (Vec::new(), SharingReport::default())
+        };
         MultiSharded {
             sharded: programs
                 .into_iter()
                 .map(|p| ShardedRuntime::new(p, shards))
                 .collect(),
+            aliases,
+            report,
         }
     }
 
     /// Spawn under a shared SRAM budget: the budget divides across programs
-    /// ([`provision`]), and each program's slice divides across its `shards`
+    /// ([`provision`], store dedup included — deduplicated stores are
+    /// charged once), and each program's slice divides across its `shards`
     /// workers ([`shard_programs`]) — constant total area at any scale.
+    ///
+    /// One sharing analysis drives both the plan and the workers: it is
+    /// computed once, gated on shard exactness, handed to the planner, and
+    /// re-validated against the provisioned geometries before any store is
+    /// elided — the plan can never charge a store once that the dataplane
+    /// ends up building twice.
     pub fn provisioned(
         mut programs: Vec<CompiledProgram>,
         budget_bits: u64,
         shards: usize,
     ) -> Result<(Self, AreaPlan), PlanError> {
-        let plan = provision(&mut programs, budget_bits)?;
+        let mut analysis = analyze_sharing(&programs);
+        retain_shard_exact(&mut analysis, &programs);
+        let plan = provision_with(&mut programs, budget_bits, &analysis)?;
+        // Provisioning re-sized the caches: base-rooted aliases are intact
+        // by construction (the planner forced the group onto one geometry);
+        // composed aliases survive only when their upstream chains were
+        // re-sized identically (they were charged separately either way).
+        analysis
+            .aliases
+            .retain(|((ap, aq), (op, oq))| stores_dedupable(&programs[*ap], *aq, &programs[*op], *oq));
+        let report = report_of(&programs, &analysis);
+
         let mut sharded = Vec::with_capacity(programs.len());
         let mut allocs = plan.queries.iter();
-        for (i, p) in programs.into_iter().enumerate() {
+        for (i, mut p) in programs.into_iter().enumerate() {
+            for ((ap, aq), _) in &analysis.aliases {
+                if *ap == i {
+                    p.deduped_queries.push(*aq);
+                }
+            }
             // `provision` named the i-th store-bearing program `q{i}`.
             let workers = if p.stores.iter().any(Option::is_some) {
                 let alloc = allocs.next().expect("plan covers store-bearing programs");
@@ -367,7 +1023,14 @@ impl MultiSharded {
                 DEFAULT_BATCH,
             ));
         }
-        Ok((MultiSharded { sharded }, plan))
+        Ok((
+            MultiSharded {
+                sharded,
+                aliases: analysis.aliases,
+                report,
+            },
+            plan,
+        ))
     }
 
     /// Number of installed programs.
@@ -386,6 +1049,12 @@ impl MultiSharded {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.sharded[0].shards()
+    }
+
+    /// What the install-time sharing pass shared across the programs.
+    #[must_use]
+    pub fn sharing(&self) -> &SharingReport {
+        &self.report
     }
 
     /// Route one record to its shard in **every** program's dataplane.
@@ -421,10 +1090,17 @@ impl MultiSharded {
     }
 
     /// Drain every program's dataplane (join workers, merge fold state)
-    /// into finished per-program runtimes, in program order.
+    /// into finished per-program runtimes, in program order, substituting
+    /// deduplicated stores from their owning programs.
     #[must_use]
     pub fn finish(self) -> Vec<Runtime> {
-        self.sharded.into_iter().map(ShardedRuntime::finish).collect()
+        let mut runtimes: Vec<Runtime> = self
+            .sharded
+            .into_iter()
+            .map(ShardedRuntime::finish)
+            .collect();
+        substitute_stores(&mut runtimes, &self.aliases);
+        runtimes
     }
 
     /// Drain and collect every program's final tables in one step.
@@ -508,6 +1184,217 @@ mod tests {
     }
 
     #[test]
+    fn analysis_finds_the_papers_overlap() {
+        // The §4 running example + loss rate + both TCP queries: one store
+        // dedups (counter vs loss-rate R1), the TCP filter and the 5-tuple
+        // key extraction are CSE slots.
+        let programs = vec![
+            compiled("SELECT COUNT GROUPBY 5tuple"),
+            compiled(fig2::PER_FLOW_LOSS_RATE.source),
+            compiled(fig2::TCP_OUT_OF_SEQUENCE.source),
+            compiled(fig2::TCP_NON_MONOTONIC.source),
+        ];
+        let analysis = analyze_sharing(&programs);
+        assert_eq!(analysis.aliases.len(), 1, "loss-rate R1 aliases the counter");
+        assert_eq!(analysis.aliases[0], ((1, 0), (0, 0)));
+        assert_eq!(
+            analysis.filters.len(),
+            1,
+            "proto == TCP is shared by both TCP queries"
+        );
+        assert_eq!(analysis.filters[0].1.len(), 2);
+        assert_eq!(analysis.keys.len(), 1, "the 5-tuple key tuple is shared");
+        // Counter (owner), loss R2, and both TCP queries still build it;
+        // the aliased loss R1 does not. The unfiltered counter forces
+        // per-record construction.
+        assert!(matches!(analysis.keys[0].1, KeyGate::Always));
+        assert_eq!(analysis.keys[0].2.len(), 4);
+    }
+
+    #[test]
+    fn different_filters_and_geometries_block_dedup() {
+        // Loss-rate R1 vs R2: same store shape, different filter.
+        let loss = compiled(fig2::PER_FLOW_LOSS_RATE.source);
+        assert!(!stores_dedupable(&loss, 0, &loss, 1));
+        // Same query text, different cache geometry: physically different.
+        let a = compiled("SELECT COUNT GROUPBY 5tuple");
+        let b = compile_query(
+            "SELECT COUNT GROUPBY 5tuple",
+            &fig2::default_params(),
+            CompileOptions {
+                cache_pairs: 1 << 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(stores_dedupable(&a, 0, &a, 0));
+        assert!(!stores_dedupable(&a, 0, &b, 0));
+        let analysis = analyze_sharing(&[a, b]);
+        assert!(analysis.aliases.is_empty());
+    }
+
+    #[test]
+    fn dedup_is_byte_identical_and_reported() {
+        let programs = vec![
+            compiled("SELECT COUNT GROUPBY 5tuple"),
+            compiled(fig2::PER_FLOW_LOSS_RATE.source),
+        ];
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(3)).take(3_000));
+        let mut shared = MultiRuntime::new(programs.clone());
+        assert_eq!(shared.sharing().stores.len(), 1);
+        assert_eq!(shared.sharing().stores[0].alias.1, "R1");
+        let mut unshared = MultiRuntime::new_unshared(programs);
+        assert!(!unshared.sharing().any());
+        shared.process_batch(&records);
+        unshared.process_batch(&records);
+        shared.finish();
+        unshared.finish();
+        assert_eq!(shared.collect(), unshared.collect());
+    }
+
+    #[test]
+    fn composed_duplicates_are_charged_conservatively() {
+        // Two copies of the high-latency program: R2 (a composed GROUPBY
+        // over R1's stream) dedups at run time, but the planner must not
+        // pocket its SRAM — provisioning could re-size the two R1 chains
+        // differently, and a plan may never charge once for a store the
+        // dataplane might build twice.
+        let mut programs = vec![
+            compiled(fig2::PER_FLOW_HIGH_LATENCY.source),
+            compiled(fig2::PER_FLOW_HIGH_LATENCY.source),
+        ];
+        let plan = provision(&mut programs, 32 * MBIT).unwrap();
+        assert_eq!(
+            plan.deduped_stores(),
+            0,
+            "composed aliases are not planner-tagged"
+        );
+        // Identical programs were re-sized identically, so the run-time
+        // pass still collapses R2 (pure exec win, area charged for both).
+        let multi = MultiRuntime::new(programs);
+        assert!(multi
+            .sharing()
+            .stores
+            .iter()
+            .any(|s| s.alias.1 == "R2" && s.owner.1 == "R2"));
+    }
+
+    #[test]
+    fn diverged_chains_after_provisioning_do_not_dedup() {
+        // The same composed R2 chain, but program B carries an extra store:
+        // its slice splits three ways instead of two, so after provisioning
+        // the two R1 stores differ — the upstream chain is physically
+        // different and R2 must keep its private store.
+        let b_src = format!("{}R3 = SELECT COUNT GROUPBY srcip\n", fig2::PER_FLOW_HIGH_LATENCY.source);
+        let mut programs = vec![
+            compiled(fig2::PER_FLOW_HIGH_LATENCY.source),
+            compiled(&b_src),
+        ];
+        let plan = provision(&mut programs, 32 * MBIT).unwrap();
+        assert_eq!(plan.deduped_stores(), 0);
+        assert_ne!(
+            programs[0].stores[0].as_ref().unwrap().geometry,
+            programs[1].stores[0].as_ref().unwrap().geometry,
+            "the premise: provisioning diverged the R1 chains"
+        );
+        let multi = MultiRuntime::new(programs);
+        assert!(
+            multi.sharing().stores.is_empty(),
+            "diverged chains must not dedup: {:?}",
+            multi.sharing().stores
+        );
+    }
+
+    #[test]
+    fn inexact_programs_keep_private_stores_in_sharded_provisioning() {
+        // MAX keyed off the shard key is neither order-free nor confined:
+        // the program's partitioning is statically inexact, so the sharded
+        // plane must not dedup — and the plan must charge every store it
+        // actually builds.
+        let src = "R1 = SELECT COUNT GROUPBY srcip\nR2 = SELECT MAX(qsize) GROUPBY dstip\n";
+        let programs = vec![compiled(src), compiled(src)];
+        let (sh, plan) = MultiSharded::provisioned(programs.clone(), 32 * MBIT, 2).unwrap();
+        assert!(
+            sh.sharing().stores.is_empty(),
+            "inexact partitioning blocks sharded dedup"
+        );
+        assert_eq!(
+            plan.deduped_stores(),
+            0,
+            "the plan charges exactly what the dataplane builds"
+        );
+        let _ = sh.finish();
+        // The single-stream plane has no such constraint: both stores dedup.
+        let multi = MultiRuntime::new(programs);
+        assert_eq!(multi.sharing().stores.len(), 2);
+    }
+
+    #[test]
+    fn fully_filtered_key_slots_are_gated_on_the_shared_filter() {
+        // Both TCP queries key the 5-tuple behind `proto == TCP`: the slot
+        // must exist but only build when the (shared) filter passed —
+        // otherwise the prefix would key-build UDP traffic the unshared
+        // path never touches.
+        let programs = vec![
+            compiled(fig2::TCP_OUT_OF_SEQUENCE.source),
+            compiled(fig2::TCP_NON_MONOTONIC.source),
+        ];
+        let analysis = analyze_sharing(&programs);
+        assert_eq!(analysis.filters.len(), 1);
+        assert_eq!(analysis.keys.len(), 1);
+        assert!(
+            matches!(&analysis.keys[0].1, KeyGate::AnyOf(slots) if slots == &[0]),
+            "{:?}",
+            analysis.keys[0].1
+        );
+    }
+
+    #[test]
+    fn sharded_dedup_requires_identical_routing() {
+        // Program A's primary key is srcip, program B's is the 5-tuple:
+        // their identical TCP-non-monotonic stores partition records onto
+        // workers differently, so per-worker eviction timing diverges —
+        // epoch folds would observe it. The sharded plane must keep the
+        // stores private; the single-stream plane may still dedup.
+        let a_src = format!("R0 = SELECT COUNT GROUPBY srcip\n{}", fig2::TCP_NON_MONOTONIC.source);
+        // Put the non-monotonic query at index 1 in BOTH programs so the
+        // store seeds match (dedup is otherwise blocked by the seed).
+        let b_src = format!("R0 = SELECT COUNT GROUPBY 5tuple\n{}", fig2::TCP_NON_MONOTONIC.source);
+        let programs = vec![compiled(&b_src), compiled(&a_src)];
+        // The fold's `def` is not a query: the non-monotonic store sits at
+        // query index 1 in both programs (same placement seed).
+        let mut analysis = analyze_sharing(&programs);
+        assert!(
+            analysis.aliases.contains(&((1, 1), (0, 1))),
+            "premise: the single-stream pass dedups the shared store: {:?}",
+            analysis.aliases
+        );
+        retain_shard_exact(&mut analysis, &programs);
+        assert!(
+            !analysis.aliases.contains(&((1, 1), (0, 1))),
+            "different routing must block sharded dedup: {:?}",
+            analysis.aliases
+        );
+    }
+
+    #[test]
+    fn sharded_reports_claim_no_prefix_sharing() {
+        // The shared filter/key prefix never crosses the SPSC queues;
+        // the sharded report must not pretend otherwise.
+        let programs = vec![
+            compiled(fig2::TCP_OUT_OF_SEQUENCE.source),
+            compiled(fig2::TCP_NON_MONOTONIC.source),
+        ];
+        let sh = MultiSharded::new(programs.clone(), 2);
+        assert!(sh.sharing().filters.is_empty() && sh.sharing().keys.is_empty());
+        let _ = sh.finish();
+        // …while the single-stream plane does share the TCP filter.
+        assert!(!MultiRuntime::new(programs).sharing().filters.is_empty());
+    }
+
+    #[test]
     fn multi_sharded_provisioned_sizes_shards_at_one_nth() {
         let programs = vec![compiled("SELECT COUNT GROUPBY 5tuple")];
         let shards = 4;
@@ -525,5 +1412,35 @@ mod tests {
         let results = sh.finish_collect();
         assert_eq!(results.len(), 1);
         assert!(!results[0].tables[0].rows.is_empty());
+    }
+
+    #[test]
+    fn provision_charges_deduplicated_stores_once() {
+        // counter + loss rate: 3 demanded stores, but R1 duplicates the
+        // counter — the plan charges 2 physical stores and every physical
+        // cache grows past its unshared size.
+        let mut programs = vec![
+            compiled("SELECT COUNT GROUPBY 5tuple"),
+            compiled(fig2::PER_FLOW_LOSS_RATE.source),
+        ];
+        let plan = provision(&mut programs, 32 * MBIT).unwrap();
+        assert_eq!(plan.deduped_stores(), 1);
+        assert!(plan.reclaimed_bits() > 0);
+        assert!(plan.allocated_bits() <= 32 * MBIT);
+        // The counter's geometry equals loss-rate R1's geometry (they are
+        // one store), and both exceed what an unshared plan would grant.
+        let counter_geom = programs[0].stores[0].as_ref().unwrap().geometry;
+        let r1_geom = programs[1].stores[0].as_ref().unwrap().geometry;
+        assert_eq!(counter_geom, r1_geom);
+        let mut unshared = vec![
+            compiled("SELECT COUNT GROUPBY 5tuple"),
+            compiled(fig2::PER_FLOW_LOSS_RATE.source),
+        ];
+        // Strip the dedup win by planning each program alone on its share.
+        let solo = provision(&mut unshared[..1], 16 * MBIT).unwrap();
+        assert!(
+            counter_geom.capacity() > solo.queries[0].stores[0].geometry.capacity(),
+            "reclaimed bits must buy a bigger cache"
+        );
     }
 }

@@ -36,7 +36,11 @@ pub(crate) enum RowSource {
 /// A compiled `WHERE` predicate. The single-comparison shape that dominates
 /// the paper's queries (`proto == TCP`, `tout == infinity`) gets a direct
 /// evaluation path that never touches the stack machine.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the compiled (param-folded) form — what the
+/// multi-query sharing pass uses to recognize that two installed programs
+/// evaluate the same predicate.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Filter {
     /// `input[col] op const`.
     InputConst(BinOp, usize, Value),
@@ -99,6 +103,15 @@ pub(crate) struct NodePlan {
     pub emits: bool,
     /// Compiled `WHERE` predicate.
     pub filter: Option<Filter>,
+    /// Cross-query sharing: when set, the filter verdict for this node was
+    /// already computed into the shared scratch the multi-query dataplane
+    /// passes along (`Runtime::process_row_shared`), at this slot — the
+    /// node's own `filter` is skipped. Only ever set on base-rooted nodes.
+    pub shared_filter: Option<u32>,
+    /// Cross-query sharing: when set, this GROUPBY's key for the current
+    /// record is read from the shared key scratch at this slot instead of
+    /// being rebuilt. Only ever set on base-rooted nodes.
+    pub shared_key: Option<u32>,
     /// The node body.
     pub kind: NodeKind,
 }
@@ -154,6 +167,8 @@ impl ExecPlan {
                 // Filled in below once all consumers are known.
                 emits: false,
                 filter,
+                shared_filter: None,
+                shared_key: None,
                 kind,
             });
         }
@@ -180,38 +195,50 @@ impl ExecPlan {
                 nodes[idx].active = false;
             }
         }
-        // Which base columns does the streaming pass actually read?
-        let mut base_cols = 0u64;
-        let mut need = |col: usize| base_cols |= 1u64 << col;
-        for (idx, q) in program.queries.iter().enumerate() {
-            if !nodes[idx].active || nodes[idx].source != RowSource::Base {
-                continue;
+        let base_cols = base_cols_of(&nodes, program);
+        ExecPlan { nodes, base_cols }
+    }
+
+    /// Recompute the pruned base-column mask after node deactivation (the
+    /// multi-query store-dedup pass turns duplicated aggregations off; their
+    /// columns must stop charging this program's materialization mask).
+    pub fn recompute_base_cols(&mut self, program: &ResolvedProgram) {
+        self.base_cols = base_cols_of(&self.nodes, program);
+    }
+}
+
+/// Which base columns does the streaming pass actually read?
+fn base_cols_of(nodes: &[NodePlan], program: &ResolvedProgram) -> u64 {
+    let mut base_cols = 0u64;
+    let mut need = |col: usize| base_cols |= 1u64 << col;
+    for (idx, q) in program.queries.iter().enumerate() {
+        if !nodes[idx].active || nodes[idx].source != RowSource::Base {
+            continue;
+        }
+        if let Some(f) = &q.pre_filter {
+            for c in f.input_columns() {
+                need(c);
             }
-            if let Some(f) = &q.pre_filter {
-                for c in f.input_columns() {
-                    need(c);
+        }
+        match &q.kind {
+            ResolvedKind::Project(cols) => {
+                for c in cols {
+                    for i in c.expr.input_columns() {
+                        need(i);
+                    }
                 }
             }
-            match &q.kind {
-                ResolvedKind::Project(cols) => {
-                    for c in cols {
-                        for i in c.expr.input_columns() {
-                            need(i);
-                        }
-                    }
+            ResolvedKind::GroupBy(g) => {
+                for c in &g.key_cols {
+                    need(*c);
                 }
-                ResolvedKind::GroupBy(g) => {
-                    for c in &g.key_cols {
-                        need(*c);
-                    }
-                    for c in &g.fold.used_inputs {
-                        need(*c);
-                    }
+                for c in &g.fold.used_inputs {
+                    need(*c);
                 }
             }
         }
-        ExecPlan { nodes, base_cols }
     }
+    base_cols
 }
 
 #[cfg(test)]

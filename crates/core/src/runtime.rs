@@ -14,7 +14,7 @@
 //!    semantics; note downstream sees the *cache* value — the merged truth
 //!    lives only in the backing store, §3.2).
 //!
-//! The per-record path is a single pass over the flat [`ExecPlan`]
+//! The per-record path is a single pass over the flat `ExecPlan`
 //! (`plan.rs`): filters and projections run as compiled bytecode over a
 //! reusable value stack, group keys build into an inline key, and every
 //! intermediate row lands in a per-node buffer reused across records — the
@@ -105,7 +105,20 @@ impl Runtime {
                 }),
             );
         }
-        let plan = ExecPlan::build(&compiled.program);
+        let mut plan = ExecPlan::build(&compiled.program);
+        // Queries whose store is provided externally (multi-query store
+        // dedup) leave the streaming pass entirely; see
+        // `CompiledProgram::deduped_queries`.
+        if !compiled.deduped_queries.is_empty() {
+            for &idx in &compiled.deduped_queries {
+                assert!(
+                    !plan.nodes[idx].emits,
+                    "only non-emitting aggregations may be deduplicated"
+                );
+                plan.nodes[idx].active = false;
+            }
+            plan.recompute_base_cols(&compiled.program);
+        }
         Runtime {
             compiled,
             params,
@@ -140,6 +153,66 @@ impl Runtime {
     #[must_use]
     pub(crate) fn base_cols(&self) -> u64 {
         self.plan.base_cols
+    }
+
+    /// Cross-query store dedup: turn query `idx` off in the streaming pass.
+    /// Legal only for non-emitting aggregations (nothing downstream reads
+    /// them); their store is substituted from the owning runtime at finish
+    /// time ([`Runtime::adopt_store`]).
+    pub(crate) fn deactivate_query(&mut self, idx: usize) {
+        let node = &mut self.plan.nodes[idx];
+        assert!(
+            !node.emits,
+            "only non-emitting aggregations may be deduplicated"
+        );
+        node.active = false;
+        self.plan.recompute_base_cols(&self.compiled.program);
+    }
+
+    /// Cross-query CSE: annotate query `idx` to read its filter verdict
+    /// and/or group key from the shared per-record scratch.
+    pub(crate) fn set_shared_slots(
+        &mut self,
+        idx: usize,
+        filter: Option<u32>,
+        key: Option<u32>,
+    ) {
+        let node = &mut self.plan.nodes[idx];
+        if filter.is_some() {
+            debug_assert!(node.filter.is_some(), "shared filter on a filterless node");
+            node.shared_filter = filter;
+        }
+        if key.is_some() {
+            debug_assert!(
+                matches!(node.kind, NodeKind::GroupBy { .. }),
+                "shared key on a non-aggregation"
+            );
+            node.shared_key = key;
+        }
+    }
+
+    /// Cross-query store dedup, collect side: query `dst`'s (never updated)
+    /// store adopts the owning runtime's finished results, so collection
+    /// reads exactly what a private store would have held. Only the backing
+    /// table is copied — O(distinct keys), not O(cache geometry).
+    pub(crate) fn adopt_store(&mut self, dst: usize, src: &Runtime, src_idx: usize) {
+        debug_assert!(self.finished && src.finished, "adopt after finish");
+        match (self.stores[dst].as_mut(), src.stores[src_idx].as_ref()) {
+            (Some(d), Some(s)) => d.adopt_results_from(s),
+            _ => unreachable!("dedup only pairs aggregation stores"),
+        }
+    }
+
+    /// [`Runtime::adopt_store`] within one runtime (two identical GROUPBYs
+    /// in the *same* program; owners precede aliases, so `src_idx < dst`).
+    pub(crate) fn adopt_store_within(&mut self, dst: usize, src_idx: usize) {
+        debug_assert!(self.finished, "adopt after finish");
+        assert!(src_idx < dst, "owners precede aliases");
+        let (left, right) = self.stores.split_at_mut(dst);
+        match (right[0].as_mut(), left[src_idx].as_ref()) {
+            (Some(d), Some(s)) => d.adopt_results_from(s),
+            _ => unreachable!("dedup only pairs aggregation stores"),
+        }
     }
 
     /// Store statistics of a GROUPBY query (by query index).
@@ -179,6 +252,23 @@ impl Runtime {
     /// from the base row or an upstream node's output slot and writes its
     /// own slot; inactive (collect-only) nodes are skipped.
     pub fn process_row(&mut self, row: &[Value], now: Nanos) {
+        self.process_row_shared(row, now, &[], &[]);
+    }
+
+    /// [`Runtime::process_row`] with a cross-query shared scratch: the
+    /// multi-query dataplane evaluates each *unique* base filter and group
+    /// key once per record ([`crate::MultiRuntime`]), and nodes annotated
+    /// with a shared slot read the precomputed verdict/key instead of
+    /// re-evaluating. With empty slices (the single-program entry points)
+    /// this is exactly the unshared pass — annotations only exist on
+    /// runtimes installed behind a `MultiRuntime`.
+    pub(crate) fn process_row_shared(
+        &mut self,
+        row: &[Value],
+        now: Nanos,
+        shared_pass: &[bool],
+        shared_keys: &[InlineKey],
+    ) {
         debug_assert!(!self.finished, "process after finish");
         self.records += 1;
         let Runtime {
@@ -209,7 +299,14 @@ impl Runtime {
                     &upstream[p]
                 }
             };
-            if let Some(f) = &node.filter {
+            if let Some(slot) = node.shared_filter {
+                // The verdict was computed once for every program sharing
+                // this predicate (base-rooted nodes only, so it applies to
+                // exactly this input row).
+                if !shared_pass[slot as usize] {
+                    continue;
+                }
+            } else if let Some(f) = &node.filter {
                 if !f.pass(stack, input, params) {
                     continue;
                 }
@@ -230,20 +327,10 @@ impl Runtime {
                     live[idx] = true;
                 }
                 NodeKind::GroupBy { key_cols, output } => {
-                    let key = if key_cols.len() <= perfq_kvstore::INLINE_KEY_WORDS {
-                        // Collect into a stack array; from_slice stays the
-                        // single canonical constructor.
-                        let mut words = [0i64; perfq_kvstore::INLINE_KEY_WORDS];
-                        for (slot, c) in words.iter_mut().zip(key_cols) {
-                            *slot = value_key(&input[*c]);
-                        }
-                        InlineKey::from_slice(&words[..key_cols.len()])
+                    let key = if let Some(slot) = node.shared_key {
+                        shared_keys[slot as usize].clone()
                     } else {
-                        key_buf.clear();
-                        for c in key_cols {
-                            key_buf.push(value_key(&input[*c]));
-                        }
-                        InlineKey::from_slice(key_buf)
+                        build_group_key(key_cols, input, key_buf)
                     };
                     let store = stores[idx].as_mut().expect("groupby has a store");
                     let state = store.observe_ref(key, input, now);
@@ -264,7 +351,7 @@ impl Runtime {
     }
 
     /// Replay a packet stream through a network straight into this runtime:
-    /// queue records stream from the output queues into the [`ExecPlan`] in
+    /// queue records stream from the output queues into the `ExecPlan` in
     /// batches of `batch`, with no intermediate record collection anywhere —
     /// the network's event heap, route and batch buffers are pooled, the
     /// queues release into a sink, and the runtime's row/stack buffers are
@@ -374,6 +461,31 @@ impl Runtime {
             &self.captures,
             &self.params,
         )
+    }
+}
+
+/// Build a `GROUPBY` key from an input row — the single construction the
+/// per-node path and the multi-query shared prefix both use, so the two
+/// can never diverge. Short keys collect into a stack array
+/// (`InlineKey::from_slice` stays the one canonical constructor); wider
+/// keys go through the reusable `spill` scratch.
+pub(crate) fn build_group_key(
+    key_cols: &[usize],
+    input: &[Value],
+    spill: &mut Vec<i64>,
+) -> InlineKey {
+    if key_cols.len() <= perfq_kvstore::INLINE_KEY_WORDS {
+        let mut words = [0i64; perfq_kvstore::INLINE_KEY_WORDS];
+        for (slot, c) in words.iter_mut().zip(key_cols) {
+            *slot = value_key(&input[*c]);
+        }
+        InlineKey::from_slice(&words[..key_cols.len()])
+    } else {
+        spill.clear();
+        for c in key_cols {
+            spill.push(value_key(&input[*c]));
+        }
+        InlineKey::from_slice(spill)
     }
 }
 

@@ -157,6 +157,17 @@ impl ShardSpec {
         self.exact
     }
 
+    /// True when two specs route every record identically (same shard-key
+    /// columns, same shard hash seed): shard `r` of one deployment receives
+    /// exactly the records shard `r` of the other receives. This is what
+    /// lets the multi-query dataplane substitute one program's drained
+    /// store for another's — identical per-worker record streams imply
+    /// identical per-worker store states, eviction for eviction.
+    #[must_use]
+    pub fn routes_like(&self, other: &ShardSpec) -> bool {
+        self.cols == other.cols && self.seed == other.seed
+    }
+
     /// Shard of a materialized base row — the same function the record
     /// router applies, exposed for oracles and property tests.
     #[must_use]

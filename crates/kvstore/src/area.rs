@@ -38,7 +38,14 @@
 //! 4. sharded execution splits a store's slice a further `1/N` per shard
 //!    ([`StoreAllocation::shard_geometry`]), keeping **total** area constant
 //!    as the dataplane scales across cores — the shard geometries sum to no
-//!    more than the single-stream allocation.
+//!    more than the single-stream allocation;
+//! 5. stores that several installed queries **share** (cross-query dedup,
+//!    tagged via [`StoreDemand::dedup`] by `perfq-core`'s sharing analysis)
+//!    are charged once: alias members mirror the canonical member's
+//!    geometry at zero cost, and the aliases' baseline slices are
+//!    redistributed equally across the physical stores — under the same
+//!    budget, overlapping queries buy every cache strictly more SRAM, hence
+//!    fewer evictions (the §4 eviction-rate curve shifts left).
 //!
 //! Rounding means a plan may under-use the budget (that slack is the same
 //! slack a hardware floorplan has), but a plan can never over-allocate:
@@ -182,6 +189,37 @@ pub struct StoreDemand {
     pub pair_bits: u32,
     /// Requested associativity; 0 selects a fully-associative geometry.
     pub ways: usize,
+    /// Cross-query store deduplication group. Stores tagged with the same
+    /// token across the demand list are **one physical store** (the caller
+    /// — `perfq_core`'s sharing analysis — has proven them structurally
+    /// identical): the planner charges the group's SRAM once, every later
+    /// member becomes a zero-cost alias mirroring the first member's
+    /// geometry, and the reclaimed bits are redistributed across all
+    /// physical stores (bigger caches ⇒ fewer evictions under the same
+    /// budget). `None` (the default) opts out. Members whose `pair_bits` or
+    /// `ways` disagree with the group's first member are planned as
+    /// independent stores — a mismatched tag is a caller bug, not a reason
+    /// to mis-provision.
+    pub dedup: Option<u64>,
+}
+
+impl StoreDemand {
+    /// A plain (non-deduplicated) store demand.
+    #[must_use]
+    pub fn new(pair_bits: u32, ways: usize) -> Self {
+        StoreDemand {
+            pair_bits,
+            ways,
+            dedup: None,
+        }
+    }
+
+    /// Tag this store as a member of a dedup group (see [`StoreDemand::dedup`]).
+    #[must_use]
+    pub fn with_dedup(mut self, group: u64) -> Self {
+        self.dedup = Some(group);
+        self
+    }
 }
 
 /// One query's demand: a name (for diagnostics), its stores, and a share
@@ -225,13 +263,24 @@ pub struct StoreAllocation {
     pub slice_bits: u64,
     /// The provisioned cache shape (`sram_bits(pair_bits) ≤ slice_bits`).
     pub geometry: CacheGeometry,
+    /// True when this store is a **dedup alias**: another store in the plan
+    /// (the first member of its [`StoreDemand::dedup`] group) physically
+    /// holds its contents. The alias mirrors the canonical member's
+    /// `slice_bits` and `geometry` — so per-shard splits agree — but
+    /// occupies zero SRAM ([`StoreAllocation::bits`] = 0).
+    pub deduped: bool,
 }
 
 impl StoreAllocation {
-    /// SRAM bits the provisioned geometry actually occupies.
+    /// SRAM bits the provisioned geometry actually occupies (zero for a
+    /// dedup alias — the canonical member is charged instead).
     #[must_use]
     pub fn bits(&self) -> u64 {
-        self.geometry.sram_bits(self.pair_bits)
+        if self.deduped {
+            0
+        } else {
+            self.geometry.sram_bits(self.pair_bits)
+        }
     }
 
     /// The geometry of one shard when this store's slice is split `1/N`
@@ -289,6 +338,9 @@ pub struct AreaPlan {
     pub budget_bits: u64,
     /// Per-query allocations, in demand order.
     pub queries: Vec<QueryAllocation>,
+    /// Bits freed by store dedup and folded back into the physical stores'
+    /// slices (see [`AreaPlan::reclaimed_bits`]).
+    reclaimed_bits: u64,
 }
 
 impl AreaPlan {
@@ -310,6 +362,25 @@ impl AreaPlan {
     #[must_use]
     pub fn query(&self, name: &str) -> Option<&QueryAllocation> {
         self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// Number of dedup-alias stores in the plan (stores whose contents live
+    /// in another query's physical store — charged zero SRAM).
+    #[must_use]
+    pub fn deduped_stores(&self) -> usize {
+        self.queries
+            .iter()
+            .flat_map(|q| &q.stores)
+            .filter(|s| s.deduped)
+            .count()
+    }
+
+    /// SRAM bits reclaimed by deduplication and redistributed: what the
+    /// alias stores would have occupied had each been charged its own
+    /// baseline slice.
+    #[must_use]
+    pub fn reclaimed_bits(&self) -> u64 {
+        self.reclaimed_bits
     }
 }
 
@@ -358,8 +429,18 @@ impl CachePlanner {
 
     /// Divide the budget across `demands` and provision every store.
     ///
-    /// Errors when some store's slice cannot hold a single pair — the
-    /// multi-query analogue of "this query does not fit the chip".
+    /// **Dedup arithmetic** (see [`StoreDemand::dedup`]): the budget first
+    /// divides into per-store *baseline* slices exactly as for independent
+    /// stores (weighted query shares, equal per-store split). Every store
+    /// tagged into an already-seen dedup group then surrenders its baseline
+    /// slice — those reclaimed bits are redistributed **equally across all
+    /// physical stores** — and instead mirrors the group's canonical
+    /// geometry at zero cost. The total physically allocated SRAM therefore
+    /// never exceeds the budget, dedup or not, while every physical cache
+    /// strictly gains slice bits whenever anything was reclaimed.
+    ///
+    /// Errors when some physical store's slice cannot hold a single pair —
+    /// the multi-query analogue of "this query does not fit the chip".
     ///
     /// # Panics
     ///
@@ -369,8 +450,21 @@ impl CachePlanner {
         assert!(!demands.is_empty(), "plan() needs at least one query");
         let total_weight: u128 = demands.iter().map(|d| u128::from(d.weight)).sum();
         assert!(total_weight > 0, "weights must be positive");
-        let mut queries = Vec::with_capacity(demands.len());
-        for d in demands {
+
+        // Pass 1: baseline slices, and the dedup roll call. A group's first
+        // member (matching widths) is canonical/physical; later members are
+        // aliases whose baseline slices are reclaimed.
+        struct Tmp {
+            demand: StoreDemand,
+            baseline: u64,
+            /// `Some((query, store))` canonical coordinates when aliased.
+            alias_of: Option<(usize, usize)>,
+        }
+        let mut tmp: Vec<Vec<Tmp>> = Vec::with_capacity(demands.len());
+        let mut canon: Vec<(u64, StoreDemand, (usize, usize))> = Vec::new();
+        let mut reclaimed = 0u64;
+        let mut physical = 0u64;
+        for (qi, d) in demands.iter().enumerate() {
             assert!(
                 !d.stores.is_empty(),
                 "query `{}` has no aggregation stores to provision",
@@ -379,20 +473,80 @@ impl CachePlanner {
             let slice_bits =
                 (u128::from(self.budget_bits) * u128::from(d.weight) / total_weight) as u64;
             let store_slice = slice_bits / d.stores.len() as u64;
-            let mut stores = Vec::with_capacity(d.stores.len());
-            for s in &d.stores {
-                let geometry =
-                    fit_geometry(store_slice, s.pair_bits, s.ways).ok_or_else(|| PlanError {
-                        query: d.name.clone(),
-                        slice_bits: store_slice,
-                        pair_bits: s.pair_bits,
-                    })?;
-                stores.push(StoreAllocation {
-                    pair_bits: s.pair_bits,
-                    slice_bits: store_slice,
-                    geometry,
+            let mut row = Vec::with_capacity(d.stores.len());
+            for (si, s) in d.stores.iter().enumerate() {
+                let alias_of = s.dedup.and_then(|g| {
+                    canon
+                        .iter()
+                        .find(|(cg, cd, _)| {
+                            *cg == g && cd.pair_bits == s.pair_bits && cd.ways == s.ways
+                        })
+                        .map(|(_, _, at)| *at)
+                });
+                match alias_of {
+                    Some(_) => reclaimed += store_slice,
+                    None => {
+                        physical += 1;
+                        if let Some(g) = s.dedup {
+                            canon.push((g, *s, (qi, si)));
+                        }
+                    }
+                }
+                row.push(Tmp {
+                    demand: *s,
+                    baseline: store_slice,
+                    alias_of,
                 });
             }
+            tmp.push(row);
+        }
+
+        // Pass 2: fit geometries on the effective slices (baseline + an
+        // equal share of the reclaimed bits for physical stores; the
+        // canonical member's effective slice for aliases).
+        let extra = reclaimed / physical.max(1);
+        let mut queries: Vec<QueryAllocation> = Vec::with_capacity(demands.len());
+        for (qi, d) in demands.iter().enumerate() {
+            let mut stores = Vec::with_capacity(d.stores.len());
+            for t in &tmp[qi] {
+                let alloc = match t.alias_of {
+                    Some((cq, cs)) => {
+                        // Canonical coordinates always precede the alias in
+                        // demand order, so its allocation is final.
+                        let canonical: &StoreAllocation = if cq == qi {
+                            &stores[cs]
+                        } else {
+                            &queries[cq].stores[cs]
+                        };
+                        StoreAllocation {
+                            deduped: true,
+                            ..*canonical
+                        }
+                    }
+                    None => {
+                        let slice = t.baseline + extra;
+                        let geometry = fit_geometry(slice, t.demand.pair_bits, t.demand.ways)
+                            .ok_or_else(|| PlanError {
+                                query: d.name.clone(),
+                                slice_bits: slice,
+                                pair_bits: t.demand.pair_bits,
+                            })?;
+                        StoreAllocation {
+                            pair_bits: t.demand.pair_bits,
+                            slice_bits: slice,
+                            geometry,
+                            deduped: false,
+                        }
+                    }
+                };
+                stores.push(alloc);
+            }
+            // A query's slice is what its stores may physically use:
+            // aliases contribute nothing.
+            let slice_bits = stores
+                .iter()
+                .map(|s| if s.deduped { 0 } else { s.slice_bits })
+                .sum();
             queries.push(QueryAllocation {
                 name: d.name.clone(),
                 slice_bits,
@@ -402,6 +556,7 @@ impl CachePlanner {
         Ok(AreaPlan {
             budget_bits: self.budget_bits,
             queries,
+            reclaimed_bits: reclaimed,
         })
     }
 }
@@ -478,7 +633,7 @@ mod tests {
     }
 
     fn demand(name: &str, pair_bits: u32, ways: usize) -> QueryDemand {
-        QueryDemand::new(name, vec![StoreDemand { pair_bits, ways }])
+        QueryDemand::new(name, vec![StoreDemand::new(pair_bits, ways)])
     }
 
     #[test]
@@ -535,8 +690,8 @@ mod tests {
             .plan(&[QueryDemand::new(
                 "loss",
                 vec![
-                    StoreDemand { pair_bits: 128, ways: 8 },
-                    StoreDemand { pair_bits: 128, ways: 8 },
+                    StoreDemand::new(128, 8),
+                    StoreDemand::new(128, 8),
                 ],
             )])
             .unwrap();
@@ -576,6 +731,86 @@ mod tests {
         let starved: Vec<QueryDemand> =
             ["a", "b", "c", "d"].iter().map(|n| demand(n, 128, 8)).collect();
         assert!(CachePlanner::new(400).plan(&starved).is_err());
+    }
+
+    #[test]
+    fn dedup_charges_once_and_redistributes() {
+        // Two identical 128-bit counters (the loss-rate-R1 / per-flow-counter
+        // overlap): unshared, each gets half the budget; deduped, ONE
+        // physical store gets the whole budget and the alias rides along.
+        let unshared = CachePlanner::new(32 * MBIT)
+            .plan(&[demand("counters", PAIR_BITS, 8), demand("loss", PAIR_BITS, 8)])
+            .unwrap();
+        let shared = CachePlanner::new(32 * MBIT)
+            .plan(&[
+                QueryDemand::new("counters", vec![StoreDemand::new(PAIR_BITS, 8).with_dedup(1)]),
+                QueryDemand::new("loss", vec![StoreDemand::new(PAIR_BITS, 8).with_dedup(1)]),
+            ])
+            .unwrap();
+        assert_eq!(shared.deduped_stores(), 1);
+        assert_eq!(shared.reclaimed_bits(), 16 * MBIT);
+        let physical = shared.queries[0].stores[0];
+        let alias = shared.queries[1].stores[0];
+        assert!(!physical.deduped);
+        assert!(alias.deduped);
+        // The physical cache strictly grew: 2^17 pairs → 2^18 pairs.
+        assert_eq!(unshared.queries[0].stores[0].geometry.capacity(), 1 << 17);
+        assert_eq!(physical.geometry.capacity(), 1 << 18);
+        // The alias mirrors the canonical geometry (and shard splits agree)
+        // but is charged nothing.
+        assert_eq!(alias.geometry, physical.geometry);
+        assert_eq!(alias.slice_bits, physical.slice_bits);
+        assert_eq!(alias.bits(), 0);
+        assert_eq!(
+            alias.shard_geometry(4).unwrap(),
+            physical.shard_geometry(4).unwrap()
+        );
+        // Never over budget, and the whole budget went to the one store.
+        assert!(shared.allocated_bits() <= 32 * MBIT);
+        assert_eq!(shared.allocated_bits(), 32 * MBIT);
+    }
+
+    #[test]
+    fn dedup_reclaim_grows_unrelated_physical_stores_too() {
+        // Three queries: two dedup, one unrelated. The unrelated store also
+        // gains a share of the reclaimed bits (equal redistribution).
+        let base = CachePlanner::new(30 * MBIT)
+            .plan(&[
+                demand("a", 128, 8),
+                demand("b", 128, 8),
+                demand("c", 160, 8),
+            ])
+            .unwrap();
+        let shared = CachePlanner::new(30 * MBIT)
+            .plan(&[
+                QueryDemand::new("a", vec![StoreDemand::new(128, 8).with_dedup(7)]),
+                QueryDemand::new("b", vec![StoreDemand::new(128, 8).with_dedup(7)]),
+                demand("c", 160, 8),
+            ])
+            .unwrap();
+        assert!(shared.allocated_bits() <= 30 * MBIT);
+        assert!(
+            shared.queries[2].stores[0].slice_bits > base.queries[2].stores[0].slice_bits,
+            "the unrelated store's slice must strictly grow"
+        );
+        assert!(
+            shared.queries[2].stores[0].geometry.capacity()
+                >= base.queries[2].stores[0].geometry.capacity()
+        );
+    }
+
+    #[test]
+    fn mismatched_dedup_tags_fall_back_to_independent_stores() {
+        // Same tag, different widths: a caller bug — planned independently.
+        let plan = CachePlanner::new(32 * MBIT)
+            .plan(&[
+                QueryDemand::new("a", vec![StoreDemand::new(128, 8).with_dedup(3)]),
+                QueryDemand::new("b", vec![StoreDemand::new(256, 8).with_dedup(3)]),
+            ])
+            .unwrap();
+        assert_eq!(plan.deduped_stores(), 0);
+        assert_eq!(plan.reclaimed_bits(), 0);
+        assert!(plan.allocated_bits() <= 32 * MBIT);
     }
 
     #[test]

@@ -15,9 +15,45 @@
 //! * [`split`] — [`SplitStore`] tying both together behind the [`ValueOps`]
 //!   trait, plus counter/sum/max ops;
 //! * [`stats`] — the eviction/hit counters Fig. 5 is computed from;
-//! * [`area`] — §3.3/§4's chip-area and workload arithmetic;
+//! * [`area`] — §3.3/§4's chip-area and workload arithmetic, and the SRAM
+//!   area planner dividing one budget across installed queries;
 //! * [`sketch`] — a count-min sketch baseline for the §5 comparison;
 //! * [`hash`] — deterministic seeded hashing.
+//!
+//! # Cross-query sharing
+//!
+//! When several installed queries maintain *structurally identical*
+//! aggregation state (the paper's own set does: the loss-rate program's
+//! `R1 = SELECT COUNT GROUPBY 5tuple` is the §4 running-example counter
+//! verbatim), the multi-query dataplane in `perfq-core` collapses them
+//! into **one** physical [`SplitStore`]. This crate supplies both halves
+//! of that optimization's contract:
+//!
+//! * **Provisioning** — [`StoreDemand::dedup`] tags a group of demands as
+//!   one physical store; [`CachePlanner::plan`] charges the group's SRAM
+//!   once, every later member becomes a zero-cost alias mirroring the
+//!   canonical geometry, and the reclaimed baseline slices are
+//!   redistributed equally across all physical stores — the same §4 budget
+//!   buys strictly larger caches (fewer evictions) when queries overlap.
+//! * **Collection** — [`SplitStore::adopt_results_from`] lets the alias
+//!   store adopt the owner's backing table + statistics after the owner's
+//!   flush (when the backing store alone holds the truth, §3.2), at
+//!   O(distinct keys) cost.
+//!
+//! *When may two stores legally dedup?* Only when they would hold
+//! byte-identical state on every input: identical key schema and fold
+//! semantics (decided structurally by `perfq-lang`'s fingerprints over the
+//! param-folded IR), identical filtered input streams, **and** identical
+//! physical configuration — same [`CacheGeometry`], same
+//! [`EvictionPolicy`], same placement hash seed. Geometry/policy/seed are
+//! part of the rule because eviction *timing* is observable: non-linear
+//! folds record per-residency epochs, overwrite-mode folds keep only the
+//! last residency, and composed queries stream cache-resident running
+//! values — all of which differ the moment two caches evict differently.
+//! The sharded drain stays exact for deduplicated stores because the shard
+//! of a key is a pure function of the key: the owner's merged backing
+//! store equals the one the alias would have drained itself (audited
+//! statically per program by `perfq-core`'s `ShardSpec::is_exact`).
 //!
 //! # Memory layout
 //!
@@ -90,6 +126,10 @@
 //! assert_eq!(*store.result(&1).unwrap().value().unwrap(), 3);
 //! println!("eviction fraction: {}", store.stats().eviction_fraction());
 //! ```
+
+//!
+//! For the paper-section → crate/file map of the whole workspace, see
+//! `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,7 +2,7 @@
 //!
 //! §5 of the paper claims the key-value store "sidesteps the accuracy-memory
 //! tradeoff of sketches" for linear-in-state queries. To measure that claim
-//! (ablation B in DESIGN.md) we implement the standard count-min sketch
+//! (the sketch ablation; see `ARCHITECTURE.md`) we implement the standard count-min sketch
 //! [Cormode & Muthukrishnan 2005]: `depth` rows of `width` counters, each row
 //! indexed by an independent hash; a key's estimate is the minimum of its
 //! counters, which upper-bounds the true count with error ε·N (ε = e/width)

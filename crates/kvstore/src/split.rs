@@ -154,6 +154,28 @@ impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
         self.stats.absorb(&other.stats);
     }
 
+    /// Copy another store's **results** — backing store and statistics —
+    /// into this one, leaving the (geometry-fixed, untouched) cache alone.
+    ///
+    /// This is the collect side of cross-query store dedup: an alias store
+    /// that never ran adopts the owning store's state after the owner's
+    /// flush, when the backing store alone holds the truth (§3.2). Cloning
+    /// only the backing table costs O(distinct keys), not O(cache
+    /// geometry) — the multi-MB SRAM arenas are never copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning store still holds cache-resident entries (call
+    /// after `flush`).
+    pub fn adopt_results_from(&mut self, owner: &SplitStore<K, O>) {
+        assert!(
+            owner.cache.is_empty(),
+            "adopt_results_from requires a flushed owner store"
+        );
+        self.backing = owner.backing.clone();
+        self.stats = owner.stats;
+    }
+
     /// Run counters.
     #[must_use]
     pub fn stats(&self) -> StoreStats {

@@ -1,0 +1,644 @@
+//! Structural fingerprinting of resolved subplans — the front half of
+//! cross-query execution sharing.
+//!
+//! When several compiled programs are installed on one switch, much of their
+//! per-record work is textually different but *structurally identical*: two
+//! queries filtering `proto == TCP`, five queries keying `GROUPBY 5tuple`,
+//! or two programs both maintaining `SELECT COUNT GROUPBY 5tuple` (the §4
+//! running example appears verbatim as the loss-rate query's `R1`). The
+//! multi-query dataplane in `perfq-core` evaluates such subplans **once**
+//! per record and binds structurally-identical stores to **one** physical
+//! key-value store — but only when the subplans are provably the same
+//! computation.
+//!
+//! This module supplies the identity notion. Every hash is taken over the
+//! **canonical param-folded form** of a subplan: parameter references are
+//! substituted with their bound values and closed subtrees folded
+//! ([`crate::bytecode::bind_params`]), so two programs that spell the same
+//! predicate with different parameter tables (`Param(0)` in one, `Param(2)`
+//! in the other, or a literal `6` vs a bound `TCP`) fingerprint equal.
+//! Four fingerprints are exposed per query ([`SubplanFp`]):
+//!
+//! * **filter** — the `WHERE` predicate alone;
+//! * **group_key** — the `GROUPBY` key tuple (column indices, order-
+//!   sensitive: the key is positional in the store);
+//! * **fold** — the per-key fold body: state variable types + initial
+//!   values (names are cosmetic and excluded), the param-folded update
+//!   statements, and the linearity classification;
+//! * **stream** / **store** — the whole upstream chain. `stream` identifies
+//!   a query's *output record stream* (input chain + filter + operator,
+//!   including a `GROUPBY`'s output layout); `store` identifies what a
+//!   `GROUPBY`'s key-value store *contains* (input chain + filter + key +
+//!   fold, output layout excluded — two stores with different SELECT
+//!   orderings still hold identical state).
+//!
+//! Fingerprints are 64-bit FNV-1a hashes: collisions are improbable but not
+//! impossible, so they are a **grouping prefilter**, not a proof. Callers
+//! that act on a match must confirm it with the collision-proof structural
+//! comparisons [`stream_equivalent`] / [`store_equivalent`], which walk the
+//! same canonical forms with `PartialEq`. (`perfq-core`'s sharing pass does
+//! exactly this, and additionally requires the *physical* store
+//! configurations — geometry, eviction policy, hash seed — to match before
+//! two stores dedup; that half of the legality rule lives with the compiled
+//! plans, not the language.)
+
+use crate::bytecode::bind_params;
+use crate::ir::{FoldClass, FoldIr, RExpr, RStmt};
+use crate::resolve::{QueryInput, ResolvedKind, ResolvedProgram, ResolvedQuery};
+use crate::schema::Schema;
+use crate::types::{Value, ValueType};
+
+/// The structural fingerprints of one resolved query (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubplanFp {
+    /// Identity of the query's output record stream (recursive over the
+    /// input chain).
+    pub stream: u64,
+    /// Identity of the `WHERE` predicate after param folding (`None` when
+    /// the query has no filter).
+    pub filter: Option<u64>,
+    /// Identity of the `GROUPBY` key tuple (`None` for projections).
+    pub group_key: Option<u64>,
+    /// Identity of the fold body after param folding (`None` for
+    /// projections).
+    pub fold: Option<u64>,
+    /// Identity of the aggregation store's contents: input chain + filter +
+    /// key + fold, excluding the output layout (`None` for projections).
+    pub store: Option<u64>,
+}
+
+impl ResolvedProgram {
+    /// Per-query structural fingerprints, in definition order. See the
+    /// module docs for what each hash identifies and the collision caveat.
+    #[must_use]
+    pub fn subplan_fingerprints(&self) -> Vec<SubplanFp> {
+        let params = self.param_values();
+        let mut fps: Vec<SubplanFp> = Vec::with_capacity(self.queries.len());
+        for q in &self.queries {
+            let input_fp = match &q.input {
+                QueryInput::Base => {
+                    let mut h = Fnv::new();
+                    h.tag(b'B');
+                    h.finish()
+                }
+                QueryInput::Table(i) => fps[*i].stream,
+                QueryInput::Join { left, right, on } => {
+                    let mut h = Fnv::new();
+                    h.tag(b'J');
+                    h.u64(fps[*left].stream);
+                    h.u64(fps[*right].stream);
+                    for name in on {
+                        h.str(name);
+                    }
+                    h.finish()
+                }
+            };
+            let filter = q.pre_filter.as_ref().map(|f| {
+                let mut h = Fnv::new();
+                hash_expr(&mut h, &bind_params(f, &params));
+                h.finish()
+            });
+            let (group_key, fold, store, kind_fp) = match &q.kind {
+                ResolvedKind::GroupBy(g) => {
+                    let key = {
+                        let mut h = Fnv::new();
+                        h.tag(b'K');
+                        for c in &g.key_cols {
+                            h.u64(*c as u64);
+                        }
+                        h.finish()
+                    };
+                    let fold = {
+                        let mut h = Fnv::new();
+                        hash_fold(&mut h, &g.fold, &params);
+                        h.finish()
+                    };
+                    let store = {
+                        let mut h = Fnv::new();
+                        h.tag(b'S');
+                        h.u64(input_fp);
+                        h.u64(filter.unwrap_or(0));
+                        h.u64(u64::from(filter.is_some()));
+                        h.u64(key);
+                        h.u64(fold);
+                        h.finish()
+                    };
+                    // The stream a GROUPBY emits additionally depends on its
+                    // output layout (which key fields / state vars appear,
+                    // and in which order).
+                    let kind_fp = {
+                        let mut h = Fnv::new();
+                        h.tag(b'G');
+                        h.u64(key);
+                        h.u64(fold);
+                        for o in &g.output {
+                            match o {
+                                crate::resolve::GroupOutput::Key(i) => {
+                                    h.tag(b'k');
+                                    h.u64(*i as u64);
+                                }
+                                crate::resolve::GroupOutput::StateVar(i) => {
+                                    h.tag(b's');
+                                    h.u64(*i as u64);
+                                }
+                            }
+                        }
+                        h.finish()
+                    };
+                    (Some(key), Some(fold), Some(store), kind_fp)
+                }
+                ResolvedKind::Project(cols) => {
+                    let mut h = Fnv::new();
+                    h.tag(b'P');
+                    for c in cols {
+                        hash_expr(&mut h, &bind_params(&c.expr, &params));
+                    }
+                    (None, None, None, h.finish())
+                }
+            };
+            let stream = {
+                let mut h = Fnv::new();
+                h.tag(b'Q');
+                h.u64(input_fp);
+                h.u64(filter.unwrap_or(0));
+                h.u64(u64::from(filter.is_some()));
+                h.u64(kind_fp);
+                h.finish()
+            };
+            fps.push(SubplanFp {
+                stream,
+                filter,
+                group_key,
+                fold,
+                store,
+            });
+        }
+        fps
+    }
+}
+
+/// Collision-proof confirmation that two queries' **output streams** are the
+/// same computation: identical input chains (recursively), identical
+/// param-folded filters, and identical operators — including a `GROUPBY`'s
+/// output layout, since downstream consumers read rows positionally.
+/// Purely structural: physical store configuration (geometry/policy/seed),
+/// which also shapes the emitted running values of an aggregation, must be
+/// checked by the caller against the compiled plans.
+#[must_use]
+pub fn stream_equivalent(
+    a: &ResolvedProgram,
+    ai: usize,
+    b: &ResolvedProgram,
+    bi: usize,
+) -> bool {
+    let (qa, qb) = (&a.queries[ai], &b.queries[bi]);
+    if !inputs_equivalent(a, qa, b, qb) || !filters_equal(a, qa, b, qb) {
+        return false;
+    }
+    let (pa, pb) = (a.param_values(), b.param_values());
+    match (&qa.kind, &qb.kind) {
+        (ResolvedKind::Project(ca), ResolvedKind::Project(cb)) => {
+            ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|(x, y)| {
+                    bind_params(&x.expr, &pa) == bind_params(&y.expr, &pb)
+                })
+        }
+        (ResolvedKind::GroupBy(ga), ResolvedKind::GroupBy(gb)) => {
+            ga.key_cols == gb.key_cols
+                && ga.output == gb.output
+                && folds_equivalent(&ga.fold, &pa, &gb.fold, &pb)
+        }
+        _ => false,
+    }
+}
+
+/// Collision-proof confirmation that two `GROUPBY` queries' **stores** hold
+/// the same contents: identical input chains, filters, key tuples and fold
+/// semantics. Output layout is deliberately ignored — each program formats
+/// its own results from the shared `(key, state)` pairs. Returns `false`
+/// when either query is not an aggregation.
+#[must_use]
+pub fn store_equivalent(
+    a: &ResolvedProgram,
+    ai: usize,
+    b: &ResolvedProgram,
+    bi: usize,
+) -> bool {
+    let (qa, qb) = (&a.queries[ai], &b.queries[bi]);
+    let (ResolvedKind::GroupBy(ga), ResolvedKind::GroupBy(gb)) = (&qa.kind, &qb.kind) else {
+        return false;
+    };
+    inputs_equivalent(a, qa, b, qb)
+        && filters_equal(a, qa, b, qb)
+        && ga.key_cols == gb.key_cols
+        && folds_equivalent(&ga.fold, &a.param_values(), &gb.fold, &b.param_values())
+}
+
+/// Input chains match: both base, or both the same (recursively equivalent)
+/// upstream stream. Joins never participate (collect-only).
+fn inputs_equivalent(
+    a: &ResolvedProgram,
+    qa: &ResolvedQuery,
+    b: &ResolvedProgram,
+    qb: &ResolvedQuery,
+) -> bool {
+    match (&qa.input, &qb.input) {
+        (QueryInput::Base, QueryInput::Base) => true,
+        (QueryInput::Table(x), QueryInput::Table(y)) => stream_equivalent(a, *x, b, *y),
+        _ => false,
+    }
+}
+
+fn filters_equal(
+    a: &ResolvedProgram,
+    qa: &ResolvedQuery,
+    b: &ResolvedProgram,
+    qb: &ResolvedQuery,
+) -> bool {
+    match (&qa.pre_filter, &qb.pre_filter) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            bind_params(x, &a.param_values()) == bind_params(y, &b.param_values())
+        }
+        _ => false,
+    }
+}
+
+/// Fold semantics match: same state variable types and initial values
+/// (names are cosmetic), same param-folded update program, same per-variable
+/// and whole-fold linearity classes.
+fn folds_equivalent(a: &FoldIr, pa: &[Value], b: &FoldIr, pb: &[Value]) -> bool {
+    a.state.len() == b.state.len()
+        && a.state
+            .iter()
+            .zip(&b.state)
+            .all(|(x, y)| x.ty == y.ty && x.init == y.init)
+        && a.var_classes == b.var_classes
+        && a.class == b.class
+        && a.body.len() == b.body.len()
+        && a.body
+            .iter()
+            .zip(&b.body)
+            .all(|(x, y)| bound_stmts_equal(x, pa, y, pb))
+}
+
+fn bound_stmts_equal(a: &RStmt, pa: &[Value], b: &RStmt, pb: &[Value]) -> bool {
+    match (a, b) {
+        (RStmt::Assign(i, x), RStmt::Assign(j, y)) => {
+            i == j && bind_params(x, pa) == bind_params(y, pb)
+        }
+        (
+            RStmt::If {
+                cond: ca,
+                then_body: ta,
+                else_body: ea,
+            },
+            RStmt::If {
+                cond: cb,
+                then_body: tb,
+                else_body: eb,
+            },
+        ) => {
+            bind_params(ca, pa) == bind_params(cb, pb)
+                && ta.len() == tb.len()
+                && ea.len() == eb.len()
+                && ta.iter().zip(tb).all(|(x, y)| bound_stmts_equal(x, pa, y, pb))
+                && ea.iter().zip(eb).all(|(x, y)| bound_stmts_equal(x, pa, y, pb))
+        }
+        _ => false,
+    }
+}
+
+/// Render a resolved expression against an input schema — used by sharing
+/// reports to show *which* predicate or key tuple was shared (e.g.
+/// `proto == 6`). Minimal-parenthesis infix; constants print their folded
+/// values.
+#[must_use]
+pub fn render_expr(e: &RExpr, schema: &Schema) -> String {
+    fn go(e: &RExpr, schema: &Schema, out: &mut String) {
+        match e {
+            RExpr::Const(Value::Int(v)) => out.push_str(&v.to_string()),
+            RExpr::Const(Value::Float(v)) => out.push_str(&format!("{v}")),
+            RExpr::Const(Value::Bool(v)) => out.push_str(&v.to_string()),
+            RExpr::Input(i) => out.push_str(if *i < schema.len() {
+                schema.name_of(*i)
+            } else {
+                "?"
+            }),
+            RExpr::State(i) => out.push_str(&format!("state{i}")),
+            RExpr::Param(i) => out.push_str(&format!("param{i}")),
+            RExpr::Unary(op, x) => {
+                out.push_str(match op {
+                    crate::ast::UnaryOp::Neg => "-",
+                    crate::ast::UnaryOp::Not => "!",
+                });
+                paren(x, schema, out);
+            }
+            RExpr::Binary(op, l, r) => {
+                paren(l, schema, out);
+                out.push_str(&format!(" {op} "));
+                paren(r, schema, out);
+            }
+            RExpr::Call(b, args) => {
+                out.push_str(&b.to_string());
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    go(a, schema, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+    fn paren(e: &RExpr, schema: &Schema, out: &mut String) {
+        if matches!(e, RExpr::Binary(..)) {
+            out.push('(');
+            go(e, schema, out);
+            out.push(')');
+        } else {
+            go(e, schema, out);
+        }
+    }
+    let mut s = String::new();
+    go(e, schema, &mut s);
+    s
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a hashing over canonical forms
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a. Deterministic across processes (unlike the std hasher), so
+/// fingerprints are stable identifiers fit for reports and logs.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn tag(&mut self, b: u8) {
+        self.byte(b);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Int(x) => {
+                self.tag(b'i');
+                self.u64(*x as u64);
+            }
+            Value::Float(x) => {
+                self.tag(b'f');
+                self.u64(x.to_bits());
+            }
+            Value::Bool(x) => {
+                self.tag(b'b');
+                self.u64(u64::from(*x));
+            }
+        }
+    }
+
+    fn ty(&mut self, t: ValueType) {
+        self.tag(match t {
+            ValueType::Int => b'I',
+            ValueType::Float => b'F',
+            ValueType::Bool => b'B',
+        });
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash a param-folded expression structurally.
+fn hash_expr(h: &mut Fnv, e: &RExpr) {
+    match e {
+        RExpr::Const(v) => {
+            h.tag(b'c');
+            h.value(v);
+        }
+        RExpr::Input(i) => {
+            h.tag(b'i');
+            h.u64(*i as u64);
+        }
+        RExpr::State(i) => {
+            h.tag(b's');
+            h.u64(*i as u64);
+        }
+        // Unbound parameters only occur when a value is missing (resolution
+        // rejects that); hash positionally for completeness.
+        RExpr::Param(i) => {
+            h.tag(b'p');
+            h.u64(*i as u64);
+        }
+        RExpr::Unary(op, x) => {
+            h.tag(b'u');
+            h.u64(*op as u64);
+            hash_expr(h, x);
+        }
+        RExpr::Binary(op, l, r) => {
+            h.tag(b'2');
+            h.u64(*op as u64);
+            hash_expr(h, l);
+            hash_expr(h, r);
+        }
+        RExpr::Call(b, args) => {
+            h.tag(b'C');
+            h.u64(*b as u64);
+            h.u64(args.len() as u64);
+            for a in args {
+                hash_expr(h, a);
+            }
+        }
+    }
+}
+
+fn hash_stmt(h: &mut Fnv, s: &RStmt, params: &[Value]) {
+    match s {
+        RStmt::Assign(i, e) => {
+            h.tag(b'=');
+            h.u64(*i as u64);
+            hash_expr(h, &bind_params(e, params));
+        }
+        RStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            h.tag(b'?');
+            hash_expr(h, &bind_params(cond, params));
+            h.u64(then_body.len() as u64);
+            for t in then_body {
+                hash_stmt(h, t, params);
+            }
+            h.u64(else_body.len() as u64);
+            for e in else_body {
+                hash_stmt(h, e, params);
+            }
+        }
+    }
+}
+
+fn hash_fold(h: &mut Fnv, fold: &FoldIr, params: &[Value]) {
+    h.tag(b'F');
+    h.u64(fold.state.len() as u64);
+    for v in &fold.state {
+        // Names are cosmetic (aliases rename aggregates); type + init are
+        // the semantics.
+        h.ty(v.ty);
+        h.value(&v.init);
+    }
+    h.u64(match fold.class {
+        FoldClass::Linear { window } => 0x100 | u64::from(window),
+        FoldClass::PureWindow { window } => 0x200 | u64::from(window),
+        FoldClass::NonLinear => 0x300,
+    });
+    h.u64(fold.body.len() as u64);
+    for s in &fold.body {
+        hash_stmt(h, s, params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+    use std::collections::HashMap;
+
+    fn resolved(src: &str) -> ResolvedProgram {
+        resolved_with(src, crate::fig2::default_params())
+    }
+
+    fn resolved_with(src: &str, params: HashMap<String, Value>) -> ResolvedProgram {
+        resolve(&parse(src).unwrap(), &params).unwrap()
+    }
+
+    #[test]
+    fn identical_programs_fingerprint_equal() {
+        let a = resolved("SELECT COUNT GROUPBY 5tuple\n");
+        let b = resolved("SELECT COUNT GROUPBY 5tuple\n");
+        assert_eq!(a.subplan_fingerprints(), b.subplan_fingerprints());
+        assert!(store_equivalent(&a, 0, &b, 0));
+        assert!(stream_equivalent(&a, 0, &b, 0));
+    }
+
+    #[test]
+    fn loss_rate_r1_matches_the_running_example_counter() {
+        // The §4 running example appears verbatim as the loss-rate query's
+        // R1 — the headline cross-program dedup opportunity.
+        let counter = resolved("SELECT COUNT GROUPBY 5tuple\n");
+        let loss = crate::fig2::compile(&crate::fig2::PER_FLOW_LOSS_RATE).unwrap();
+        let cf = counter.subplan_fingerprints();
+        let lf = loss.subplan_fingerprints();
+        assert_eq!(cf[0].store, lf[0].store, "R1 holds the same store");
+        assert!(store_equivalent(&counter, 0, &loss, 0));
+        // …but R2 filters on drops: different filter, different store.
+        assert_ne!(cf[0].store, lf[1].store);
+        assert!(!store_equivalent(&counter, 0, &loss, 1));
+    }
+
+    #[test]
+    fn param_folding_erases_parameter_identity() {
+        // `proto == TCP` with TCP bound to 6 equals a literal `proto == 6`:
+        // the canonical form substitutes the parameter.
+        let a = resolved("SELECT COUNT GROUPBY 5tuple WHERE proto == TCP\n");
+        let b = resolved("SELECT COUNT GROUPBY 5tuple WHERE proto == 6\n");
+        assert_eq!(
+            a.subplan_fingerprints()[0].filter,
+            b.subplan_fingerprints()[0].filter
+        );
+        assert!(store_equivalent(&a, 0, &b, 0));
+        // A different bound value is a different predicate.
+        let mut params = crate::fig2::default_params();
+        params.insert("TCP".into(), Value::Int(17));
+        let c = resolved_with("SELECT COUNT GROUPBY 5tuple WHERE proto == TCP\n", params);
+        assert_ne!(
+            a.subplan_fingerprints()[0].filter,
+            c.subplan_fingerprints()[0].filter
+        );
+        assert!(!store_equivalent(&a, 0, &c, 0));
+    }
+
+    #[test]
+    fn aliases_do_not_change_store_identity_but_keys_do() {
+        let a = resolved("SELECT COUNT GROUPBY srcip, dstip\n");
+        let b = resolved("SELECT COUNT AS pkts GROUPBY srcip, dstip\n");
+        let c = resolved("SELECT COUNT GROUPBY dstip, srcip\n");
+        assert_eq!(
+            a.subplan_fingerprints()[0].store,
+            b.subplan_fingerprints()[0].store,
+            "aliases are cosmetic"
+        );
+        assert!(store_equivalent(&a, 0, &b, 0));
+        assert_ne!(
+            a.subplan_fingerprints()[0].group_key,
+            c.subplan_fingerprints()[0].group_key,
+            "key order is positional store layout"
+        );
+        assert!(!store_equivalent(&a, 0, &c, 0));
+    }
+
+    #[test]
+    fn fold_bodies_distinguish_stores() {
+        let count = resolved("SELECT COUNT GROUPBY 5tuple\n");
+        let sum = resolved("SELECT SUM(pkt_len) GROUPBY 5tuple\n");
+        assert_ne!(
+            count.subplan_fingerprints()[0].fold,
+            sum.subplan_fingerprints()[0].fold
+        );
+        assert!(!store_equivalent(&count, 0, &sum, 0));
+    }
+
+    #[test]
+    fn composed_chains_compare_recursively() {
+        let hi = crate::fig2::compile(&crate::fig2::PER_FLOW_HIGH_LATENCY).unwrap();
+        let hi2 = crate::fig2::compile(&crate::fig2::PER_FLOW_HIGH_LATENCY).unwrap();
+        assert!(store_equivalent(&hi, 1, &hi2, 1), "identical chains match");
+        // The same R2 shape over a *different* R1 must not match: add a
+        // filter upstream and the downstream store diverges with it.
+        let other = resolved(
+            "R1 = SELECT pkt_uniq, SUM(tout-tin) GROUPBY pkt_uniq WHERE proto == 6\nR2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE SUM(tout-tin) > L\n",
+        );
+        assert!(!store_equivalent(&hi, 1, &other, 1));
+    }
+
+    #[test]
+    fn shared_key_tuples_fingerprint_equal_across_queries() {
+        let ewma = crate::fig2::compile(&crate::fig2::LATENCY_EWMA).unwrap();
+        let nonmt = crate::fig2::compile(&crate::fig2::TCP_NON_MONOTONIC).unwrap();
+        assert_eq!(
+            ewma.subplan_fingerprints()[0].group_key,
+            nonmt.subplan_fingerprints()[0].group_key,
+            "both key the base 5-tuple"
+        );
+    }
+
+    #[test]
+    fn render_expr_reads_naturally() {
+        let p = resolved("SELECT COUNT GROUPBY 5tuple WHERE proto == TCP\n");
+        let bound = bind_params(p.queries[0].pre_filter.as_ref().unwrap(), &p.param_values());
+        assert_eq!(render_expr(&bound, &p.base), "proto == 6");
+    }
+}

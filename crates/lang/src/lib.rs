@@ -24,7 +24,12 @@
 //!   ground-truth oracle.
 //! * [`linearity`] — the linear-in-state analysis of §3.2, deriving Fig. 2's
 //!   "Linear in state?" column.
+//! * [`fingerprint`] — structural fingerprints of resolved subplans (the
+//!   identity notion behind cross-query execution sharing in `perfq-core`).
 //! * [`fig2`] — the paper's seven example queries, embedded verbatim.
+//!
+//! For the paper-section → crate/file map of the whole workspace, see
+//! `ARCHITECTURE.md` at the repository root.
 //!
 //! # Example
 //!
@@ -46,6 +51,7 @@ pub mod ast;
 pub mod bytecode;
 pub mod error;
 pub mod fig2;
+pub mod fingerprint;
 pub mod ir;
 pub mod lexer;
 pub mod linearity;
@@ -57,6 +63,7 @@ pub mod token;
 pub mod types;
 
 pub use error::{LangError, LangResult};
+pub use fingerprint::SubplanFp;
 pub use ir::{FoldClass, FoldIr, RExpr, RStmt, VarClass};
 pub use resolve::{
     GroupBySpec, GroupOutput, ProjCol, QueryInput, ResolvedKind, ResolvedProgram, ResolvedQuery,

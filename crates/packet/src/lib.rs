@@ -22,6 +22,10 @@
 //!
 //! Everything here is deterministic, allocation-light, and `unsafe`-free.
 
+//!
+//! For the paper-section → crate/file map of the whole workspace, see
+//! `ARCHITECTURE.md` at the repository root.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

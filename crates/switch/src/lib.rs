@@ -31,6 +31,10 @@
 //! assert!(records.iter().all(|r| r.tout > r.tin || r.is_drop()));
 //! ```
 
+//!
+//! For the paper-section → crate/file map of the whole workspace, see
+//! `ARCHITECTURE.md` at the repository root.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

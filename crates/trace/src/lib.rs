@@ -9,7 +9,7 @@
 //! * [`tcp`] — TCP sequence-number dynamics (retransmit / reorder injection)
 //!   for the Fig. 2 anomaly queries;
 //! * [`synthetic`] — the CAIDA-like packet stream (the paper's trace,
-//!   scaled; see DESIGN.md §4) plus datacenter presets;
+//!   scaled; see `ARCHITECTURE.md`) plus datacenter presets;
 //! * [`incast`] — synchronized fan-in bursts for the incast-diagnosis
 //!   example;
 //! * [`io`] — a binary capture format for replayable traces;
@@ -25,6 +25,10 @@
 //! assert!(stats.flows > 100);
 //! println!("{}", stats.summary());
 //! ```
+
+//!
+//! For the paper-section → crate/file map of the whole workspace, see
+//! `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,7 +4,7 @@
 //! packets, ~3.8 M 5-tuples over 5 minutes of a 10 Gbit/s link): a stream of
 //! parsed packets whose *key-reference locality* — heavy-tailed flow sizes,
 //! Poisson flow arrivals, interleaved flow lifetimes — matches the regime
-//! that drives the paper's cache results. See DESIGN.md §4 for the argument.
+//! that drives the paper's cache results. See `ARCHITECTURE.md` for the workload rationale.
 //!
 //! The generator is a lazy event merge: a binary heap holds the next packet
 //! of every live flow; new flows arrive by a Poisson process until the

@@ -5,7 +5,7 @@
 //! the network; since we have no production TCP endpoints, this module
 //! generates the *sequence-number patterns* those events produce, with
 //! configurable rates — preserving exactly the signal the queries consume
-//! (see DESIGN.md §4, substitutions).
+//! (see `ARCHITECTURE.md`, workload substitutions).
 
 use rand::Rng;
 use std::collections::VecDeque;

@@ -1,4 +1,5 @@
-//! Multi-query: every Fig. 2 query installed at once, under one SRAM budget.
+//! Multi-query: every Fig. 2 query installed at once, under one SRAM budget,
+//! with cross-query execution sharing.
 //!
 //! ```sh
 //! cargo run --release --example multi_query
@@ -7,24 +8,36 @@
 //! §3.3's premise is that a *fixed* slice of switch SRAM (~32 Mbit, under
 //! 2.5 % of the die) is shared by every concurrently-installed query. This
 //! example makes that concrete: the area planner divides the budget across
-//! all seven Fig. 2 programs (resizing each cache to its slice), and one
-//! shared replay pass answers all of them — the network event loop runs
-//! once, each record's row materializes once, and every program's compiled
-//! plan executes over it.
+//! all seven Fig. 2 programs **plus the §4 running-example counter**
+//! (resizing each cache to its slice), and one shared replay pass answers
+//! all of them — the network event loop runs once, each record's row
+//! materializes once, each *unique* filter/key evaluates once, and
+//! structurally-identical stores collapse into one (the running example is
+//! verbatim the loss-rate program's `R1`, so its store is charged to the
+//! budget once and executed once).
 
 use perfq::prelude::*;
 use perfq_kvstore::area;
 
 const MBIT: u64 = 1024 * 1024;
 
+/// The §4 running example — also the loss-rate program's `R1`, verbatim.
+const FIVE_TUPLE_COUNTER: &str = "SELECT COUNT GROUPBY 5tuple\n";
+
 fn main() {
     // ------------------------------------------------------------------
-    // 1. Install all seven Fig. 2 queries under the §4 budget.
+    // 1. Install the §4 counter + all seven Fig. 2 queries under the
+    //    §4 budget.
     // ------------------------------------------------------------------
-    let programs: Vec<CompiledProgram> = fig2::ALL
+    let mut names = vec!["Per-flow (5-tuple) counters [§4]"];
+    names.extend(fig2::ALL.iter().map(|q| q.name));
+    let sources: Vec<&str> = std::iter::once(FIVE_TUPLE_COUNTER)
+        .chain(fig2::ALL.iter().map(|q| q.source))
+        .collect();
+    let programs: Vec<CompiledProgram> = sources
         .iter()
-        .map(|q| {
-            compile_query(q.source, &fig2::default_params(), CompileOptions::default())
+        .map(|src| {
+            compile_query(src, &fig2::default_params(), CompileOptions::default())
                 .expect("the paper's queries compile")
         })
         .collect();
@@ -38,11 +51,11 @@ fn main() {
         area::bits_to_mbit(budget),
         plan.area_fraction(area::MIN_CHIP_AREA_MM2) * 100.0,
         area::MIN_CHIP_AREA_MM2,
-        fig2::ALL.len(),
+        names.len(),
     );
     println!("{:<34} {:>10} {:>22}", "query", "slice", "store geometries");
     let mut allocs = plan.queries.iter();
-    for (q, compiled) in fig2::ALL.iter().zip(multi.runtimes()) {
+    for (name, compiled) in names.iter().zip(multi.runtimes()) {
         let geoms: Vec<String> = compiled
             .compiled()
             .stores
@@ -51,25 +64,66 @@ fn main() {
             .map(|s| format!("{} ({}b pairs)", s.geometry, s.pair_bits()))
             .collect();
         if geoms.is_empty() {
-            println!("{:<34} {:>10} {:>22}", q.name, "—", "no aggregation state");
+            println!("{:<34} {:>10} {:>22}", name, "—", "no aggregation state");
             continue;
         }
         let alloc = allocs.next().expect("plan covers store-bearing programs");
+        let dedup: usize = alloc.stores.iter().filter(|s| s.deduped).count();
         println!(
-            "{:<34} {:>7.2} Mbit {}",
-            q.name,
+            "{:<34} {:>7.2} Mbit {}{}",
+            name,
             area::bits_to_mbit(alloc.slice_bits),
             geoms.join(", "),
+            if dedup > 0 {
+                format!("  [{dedup} store(s) shared, charged once]")
+            } else {
+                String::new()
+            },
         );
     }
     println!(
-        "\nallocated {:.2} of {:.0} Mbit (power-of-two rounding slack stays on-die)\n",
+        "\nallocated {:.2} of {:.0} Mbit — {} store deduplicated, {:.2} Mbit reclaimed \
+         and folded back into every physical cache\n",
         area::bits_to_mbit(plan.allocated_bits()),
         area::bits_to_mbit(budget),
+        plan.deduped_stores(),
+        area::bits_to_mbit(plan.reclaimed_bits()),
     );
 
     // ------------------------------------------------------------------
-    // 2. One shared replay pass answers every query.
+    // 2. What the install-time sharing pass decided.
+    // ------------------------------------------------------------------
+    let report = multi.sharing().clone();
+    println!("cross-query sharing under this install:");
+    for s in &report.stores {
+        println!(
+            "  store  {}/{} ← shares the physical store of {}/{}",
+            names[s.alias.0], s.alias.1, names[s.owner.0], s.owner.1,
+        );
+    }
+    for f in &report.filters {
+        println!(
+            "  filter `{}` evaluated once per record for {} queries ({})",
+            f.desc,
+            f.users.len(),
+            f.users
+                .iter()
+                .map(|(p, q)| format!("{}/{q}", names[*p]))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    for k in &report.keys {
+        println!(
+            "  key    ({}) built once per record for {} queries",
+            k.desc,
+            k.users.len(),
+        );
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // 3. One shared replay pass answers every query.
     // ------------------------------------------------------------------
     let trace = SyntheticTrace::new(TraceConfig::test_small(7)).take(40_000);
     // One slow port with a deep queue: the workload overloads it, so the
@@ -93,13 +147,13 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 3. Every query's results, from its own slice of the budget.
+    // 4. Every query's results, from its own slice of the budget.
     // ------------------------------------------------------------------
-    for (q, rs) in fig2::ALL.iter().zip(multi.collect()) {
+    for (name, rs) in names.iter().zip(multi.collect()) {
         let t = rs.tables.last().expect("every program yields a table");
         println!(
             "{:<34} {:>6} result rows (of {} matched)",
-            q.name,
+            name,
             t.rows.len(),
             t.total_matched
         );

@@ -31,6 +31,12 @@ cargo test --release -q \
     --test area_sweep \
     --test alloc_discipline
 
+echo "== doc gate: cargo doc --no-deps must be warning-free =="
+# Docs are a deliverable (ARCHITECTURE.md + the crate rustdocs form the
+# paper-to-code map); broken intra-doc links or missing docs on public
+# items fail CI here instead of rotting silently.
+RUSTDOCFLAGS="--deny warnings" cargo doc --no-deps --workspace -q
+
 echo "== building release benches =="
 cargo build --release -p perfq-bench --benches
 
@@ -77,14 +83,17 @@ def guard_ratio(num, den, floor):
           + ("" if ok else "  << REGRESSION"))
     return ok
 
-# The multi-query shared-ingest win must hold as a RATIO within this run
-# (same machine-noise phase for both sides), not just via absolute floors.
-ratio_guards = doc.get("multi_query_ratio_guard", {})
+# The multi-query sharing wins must hold as RATIOS within this run (same
+# machine-noise phase for both sides), not just via absolute floors. Keys
+# are "<numerator bench> over <denominator bench>" with full group names —
+# this covers both the PR 4 shared-ingest ratio and the PR 5 cross-query
+# execution-sharing ratios (shared vs sequential AND shared vs ingest-only).
+ratio_guards = doc.get("ratio_guards", {})
 if ratio_guards:
     print()
 for key, floor in ratio_guards.items():
-    num, den = key.split("_over_")
-    if not guard_ratio(f"multi_query/{num}", f"multi_query/{den}", floor):
+    num, den = key.split(" over ")
+    if not guard_ratio(num, den, floor):
         failed = True
 
 if failed:

@@ -7,7 +7,9 @@
 //! key-value store switch primitive that evaluates those queries at line
 //! rate.
 //!
-//! This crate is the facade; the work lives in the member crates:
+//! This crate is the facade; the work lives in the member crates. For the
+//! full paper-section → crate/file map and the end-to-end data-flow
+//! diagram, see `ARCHITECTURE.md` at the repository root.
 //!
 //! | crate | contents |
 //! |---|---|

@@ -143,4 +143,43 @@ fn steady_state_batched_replay_allocates_nothing() {
         multi.records() - processed_warmup,
     );
     assert_eq!(multi.records(), processed_warmup * 2, "second replay ran fully");
+
+    // Cross-query sharing keeps the discipline: install a set with real
+    // overlap — the §4 running-example counter (deduped against loss-rate
+    // R1), the loss-rate program, and the latency EWMA (the 5-tuple key
+    // tuple is a shared-prefix slot across all of them) — and the warmed
+    // shared-prefix batched replay must still allocate **zero** bytes per
+    // batch: the per-row filter-verdict and key scratch, the shared row
+    // buffers, and every store are pooled; store substitution happens only
+    // at finish, outside the steady-state loop.
+    let mut net = Network::new(NetworkConfig::default());
+    let sources = [
+        "SELECT COUNT GROUPBY 5tuple\n",
+        fig2::PER_FLOW_LOSS_RATE.source,
+        fig2::LATENCY_EWMA.source,
+    ];
+    let programs: Vec<_> = sources
+        .iter()
+        .map(|src| compile_query(src, &fig2::default_params(), Default::default()).unwrap())
+        .collect();
+    let mut multi = MultiRuntime::new(programs);
+    assert!(
+        !multi.sharing().stores.is_empty() && !multi.sharing().keys.is_empty(),
+        "the overlap set must exercise dedup and the shared prefix: {:?}",
+        multi.sharing(),
+    );
+    multi.process_network(&mut net, packets.iter().copied(), 256);
+    let processed_warmup = multi.records();
+
+    let before = allocs();
+    multi.process_network(&mut net, packets.iter().copied(), 256);
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "shared-prefix steady-state replay allocated {} times over {} records",
+        after - before,
+        multi.records() - processed_warmup,
+    );
+    assert_eq!(multi.records(), processed_warmup * 2, "second replay ran fully");
 }

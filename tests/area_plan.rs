@@ -26,10 +26,7 @@ fn paper_numbers_pin_the_planner() {
     let plan = CachePlanner::new(32 * MBIT)
         .plan(&[QueryDemand::new(
             "per-flow counters",
-            vec![StoreDemand {
-                pair_bits: area::PAIR_BITS,
-                ways: 8,
-            }],
+            vec![StoreDemand::new(area::PAIR_BITS, 8)],
         )])
         .unwrap();
     // 104-bit key + 24-bit counter = 128-bit pairs…
@@ -90,6 +87,64 @@ fn provisioning_all_fig2_queries_fits_one_budget() {
     }
 }
 
+// ------------------------------------------------------------------- dedup --
+
+#[test]
+fn dedup_demand_charges_once_and_strictly_grows_geometry() {
+    // Two 128-bit-pair queries where one aliases the other (the loss-rate
+    // R1 / running-example overlap, as `perfq_core::provision` tags it):
+    // unshared, each store gets half the budget (2^17 pairs at 32 Mbit);
+    // deduped, the one physical store absorbs the reclaimed half and its
+    // geometry strictly grows to the full 2^18.
+    let tagged = |g| vec![StoreDemand::new(area::PAIR_BITS, 8).with_dedup(g)];
+    let plan = CachePlanner::new(32 * MBIT)
+        .plan(&[
+            QueryDemand::new("counter", tagged(9)),
+            QueryDemand::new("loss-r1", tagged(9)),
+        ])
+        .unwrap();
+    assert_eq!(plan.deduped_stores(), 1);
+    assert_eq!(plan.reclaimed_bits(), 16 * MBIT);
+    assert!(plan.allocated_bits() <= 32 * MBIT);
+    let physical = plan.queries[0].stores[0];
+    let alias = plan.queries[1].stores[0];
+    assert!(!physical.deduped && alias.deduped);
+    assert_eq!(physical.geometry.capacity(), 1 << 18, "strictly grown");
+    assert_eq!(alias.geometry, physical.geometry, "alias mirrors canonical");
+    assert_eq!(alias.bits(), 0, "alias charged nothing");
+    // Shard splits of the alias agree with the canonical store, so a
+    // sharded deployment still provisions one consistent physical store.
+    for shards in [1usize, 2, 4, 8] {
+        assert_eq!(
+            alias.shard_geometry(shards).unwrap(),
+            physical.shard_geometry(shards).unwrap()
+        );
+    }
+}
+
+#[test]
+fn provisioning_real_overlapping_programs_dedups() {
+    // End to end through `perfq_core::provision`: the §4 running example
+    // installed beside the loss-rate program dedups R1 under the default
+    // 32 Mbit budget and never over-allocates.
+    let compile = |src: &str| {
+        compile_query(src, &fig2::default_params(), CompileOptions::default()).unwrap()
+    };
+    let mut programs = vec![
+        compile("SELECT COUNT GROUPBY 5tuple"),
+        compile(fig2::PER_FLOW_LOSS_RATE.source),
+    ];
+    let plan = perfq_core::provision(&mut programs, 32 * MBIT).unwrap();
+    assert_eq!(plan.deduped_stores(), 1);
+    assert!(plan.reclaimed_bits() > 0);
+    assert!(plan.allocated_bits() <= 32 * MBIT);
+    // Both programs carry the SAME physical geometry for the shared store.
+    assert_eq!(
+        programs[0].stores[0].as_ref().unwrap().geometry,
+        programs[1].stores[0].as_ref().unwrap().geometry,
+    );
+}
+
 // -------------------------------------------------------------- properties --
 
 /// A random demand mix: 1–5 queries, each 1–3 stores of 32–512-bit pairs at
@@ -115,10 +170,7 @@ fn build_demands(mix: &[(Vec<(u32, usize)>, u64)]) -> Vec<QueryDemand> {
                 format!("q{i}"),
                 stores
                     .iter()
-                    .map(|(pair_bits, ways)| StoreDemand {
-                        pair_bits: *pair_bits,
-                        ways: *ways,
-                    })
+                    .map(|(pair_bits, ways)| StoreDemand::new(*pair_bits, *ways))
                     .collect(),
             )
             .with_weight(*weight)
@@ -161,6 +213,96 @@ proptest! {
                 // An error must mean some slice is under one pair width.
                 prop_assert!(e.slice_bits < u64::from(e.pair_bits),
                     "rejected a feasible slice: {e}");
+            }
+        }
+    }
+
+    /// Dedup tags never break the budget invariant: for any demand mix and
+    /// any tag sprinkling, the plan stays within budget, aliases mirror
+    /// their canonical store at zero cost, and every physical store's slice
+    /// is at least what the untagged plan would have granted — strictly
+    /// more whenever enough bits were reclaimed to redistribute.
+    #[test]
+    fn dedup_plans_never_exceed_the_budget(
+        budget in 1u64 << 12..1u64 << 34,
+        mix in demand_strategy(),
+        tags in prop::collection::vec(0u64..4, 18),
+    ) {
+        // Tag value 0 means "untagged"; 1–3 name a dedup group.
+        let mut demands = build_demands(&mix);
+        let mut ti = 0usize;
+        for d in &mut demands {
+            for s in &mut d.stores {
+                match tags.get(ti) {
+                    Some(g) if *g > 0 => s.dedup = Some(*g),
+                    _ => {}
+                }
+                ti += 1;
+            }
+        }
+        let untagged: Vec<QueryDemand> = demands
+            .iter()
+            .map(|d| {
+                let mut d = d.clone();
+                for s in &mut d.stores {
+                    s.dedup = None;
+                }
+                d
+            })
+            .collect();
+        let plan = match CachePlanner::new(budget).plan(&demands) {
+            Ok(plan) => plan,
+            Err(e) => {
+                prop_assert!(e.slice_bits < u64::from(e.pair_bits),
+                    "rejected a feasible slice: {e}");
+                return Ok(());
+            }
+        };
+        prop_assert!(plan.allocated_bits() <= budget,
+            "allocated {} of {budget}", plan.allocated_bits());
+        // Aliases mirror the first matching member of their group.
+        let mut canon: Vec<((u64, u32, usize), (usize, usize))> = Vec::new();
+        for (qi, (q, d)) in plan.queries.iter().zip(&demands).enumerate() {
+            for (si, (s, sd)) in q.stores.iter().zip(&d.stores).enumerate() {
+                let key = sd.dedup.map(|g| (g, sd.pair_bits, sd.ways));
+                if s.deduped {
+                    prop_assert_eq!(s.bits(), 0);
+                    let (cq, cs) = canon
+                        .iter()
+                        .find(|(k, _)| Some(*k) == key)
+                        .map(|(_, at)| *at)
+                        .expect("alias has a canonical member");
+                    let c = &plan.queries[cq].stores[cs];
+                    prop_assert_eq!(s.geometry, c.geometry);
+                    prop_assert_eq!(s.slice_bits, c.slice_bits);
+                } else {
+                    prop_assert!(s.geometry.buckets.is_power_of_two());
+                    prop_assert!(s.bits() <= s.slice_bits);
+                    if let Some(k) = key {
+                        if !canon.iter().any(|(ck, _)| *ck == k) {
+                            canon.push((k, (qi, si)));
+                        }
+                    }
+                }
+            }
+        }
+        // Physical stores never shrink vs the untagged plan.
+        if let Ok(base) = CachePlanner::new(budget).plan(&untagged) {
+            let n_stores: usize = plan.queries.iter().map(|q| q.stores.len()).sum();
+            let n_phys = (n_stores - plan.deduped_stores()) as u64;
+            let strictly = plan.reclaimed_bits() >= n_phys && plan.reclaimed_bits() > 0;
+            for (q, qb) in plan.queries.iter().zip(&base.queries) {
+                for (s, sb) in q.stores.iter().zip(&qb.stores) {
+                    if s.deduped {
+                        continue;
+                    }
+                    prop_assert!(s.slice_bits >= sb.slice_bits);
+                    if strictly {
+                        prop_assert!(s.slice_bits > sb.slice_bits,
+                            "reclaimed bits must grow every physical slice");
+                    }
+                    prop_assert!(s.geometry.capacity() >= sb.geometry.capacity());
+                }
             }
         }
     }

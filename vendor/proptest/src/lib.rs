@@ -278,7 +278,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     pub trait IntoSizeRange {
         /// Inclusive (lo, hi) bounds.
         fn bounds(&self) -> (usize, usize);
