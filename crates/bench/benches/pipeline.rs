@@ -56,14 +56,22 @@ fn bench_network(c: &mut Criterion) {
     group.finish();
 }
 
+/// The record-at-a-time and vectorized engines over the same pre-collected
+/// records, INTERLEAVED per query: each `query_runtime_batched/<q>` runs
+/// immediately after its `query_runtime/<q>` twin, so the
+/// batched-over-record ratio guards in BENCH_pipeline.json compare numbers
+/// from the same machine-noise phase. (Running the two as whole groups puts
+/// a minute of wall-clock between the sides of each ratio, and on the
+/// shared bench box a phase shift in that window corrupts every ratio at
+/// once.)
 fn bench_runtime(c: &mut Criterion) {
     let records = small_records(20_000);
-    let mut group = c.benchmark_group("query_runtime");
-    group.throughput(Throughput::Elements(records.len() as u64));
     for q in [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC] {
+        let compiled =
+            compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+        let mut group = c.benchmark_group("query_runtime");
+        group.throughput(Throughput::Elements(records.len() as u64));
         group.bench_function(q.name, |b| {
-            let compiled =
-                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
             b.iter(|| {
                 let mut rt = Runtime::new(compiled.clone());
                 for r in &records {
@@ -73,18 +81,10 @@ fn bench_runtime(c: &mut Criterion) {
                 black_box(rt.records())
             });
         });
-    }
-    group.finish();
-}
-
-fn bench_runtime_batched(c: &mut Criterion) {
-    let records = small_records(20_000);
-    let mut group = c.benchmark_group("query_runtime_batched");
-    group.throughput(Throughput::Elements(records.len() as u64));
-    for q in [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC] {
+        group.finish();
+        let mut group = c.benchmark_group("query_runtime_batched");
+        group.throughput(Throughput::Elements(records.len() as u64));
         group.bench_function(q.name, |b| {
-            let compiled =
-                compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
             b.iter(|| {
                 let mut rt = Runtime::new(compiled.clone());
                 for chunk in records.chunks(256) {
@@ -94,8 +94,8 @@ fn bench_runtime_batched(c: &mut Criterion) {
                 black_box(rt.records())
             });
         });
+        group.finish();
     }
-    group.finish();
 }
 
 /// The sharded multi-core dataplane at 4 shards: router + SPSC hand-off +
@@ -419,7 +419,6 @@ criterion_group!(
     bench_queue,
     bench_network,
     bench_runtime,
-    bench_runtime_batched,
     bench_runtime_sharded,
     bench_end_to_end,
     bench_multi_query,

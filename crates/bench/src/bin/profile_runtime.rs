@@ -16,8 +16,9 @@ use perfq_trace::{SyntheticTrace, TraceConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
-fn time(label: &str, n: usize, mut f: impl FnMut()) {
-    // One warmup, then best-of-3.
+fn time(label: &str, n: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup, then best-of-3. Returns the best wall time so callers can
+    // derive phase differences (e.g. fold = full − filter-only).
     f();
     let mut best = f64::INFINITY;
     for _ in 0..3 {
@@ -29,6 +30,17 @@ fn time(label: &str, n: usize, mut f: impl FnMut()) {
         "{label:<40} {:>10.2} ns/record {:>10.2} M/s",
         best * 1e9 / n as f64,
         n as f64 / best / 1e6
+    );
+    best
+}
+
+/// Print a derived (subtracted) phase share in the same format as [`time`].
+fn derived(label: &str, n: usize, secs: f64) {
+    let secs = secs.max(0.0);
+    println!(
+        "{label:<40} {:>10.2} ns/record {:>10.2} M/s  (derived)",
+        secs * 1e9 / n as f64,
+        if secs > 0.0 { n as f64 / secs / 1e6 } else { f64::INFINITY }
     );
 }
 
@@ -112,6 +124,68 @@ fn main() {
             rt.finish();
             black_box(rt.records());
         });
+    }
+
+    // ---- vectorized path: filter phase vs fold phase ---------------------
+    // The batched engine runs node-at-a-time over survivor bitmasks, so its
+    // two phases are separable with public API alone: a replay of a stream
+    // the base filter drops entirely costs exactly the materialize+filter
+    // share (every node sees an empty mask and is skipped), and the fold/
+    // store share is the difference from the full replay. For unfiltered
+    // queries the filter phase is zero and the materialize-only loop below
+    // is the subtrahend.
+    println!("\nvectorized batch decomposition (chunk lanes + survivor masks):");
+    let mut lane_rows: Vec<Vec<Value>> = vec![Vec::new(); 16];
+    let mat = time("vec: lane materialize only", n, || {
+        let mut acc = 0i64;
+        for chunk in records.chunks(16) {
+            for (r, lane) in chunk.iter().zip(lane_rows.iter_mut()) {
+                r.write_row_masked(lane, u64::MAX);
+            }
+            acc = acc.wrapping_add(lane_rows[0][0].as_i64());
+        }
+        black_box(acc);
+    });
+    // A clone of the trace no `proto == TCP` filter passes.
+    let dropped: Vec<QueueRecord> = records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.packet.headers.ipv4.proto = perfq_packet::IpProto::Icmp;
+            r
+        })
+        .collect();
+    for (q, has_filter) in [
+        (&fig2::PER_FLOW_COUNTERS, false),
+        (&fig2::LATENCY_EWMA, false),
+        (&fig2::TCP_NON_MONOTONIC, true),
+    ] {
+        let compiled =
+            compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+        let mut rt = Runtime::new(compiled.clone());
+        let full = time(&format!("vec: full batched: {}", q.name), n, || {
+            for part in records.chunks(256) {
+                rt.process_batch(part);
+            }
+            black_box(rt.records());
+        });
+        if has_filter {
+            let mut drop_rt = Runtime::new(compiled.clone());
+            let filt = time(
+                &format!("vec: materialize+filter: {}", q.name),
+                n,
+                || {
+                    for part in dropped.chunks(256) {
+                        drop_rt.process_batch(part);
+                    }
+                    black_box(drop_rt.records());
+                },
+            );
+            derived(&format!("vec: filter phase: {}", q.name), n, filt - mat);
+            derived(&format!("vec: fold phase: {}", q.name), n, full - filt);
+        } else {
+            derived(&format!("vec: fold phase: {}", q.name), n, full - mat);
+        }
     }
 
     // ---- end-to-end decomposition: where does a full replay spend time? --

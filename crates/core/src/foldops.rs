@@ -129,8 +129,159 @@ impl PartialEq for StateVec {
 pub struct FoldState {
     /// The state variables, in `FoldIr::state` order.
     pub vars: StateVec,
-    /// Merge bookkeeping (only for linear folds).
+    /// Packets folded since (re)insertion — maintained inline (no aux box)
+    /// by the `ConstAKernel` fast path, which needs only this exponent at
+    /// merge time. Folds that carry a [`LinearAux`] track packets there
+    /// instead and leave this 0.
+    pub packets: u64,
+    /// Merge bookkeeping (only for linear folds outside the fast path).
     pub aux: Option<Box<LinearAux>>,
+}
+
+/// The compiled one-variable constant-A fast kernel.
+///
+/// A windowless fold over a single state variable whose update is one
+/// assignment, affine in the state with a *constant* coefficient —
+/// EWMA's `s' = (1−α)·s + α·(tout−tin)` is the canonical case, and plain
+/// counters/sums (`s' = s + B`) fit too — needs none of the generic
+/// machinery on the observe path: no `RefCell` scratch, no numeric `A`
+/// extraction, no per-key aux box. The kernel keeps the decomposed update
+/// (state term, combining operator, state-free `B` tree) and evaluates it
+/// directly with the same [`Value`] operator semantics the bytecode engine
+/// uses — `bind_params` folds closed subtrees with exactly these ops, so
+/// the kernel's results are bit-identical to the compiled program's. The
+/// merge correction collapses to the scalar
+/// `corrected = evicted + A^n · (standing − init)` with `n` read from the
+/// inline [`FoldState::packets`] counter.
+#[derive(Debug, Clone, PartialEq)]
+struct ConstAKernel {
+    /// Coefficient on the state term (`None` = the bare state), paired
+    /// with `true` when the coefficient is the left operand — the source
+    /// operand order is preserved for bit-exactness.
+    coeff: Option<(Value, bool)>,
+    /// How the state term combines with `B`: operator, `true` when the
+    /// state term is the left operand, and the state-free `B` expression
+    /// (params still symbolic; `Call`-free so evaluation allocates
+    /// nothing). `None` = the update has no `B` term.
+    combine: Option<(perfq_lang::ast::BinOp, bool, RExpr)>,
+    /// The signed scalar `A` (coefficient value, negated for `B − A·s`).
+    a: f64,
+    /// The state variable's type — the post-update coercion target.
+    ty: perfq_lang::ValueType,
+    /// The state variable's initial value (the merge baseline).
+    init: Value,
+}
+
+impl ConstAKernel {
+    /// One packet: `s ← combine(A-term(s), B(input))`, coerced to the
+    /// variable's type — operand order and ops exactly as the generic
+    /// engine would apply them.
+    #[inline]
+    fn update(&self, vars: &mut StateVec, input: &[Value], params: &[Value]) {
+        use perfq_lang::ast::BinOp;
+        let s = vars[0];
+        let s_term = match &self.coeff {
+            Some((c, true)) => Value::binop(BinOp::Mul, *c, s),
+            Some((c, false)) => Value::binop(BinOp::Mul, s, *c),
+            None => Ok(s),
+        }
+        .expect("type-checked fold body cannot fail at runtime");
+        let out = match &self.combine {
+            Some((op, state_first, b)) => {
+                let bv = perfq_lang::ir::eval(b, &[], input, params)
+                    .expect("state-free B term evaluates");
+                if *state_first {
+                    Value::binop(*op, s_term, bv)
+                } else {
+                    Value::binop(*op, bv, s_term)
+                }
+                .expect("type-checked fold body cannot fail at runtime")
+            }
+            None => s_term,
+        };
+        vars[0] = out.coerce(self.ty);
+    }
+}
+
+/// Structurally decompose a fold into a [`ConstAKernel`], or `None` when it
+/// doesn't fit: one linear state variable, no window, a single assignment
+/// of the shape `[c ·] s [± B]` (either operand order) with a constant
+/// coefficient and a state-free, `Call`-free `B`.
+fn const_a_kernel(fold: &FoldIr, params: &[Value]) -> Option<ConstAKernel> {
+    use perfq_lang::ast::BinOp;
+    if fold.state.len() != 1 || fold.class != (FoldClass::Linear { window: 0 }) {
+        return None;
+    }
+    let [RStmt::Assign(0, e)] = fold.body.as_slice() else {
+        return None;
+    };
+    fn reads_state(e: &RExpr) -> bool {
+        let mut found = false;
+        e.visit(&mut |n| {
+            if matches!(n, RExpr::State(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+    /// State-free, input-allowed, `Call`-free (a builtin call would
+    /// allocate its argument vector per packet).
+    fn plain_b(e: &RExpr) -> bool {
+        let mut ok = true;
+        e.visit(&mut |n| {
+            if matches!(n, RExpr::State(_) | RExpr::Call(..)) {
+                ok = false;
+            }
+        });
+        ok
+    }
+    /// Only literals and parameters (no inputs or state).
+    fn is_const(e: &RExpr) -> bool {
+        let mut ok = true;
+        e.visit(&mut |n| {
+            if matches!(n, RExpr::Input(_) | RExpr::State(_) | RExpr::Call(..)) {
+                ok = false;
+            }
+        });
+        ok
+    }
+    let (state_term, combine_shape) = match e {
+        RExpr::Binary(op, l, r) if matches!(op, BinOp::Add | BinOp::Sub) => {
+            match (reads_state(l), reads_state(r)) {
+                (true, false) if plain_b(r) => (l.as_ref(), Some((*op, true, (**r).clone()))),
+                (false, true) if plain_b(l) => (r.as_ref(), Some((*op, false, (**l).clone()))),
+                _ => return None,
+            }
+        }
+        other if reads_state(other) => (other, None),
+        _ => return None,
+    };
+    let coeff = match state_term {
+        RExpr::State(0) => None,
+        RExpr::Binary(BinOp::Mul, c, s)
+            if is_const(c) && matches!(s.as_ref(), RExpr::State(0)) =>
+        {
+            Some((perfq_lang::ir::eval(c, &[], &[], params).ok()?, true))
+        }
+        RExpr::Binary(BinOp::Mul, s, c)
+            if matches!(s.as_ref(), RExpr::State(0)) && is_const(c) =>
+        {
+            Some((perfq_lang::ir::eval(c, &[], &[], params).ok()?, false))
+        }
+        _ => return None,
+    };
+    let mut a = coeff.map_or(1.0, |(c, _)| c.as_f64());
+    if matches!(combine_shape, Some((BinOp::Sub, false, _))) {
+        // `B − A·s`: the state coefficient enters negated.
+        a = -a;
+    }
+    Some(ConstAKernel {
+        coeff,
+        combine: combine_shape,
+        a,
+        ty: fold.state[0].ty,
+        init: fold.init_state()[0],
+    })
 }
 
 /// Reusable per-update working memory. One instance per store (not per
@@ -178,6 +329,10 @@ pub struct FoldOps {
     /// computed once at merge time — the dataplane skips extraction and
     /// matrix multiplication entirely.
     constant_a: bool,
+    /// The one-variable constant-A fast kernel, when the fold fits it.
+    /// Takes precedence over the generic aux/scratch machinery on every
+    /// path (init/update/merge) — see [`ConstAKernel`].
+    fast: Option<ConstAKernel>,
     mode: MergeMode,
     /// Single-threaded working memory (the switch pipeline is one stream).
     scratch: RefCell<Scratch>,
@@ -201,6 +356,7 @@ impl FoldOps {
             && mode == MergeMode::Merge
             && has_constant_a(&fold.body, &linear_vars);
         let program = bytecode::compile_stmts_bound(&fold.body, &params);
+        let fast = const_a_kernel(&fold, &params);
         FoldOps {
             fold,
             program,
@@ -209,6 +365,7 @@ impl FoldOps {
             window,
             additive,
             constant_a,
+            fast,
             mode,
             scratch: RefCell::new(Scratch::default()),
         }
@@ -242,6 +399,7 @@ impl FoldOps {
     #[must_use]
     pub fn dataplane_identical(&self, other: &FoldOps) -> bool {
         self.program == other.program
+            && self.fast == other.fast
             && self.mode == other.mode
             && self.window == other.window
             && self.additive == other.additive
@@ -467,6 +625,16 @@ impl ValueOps for FoldOps {
     type Input = [Value];
 
     fn init(&self) -> FoldState {
+        // Fast-kernel folds keep their merge exponent in the inline
+        // `packets` counter: no per-key aux box at all, so (re)insertion
+        // under eviction churn allocates nothing.
+        if self.fast.is_some() {
+            return FoldState {
+                vars: StateVec::from_slice(&self.fold.init_state()),
+                packets: 0,
+                aux: None,
+            };
+        }
         // Additive windowless folds (COUNT, SUM, guarded counters) need no
         // merge bookkeeping at all: the correction is `standing − init`,
         // computable from the values alone. Skip the per-key aux box and the
@@ -490,11 +658,21 @@ impl ValueOps for FoldOps {
         };
         FoldState {
             vars: StateVec::from_slice(&self.fold.init_state()),
+            packets: 0,
             aux,
         }
     }
 
     fn update(&self, value: &mut FoldState, input: &[Value]) {
+        // The constant-A fast path: count the packet, apply the decomposed
+        // affine update in place. No RefCell borrow, no aux-box line, no
+        // bytecode dispatch — the EWMA observe path collapses to a handful
+        // of `Value` ops.
+        if let Some(k) = &self.fast {
+            value.packets += 1;
+            k.update(&mut value.vars, input, &self.params);
+            return;
+        }
         if let Some(aux) = value.aux.as_deref_mut() {
             if aux.packets < u64::from(self.window) {
                 // Still inside the logged window: record the row; ΠA stays
@@ -528,6 +706,28 @@ impl ValueOps for FoldOps {
     }
 
     fn merge(&self, standing: &mut FoldState, evicted: FoldState) {
+        // Fast-kernel merge: the scalar spelling of the §3.2 correction,
+        // `corrected = evicted + A^n · (standing − init)`, with `n` from
+        // the inline packets counter — the same `scalar_pow` arithmetic
+        // the generic constant-A path uses at k = 1. Resetting `packets`
+        // to 0 marks the composite: a later cross-shard merge of this
+        // value degrades to the additive correction (`A^0 = I`), exactly
+        // the consumed-aux semantics of the generic path below.
+        if let Some(k) = &self.fast {
+            let adj = scalar_pow(k.a, evicted.packets)
+                * (standing.vars[0].as_f64() - k.init.as_f64());
+            let corrected = match k.ty {
+                perfq_lang::ValueType::Float => {
+                    Value::Float(evicted.vars[0].as_f64() + adj)
+                }
+                _ => Value::Int(evicted.vars[0].as_i64() + adj.round() as i64),
+            };
+            standing.vars = evicted.vars;
+            standing.vars[0] = corrected;
+            standing.packets = 0;
+            standing.aux = None;
+            return;
+        }
         let Some(aux) = evicted.aux.as_deref() else {
             // Additive, windowless: corrected = evicted + (standing − init),
             // component-wise over the linear variables; window-class
@@ -921,6 +1121,60 @@ mod tests {
         let a = ops.extract_a(&state, &row);
         assert_eq!(a.len(), 1);
         assert!((a[0] - 0.875).abs() < 1e-12, "A = 1-α = 0.875, got {}", a[0]);
+    }
+
+    #[test]
+    fn const_a_kernel_engages_for_ewma_and_counters_only_when_legal() {
+        // EWMA: one Float variable, constant A = 1-α.
+        let src = "def ewma (lat_est, (tin, tout)):\n    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)\n\nSELECT 5tuple, ewma GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        let ops = FoldOps::new(fold, params);
+        let k = ops.fast.as_ref().expect("EWMA fits the constant-A kernel");
+        assert!((k.a - 0.875).abs() < 1e-15, "A = 1-α = 0.875, got {}", k.a);
+        assert!(ops.init().aux.is_none(), "fast folds carry no aux box");
+
+        // COUNT: one Int variable, A = 1 — also eligible.
+        let (fold, params) = fold_of("SELECT COUNT GROUPBY srcip");
+        let ops = FoldOps::new(fold, params);
+        let k = ops.fast.as_ref().expect("COUNT fits the kernel");
+        assert_eq!(k.a, 1.0);
+
+        // Windowed fold (2 vars, window 1): rejected.
+        let src = "def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):\n    if lastseq + 1 != tcpseq:\n        oos_count = oos_count + 1\n    lastseq = tcpseq + payload_len\n\nSELECT 5tuple, outofseq GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        assert!(FoldOps::new(fold, params).fast.is_none());
+
+        // Non-linear fold: rejected (epoch mode).
+        let src = "def nonmt ((maxseq, nm_count), tcpseq):\n    if maxseq > tcpseq:\n        nm_count = nm_count + 1\n    maxseq = max(maxseq, tcpseq)\n\nSELECT 5tuple, nonmt GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        assert!(FoldOps::new(fold, params).fast.is_none());
+    }
+
+    #[test]
+    fn const_a_kernel_is_bit_identical_to_the_bytecode_path() {
+        let src = "def ewma (lat_est, (tin, tout)):\n    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)\n\nSELECT 5tuple, ewma GROUPBY 5tuple\n";
+        let (fold, params) = fold_of(src);
+        let ops = FoldOps::new(fold.clone(), params.clone());
+        let k = ops.fast.as_ref().expect("kernel engages");
+        let program = bytecode::compile_stmts_bound(&fold.body, &params);
+        let schema = perfq_lang::base_schema();
+        let (itin, itout) = (
+            schema.index_of("tin").unwrap(),
+            schema.index_of("tout").unwrap(),
+        );
+        let mut fast_vars = StateVec::from_slice(&fold.init_state());
+        let mut generic = fold.init_state();
+        let mut stack = EvalStack::default();
+        for i in 0..500i64 {
+            let mut row = vec![Value::Int(0); schema.len()];
+            row[itin] = Value::Int(1000 * i);
+            row[itout] = Value::Int(1000 * i + 50 + (i % 13) * 17);
+            k.update(&mut fast_vars, &row, &params);
+            program.exec(&mut stack, &mut generic, &row, &params).unwrap();
+            generic[0] = generic[0].coerce(fold.state[0].ty);
+            // Exact equality, packet by packet — not a tolerance check.
+            assert_eq!(fast_vars[0], generic[0], "packet {i}");
+        }
     }
 
     #[test]

@@ -57,20 +57,74 @@
 //!    touches no second heap line. The split store's
 //!    `SramCache::upsert_with` does exactly one hash and one probe per
 //!    packet.
-//! 4. **Merge shortcuts** — additive windowless folds (COUNT/SUM) carry no
-//!    merge bookkeeping at all; folds with a provably constant `A` matrix
-//!    (EWMA) skip per-packet ΠA extraction and reconstruct `A^n` once at
-//!    merge time.
+//! 4. **Merge shortcuts and compiled fold kernels** — additive windowless
+//!    folds (COUNT/SUM) carry no merge bookkeeping at all; folds with a
+//!    provably constant `A` matrix (EWMA) skip per-packet ΠA extraction and
+//!    reconstruct `A^n` once at merge time. One-variable windowless linear
+//!    fold bodies additionally compile to a closed-form **constant-A
+//!    kernel** in [`foldops`]: the per-packet update becomes `s' = a·s + b`
+//!    evaluated directly from the decomposed body (no bytecode dispatch, no
+//!    scratch borrow), and the §3.2 merge correction becomes one
+//!    `aⁿ`-scaling — the kernel's legality is decided structurally at
+//!    compile time and pinned bit-identical to the bytecode path.
 //! 5. **Batching and column pruning** — [`Runtime::process_batch`] (and
-//!    `Network::run_batched` upstream) feed records in slices; one base-row
-//!    buffer is reused across the whole stream, and only the base columns
-//!    the compiled program reads are materialized per record
-//!    (`QueueRecord::write_row_masked`).
+//!    `Network::run_batched` upstream) feed records in slices; only the
+//!    base columns the compiled program reads are materialized per record
+//!    (`QueueRecord::write_row_masked`). Batches execute node-at-a-time
+//!    over survivor bitmasks — see *Vectorized execution* below.
 //!
 //! `BENCH_pipeline.json` at the repository root records the measured
 //! speedup of this engine over the seed tree-walking runtime
 //! (2.2–3.2× records/sec on the Fig. 2 benchmark queries);
 //! `scripts/bench_smoke.sh` guards it against regression.
+//!
+//! # Vectorized execution
+//!
+//! The batched entry points ([`Runtime::process_batch`],
+//! [`MultiRuntime::process_batch`]) do not loop `process_record`: they
+//! execute **node-at-a-time over a chunk of records**, steered by survivor
+//! bitmasks, so each plan node's code (filter compare loop, projection
+//! bytecode, store probe) stays hot in the instruction stream while it
+//! sweeps many records:
+//!
+//! ```text
+//!   chunk of ≤16 QueueRecords
+//!        │  write_row_masked per lane (pruned columns only)
+//!        ▼
+//!   lane rows ─────────────▶ u64 input mask   0b0110…1
+//!        │                        │ bit i = lane i live for this node
+//!        ▼                        ▼
+//!   per node, in topological order: sweep set bits only
+//!        ├─ filter verdict per lane (fused, or a precomputed shared mask)
+//!        ├─ Project: eval output cols into the node's lane slots
+//!        └─ GroupBy: key build + one store upsert per surviving bit
+//!        ▼
+//!   node's survivor mask = downstream node's input mask
+//! ```
+//!
+//! A chunk is at most one mask word (64 lanes) but deliberately smaller
+//! (16): the chunk's materialized rows must stay L1-resident across the
+//! materialize → per-node store sweeps, or the random store probes evict
+//! them and the batching win inverts. A node's own filter fuses into its
+//! sweep — the verdict clears the lane's bit and the fold runs in the same
+//! row visit, so survivor masks cost no second pass over the chunk — while
+//! the multi-query shared prefix evaluates each *shared* filter once into
+//! a per-chunk verdict mask (`plan::Filter::survivors`) that every
+//! consuming program ANDs in for free (shared group keys likewise build
+//! once per lane under the union of their consumers' masks). Nodes read
+//! their input from the base lanes or the upstream node's flat output
+//! buffer and are skipped outright when their input mask is empty.
+//!
+//! Two contracts pin the path. **Byte-identity:** every store and capture
+//! buffer belongs to exactly one node, set bits are visited in ascending
+//! lane order (= record order), and a node only reads lanes its upstream
+//! wrote — so hit/miss/eviction streams, epochs and capture contents are
+//! bit-identical to record-at-a-time processing at *any* chunking
+//! (`tests/batch_equivalence.rs`: ragged lengths, all-pass/all-drop
+//! batches, epoch-straddling batches). **Zero allocation:** lane rows,
+//! per-node output lanes and the mask words are pooled on the runtime, so
+//! a warmed vectorized replay allocates nothing
+//! (`tests/alloc_discipline.rs`).
 //!
 //! # Sharded execution
 //!

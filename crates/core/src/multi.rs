@@ -97,7 +97,7 @@
 //! of the batched path still allocates nothing, `tests/alloc_discipline.rs`).
 
 use crate::compiler::{CompiledProgram, StorePlan};
-use crate::plan::{ExecPlan, Filter, NodeKind, RowSource};
+use crate::plan::{lane_mask, ExecPlan, Filter, NodeKind, RowSource, CHUNK, LANES};
 use crate::result::ResultSet;
 use crate::runtime::Runtime;
 use crate::sharded::{ShardSpec, ShardedRuntime, DEFAULT_BATCH, DEFAULT_QUEUE_CAPACITY};
@@ -651,12 +651,14 @@ pub struct MultiRuntime {
     /// Shared row buffer, materialized once per record
     /// ([`MultiRuntime::process_record`]).
     row_buf: Vec<Value>,
-    /// Batch-wide row buffers ([`MultiRuntime::process_batch`]): the whole
-    /// batch materializes once, then each program sweeps it consecutively —
-    /// a program's stores and bytecode state stay hot across the batch
-    /// instead of being evicted K−1 times per record.
-    rows: Vec<Vec<Value>>,
-    /// Observation times of the current batch, parallel to `rows`.
+    /// Chunk-wide row buffers ([`MultiRuntime::process_batch`]): one
+    /// [`LANES`]-record chunk materializes at a time, then each program
+    /// sweeps it node-at-a-time — a program's stores and bytecode state
+    /// stay hot across the chunk instead of being evicted K−1 times per
+    /// record. Flat lane matrix: lane `i` at `i * row_width ..` (one
+    /// allocation, no per-lane `Vec` headers in the sweeps).
+    rows: Vec<Value>,
+    /// Observation times of the current chunk, parallel to `rows`.
     nows: Vec<perfq_packet::Nanos>,
     /// Unique base filters of the shared execution prefix, by slot.
     shared_filters: Vec<Filter>,
@@ -667,9 +669,13 @@ pub struct MultiRuntime {
     key_spill: Vec<i64>,
     /// Store-dedup substitutions applied at [`MultiRuntime::finish`].
     aliases: Vec<((usize, usize), (usize, usize))>,
-    /// Per-batch shared filter verdicts, row-major (`row * n_filters + f`).
+    /// Per-record shared filter verdicts ([`MultiRuntime::process_record`]).
     pass_buf: Vec<bool>,
-    /// Per-batch shared keys, row-major (`row * n_keys + k`).
+    /// Vectorized path: per-slot survivor bitmasks for the current chunk
+    /// (bit `i` = lane `i` passed shared filter `slot`).
+    pass_masks: Vec<u64>,
+    /// Shared keys — row-major per chunk (`lane * n_keys + k`) in the
+    /// vectorized path, one record's `n_keys` entries in the record path.
     key_buf: Vec<InlineKey>,
     /// Bytecode stack for shared filter evaluation.
     stack: EvalStack,
@@ -766,6 +772,7 @@ impl MultiRuntime {
             key_spill: Vec::new(),
             aliases: analysis.aliases,
             pass_buf: Vec::new(),
+            pass_masks: Vec::new(),
             key_buf: Vec::new(),
             stack: EvalStack::new(),
             report,
@@ -837,44 +844,78 @@ impl MultiRuntime {
     }
 
     /// Process a batch of records — the multi-query analogue of
-    /// [`Runtime::process_batch`]: the whole batch materializes **once**
-    /// (union column mask, reused row buffers) along with the shared
-    /// prefix's per-row verdicts and keys, then every program's plan sweeps
-    /// the materialized rows consecutively. Semantically identical to
+    /// [`Runtime::process_batch`], vectorized the same way: the batch is
+    /// cut into cache-sized chunks (one `u64` mask word each), each chunk
+    /// materializes
+    /// **once** (union column mask, reused row buffers), every *unique*
+    /// shared filter evaluates over the whole chunk into one `u64`
+    /// survivor bitmask and every unique key tuple builds once per gated
+    /// lane, then each program's plan sweeps the chunk node-at-a-time
+    /// reading the precomputed masks/keys. Semantically identical to
     /// [`MultiRuntime::process_record`] per element (and tested to be);
     /// programs are independent, so per-program stream order — the order
     /// that matters — is preserved.
     pub fn process_batch(&mut self, recs: &[QueueRecord]) {
         let mask = self.union_cols;
-        if self.rows.len() < recs.len() {
-            self.rows.resize(recs.len(), Vec::new());
+        let nk = self.shared_keys.len();
+        let width = QueueRecord::row_width();
+        if self.rows.len() != LANES * width {
+            self.rows.clear();
+            self.rows.resize(LANES * width, Value::Int(0));
         }
-        self.nows.clear();
-        self.nows.reserve(recs.len());
-        self.pass_buf.clear();
-        self.key_buf.clear();
-        for (rec, row) in recs.iter().zip(&mut self.rows) {
-            rec.write_row_masked(row, mask);
-            self.nows.push(rec.observed_at());
-            eval_shared_prefix(
-                &self.shared_filters,
-                &self.shared_keys,
-                &mut self.stack,
-                row,
-                &mut self.key_spill,
-                &mut self.pass_buf,
-                &mut self.key_buf,
-            );
-        }
-        let (nf, nk) = (self.shared_filters.len(), self.shared_keys.len());
-        for rt in &mut self.runtimes {
-            for (i, (row, now)) in self.rows[..recs.len()].iter().zip(&self.nows).enumerate() {
-                rt.process_row_shared(
-                    row,
-                    *now,
-                    &self.pass_buf[i * nf..(i + 1) * nf],
-                    &self.key_buf[i * nk..(i + 1) * nk],
-                );
+        for chunk in recs.chunks(CHUNK) {
+            let n = chunk.len();
+            let full = lane_mask(n);
+            let MultiRuntime {
+                runtimes,
+                rows,
+                nows,
+                shared_filters,
+                shared_keys,
+                key_spill,
+                pass_masks,
+                key_buf,
+                stack,
+                ..
+            } = self;
+            nows.clear();
+            for (rec, lane) in chunk.iter().zip(rows.chunks_exact_mut(width)) {
+                rec.write_row_masked_into(lane, mask);
+                nows.push(rec.observed_at());
+            }
+            pass_masks.clear();
+            for f in shared_filters.iter() {
+                // Shared filters are compiled with params folded: no
+                // parameter vector is needed at evaluation time.
+                pass_masks.push(f.survivors(stack, &[], full, |lane| {
+                    &rows[lane * width..(lane + 1) * width]
+                }));
+            }
+            key_buf.clear();
+            key_buf.resize(n * nk, InlineKey::from_slice(&[]));
+            for (slot, (cols, gate)) in shared_keys.iter().enumerate() {
+                // Build only the lanes some reader will look at — the gate
+                // is the union of the users' shared filter verdicts, so the
+                // prefix never key-builds a record the unshared path
+                // wouldn't have.
+                let mut m = match gate {
+                    KeyGate::Always => full,
+                    KeyGate::AnyOf(slots) => slots
+                        .iter()
+                        .fold(0u64, |acc, s| acc | pass_masks[*s as usize]),
+                };
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    key_buf[lane * nk + slot] = crate::runtime::build_group_key(
+                        cols,
+                        &rows[lane * width..(lane + 1) * width],
+                        key_spill,
+                    );
+                }
+            }
+            for rt in runtimes.iter_mut() {
+                rt.process_lanes_shared(rows, width, n, nows, pass_masks, key_buf, nk);
             }
         }
     }

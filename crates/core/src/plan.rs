@@ -24,6 +24,31 @@ use perfq_lang::bytecode::{self, EvalStack, Op, Program};
 use perfq_lang::resolve::GroupOutput;
 use perfq_lang::{QueryInput, ResolvedKind, ResolvedProgram, Value};
 
+/// Maximum lanes per survivor-mask word in the vectorized batch path: one
+/// `u64` holds a whole chunk's filter verdicts
+/// (`Runtime::process_lanes_shared`).
+pub(crate) const LANES: usize = 64;
+
+/// Records per vectorized chunk. At most [`LANES`] (one mask word); held
+/// below it so a chunk's lane rows (~16 × the 30-column base row ≈ 8 KB)
+/// stay L1-resident across the materialize → filter → per-node store
+/// sweeps — at 64 lanes the random store probes evict the early rows
+/// before their node sweep reads them back, measurably costing the
+/// fold-heavy queries their batching win.
+pub(crate) const CHUNK: usize = 16;
+
+/// The full survivor mask for a chunk of `n ≤ 64` lanes (bit `i` = record
+/// `i` of the chunk).
+#[inline]
+pub(crate) fn lane_mask(n: usize) -> u64 {
+    debug_assert!(n <= LANES, "a chunk is at most one mask word");
+    if n == LANES {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 /// Where a plan node's input row comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum RowSource {
@@ -68,6 +93,49 @@ impl Filter {
                 .expect("type-checked filter cannot fail")
                 .truthy(),
         }
+    }
+
+    /// Batch evaluation: clear every set lane of `mask` whose row fails the
+    /// predicate, returning the survivor bitmask. `row(lane)` yields lane
+    /// `lane`'s input row; only set lanes are visited, in ascending order —
+    /// identical verdicts to calling [`Filter::pass`] per row.
+    ///
+    /// The dominant single-comparison shape stays in a tight
+    /// column/constant loop with no per-record dispatch; everything else
+    /// reuses the stack machine per surviving lane.
+    pub fn survivors<'r>(
+        &self,
+        stack: &mut EvalStack,
+        params: &[Value],
+        mask: u64,
+        mut row: impl FnMut(usize) -> &'r [Value],
+    ) -> u64 {
+        let mut out = mask;
+        let mut m = mask;
+        match self {
+            Filter::InputConst(op, col, v) => {
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let pass = Value::binop(*op, row(lane)[*col], *v)
+                        .expect("type-checked filter cannot fail")
+                        .truthy();
+                    out &= !(u64::from(!pass) << lane);
+                }
+            }
+            Filter::General(p) => {
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let pass = p
+                        .eval(stack, &[], row(lane), params)
+                        .expect("type-checked filter cannot fail")
+                        .truthy();
+                    out &= !(u64::from(!pass) << lane);
+                }
+            }
+        }
+        out
     }
 }
 

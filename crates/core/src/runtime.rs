@@ -26,7 +26,7 @@
 
 use crate::compiler::CompiledProgram;
 use crate::foldops::FoldOps;
-use crate::plan::{ExecPlan, NodeKind, RowSource};
+use crate::plan::{lane_mask, ExecPlan, NodeKind, RowSource, CHUNK, LANES};
 use crate::result::{value_key, ResultRow, ResultSet, ResultTable};
 use perfq_kvstore::{InlineKey, SplitStore, StoreStats};
 use perfq_lang::bytecode::EvalStack;
@@ -72,6 +72,21 @@ pub struct Runtime {
     stack: EvalStack,
     /// Group-key scratch.
     key_buf: Vec<i64>,
+    /// Vectorized path: one contiguous base-row matrix for a chunk of
+    /// [`LANES`] records (lane `i` at `i * row_width ..`) — a single
+    /// allocation so the node sweeps walk one dense block instead of
+    /// chasing per-lane `Vec` headers.
+    lane_rows: Vec<Value>,
+    /// Vectorized path: observation times of the current chunk.
+    lane_nows: Vec<Nanos>,
+    /// Vectorized path: per-node flat output buffers, `arity` values per
+    /// lane (`lane * arity ..`), written only at live lanes.
+    lane_out: Vec<Vec<Value>>,
+    /// Vectorized path: per-node survivor bitmask — bit `i` set when the
+    /// node emitted a row for lane `i` of the current chunk.
+    lane_live: Vec<u64>,
+    /// Output-row width of each node (0 for non-emitting nodes).
+    lane_arity: Vec<usize>,
     records: u64,
     finished: bool,
 }
@@ -119,6 +134,14 @@ impl Runtime {
             }
             plan.recompute_base_cols(&compiled.program);
         }
+        let lane_arity = plan
+            .nodes
+            .iter()
+            .map(|node| match &node.kind {
+                NodeKind::Project { cols } => cols.len(),
+                NodeKind::GroupBy { output, .. } => output.len(),
+            })
+            .collect();
         Runtime {
             compiled,
             params,
@@ -130,6 +153,11 @@ impl Runtime {
             live: vec![false; n],
             stack: EvalStack::new(),
             key_buf: Vec::new(),
+            lane_rows: Vec::new(),
+            lane_nows: Vec::new(),
+            lane_out: vec![Vec::new(); n],
+            lane_live: vec![0; n],
+            lane_arity,
             records: 0,
             finished: false,
         }
@@ -232,19 +260,36 @@ impl Runtime {
         self.row_buf = row;
     }
 
-    /// Process a batch of queue records. Semantically identical to calling
-    /// [`Runtime::process_record`] per element (and tested to be); the entry
-    /// point lets record producers hand over slices so the hot loop stays
-    /// free of per-record call/dispatch overhead.
+    /// Process a batch of queue records — the **vectorized** entry point.
+    /// Semantically identical to calling [`Runtime::process_record`] per
+    /// element (and tested byte-identical to be, `tests/batch_equivalence.rs`),
+    /// but executed node-at-a-time: the batch is cut into cache-sized
+    /// chunks (at most one `u64` mask word of lanes), each chunk's rows
+    /// materialize into reusable lane buffers, and each GroupBy/Project
+    /// node sweeps only the set bits of its `u64` survivor bitmask — its
+    /// own filter verdict fuses into the sweep, clearing the lane's bit in
+    /// the same row visit. A node's store and fold kernel stay hot across
+    /// the chunk instead of being evicted by the other nodes' work after
+    /// every record.
     pub fn process_batch(&mut self, recs: &[QueueRecord]) {
         let mask = self.plan.base_cols;
-        let mut row = std::mem::take(&mut self.row_buf);
-        for rec in recs {
-            let now = rec.observed_at();
-            rec.write_row_masked(&mut row, mask);
-            self.process_row(&row, now);
+        let width = QueueRecord::row_width();
+        let mut rows = std::mem::take(&mut self.lane_rows);
+        let mut nows = std::mem::take(&mut self.lane_nows);
+        if rows.len() != LANES * width {
+            rows.clear();
+            rows.resize(LANES * width, Value::Int(0));
         }
-        self.row_buf = row;
+        for chunk in recs.chunks(CHUNK) {
+            nows.clear();
+            for (rec, lane) in chunk.iter().zip(rows.chunks_exact_mut(width)) {
+                rec.write_row_masked_into(lane, mask);
+                nows.push(rec.observed_at());
+            }
+            self.process_lanes_shared(&rows, width, chunk.len(), &nows, &[], &[], 0);
+        }
+        self.lane_rows = rows;
+        self.lane_nows = nows;
     }
 
     /// Process one base-schema row observed at time `now`: a single flat
@@ -344,6 +389,167 @@ impl Runtime {
                             });
                         }
                         live[idx] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The vectorized sweep: process one chunk of at most [`LANES`]
+    /// materialized rows node-at-a-time under survivor bitmasks.
+    ///
+    /// `rows` is a flat lane matrix: lane `i` of the chunk's `n` records is
+    /// `rows[i * width..]`, observed at `nows[i]`; bit `i` of a mask stands
+    /// for that lane. Each node starts from its input mask — the full chunk
+    /// for base-rooted nodes, the upstream node's live mask otherwise —
+    /// ANDs in a precomputed shared-slot verdict mask if the multi-query
+    /// prefix computed one, and sweeps the set bits in ascending lane
+    /// order; an unshared filter evaluates *inside* the sweep, clearing
+    /// the lane's bit and skipping the node body in the same row visit.
+    /// This is byte-identical to the record-at-a-time
+    /// pass ([`Runtime::process_row`] per row) because every store and
+    /// capture buffer belongs to exactly one node and set bits are visited
+    /// in record order: each store sees the same update sequence, each
+    /// capture the same rows in the same order, and a downstream node's
+    /// lane input is exactly the output its upstream computed for that
+    /// record (per-lane buffers are only read at lanes the upstream's live
+    /// mask covers). Warm chunks allocate nothing: lane buffers, masks and
+    /// the shared stack are all reused across calls.
+    pub(crate) fn process_lanes_shared(
+        &mut self,
+        rows: &[Value],
+        width: usize,
+        n: usize,
+        nows: &[Nanos],
+        shared_masks: &[u64],
+        shared_keys: &[InlineKey],
+        n_keys: usize,
+    ) {
+        debug_assert!(!self.finished, "process after finish");
+        debug_assert!(n <= LANES && n == nows.len() && rows.len() >= n * width);
+        self.records += n as u64;
+        let full = lane_mask(n);
+        let Runtime {
+            plan,
+            params,
+            stores,
+            captures,
+            stack,
+            key_buf,
+            lane_out,
+            lane_live,
+            lane_arity,
+            ..
+        } = self;
+        for (idx, node) in plan.nodes.iter().enumerate() {
+            lane_live[idx] = 0;
+            if !node.active {
+                continue;
+            }
+            let in_mask = match node.source {
+                RowSource::Base => full,
+                RowSource::Node(p) => lane_live[p],
+            };
+            if in_mask == 0 {
+                continue;
+            }
+            // Upstream slots have smaller indices: split so lane inputs and
+            // this node's output buffer borrow disjoint ranges.
+            let (upstream, rest) = lane_out.split_at_mut(idx);
+            let input_of = |lane: usize| -> &[Value] {
+                match node.source {
+                    RowSource::Base => &rows[lane * width..(lane + 1) * width],
+                    RowSource::Node(p) => {
+                        let a = lane_arity[p];
+                        &upstream[p][lane * a..(lane + 1) * a]
+                    }
+                }
+            };
+            let (mask, fused) = if let Some(slot) = node.shared_filter {
+                // The chunk's verdicts were computed once for every program
+                // sharing this predicate (base-rooted nodes only, so the
+                // mask applies to exactly these input rows).
+                (in_mask & shared_masks[slot as usize], None)
+            } else if let Some(f) = &node.filter {
+                // Unshared filters fuse into the sweep below: the verdict
+                // and the node's work happen in one visit while the lane
+                // row is hot, exactly as the record-at-a-time pass does
+                // (a separate `survivors` pass would walk the rows twice;
+                // the precomputed masks above already paid their second
+                // walk once for ALL programs sharing the predicate).
+                (in_mask, Some(f))
+            } else {
+                (in_mask, None)
+            };
+            if mask == 0 {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Project { cols } => {
+                    let a = lane_arity[idx];
+                    let out = &mut rest[0];
+                    if out.len() < LANES * a {
+                        out.resize(LANES * a, Value::Int(0));
+                    }
+                    let mut live = mask;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let input = input_of(lane);
+                        if let Some(f) = fused {
+                            if !f.pass(stack, input, params) {
+                                live &= !(1u64 << lane);
+                                continue;
+                            }
+                        }
+                        for (j, c) in cols.iter().enumerate() {
+                            out[lane * a + j] = c
+                                .eval(stack, &[], input, params)
+                                .expect("type-checked projection cannot fail");
+                        }
+                        if let Some(cap) = captures[idx].as_mut() {
+                            cap.push(&out[lane * a..(lane + 1) * a]);
+                        }
+                    }
+                    lane_live[idx] = live;
+                }
+                NodeKind::GroupBy { key_cols, output } => {
+                    let a = lane_arity[idx];
+                    let store = stores[idx].as_mut().expect("groupby has a store");
+                    let out = &mut rest[0];
+                    if node.emits && out.len() < LANES * a {
+                        out.resize(LANES * a, Value::Int(0));
+                    }
+                    let mut live = mask;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let input = input_of(lane);
+                        if let Some(f) = fused {
+                            if !f.pass(stack, input, params) {
+                                live &= !(1u64 << lane);
+                                continue;
+                            }
+                        }
+                        let key = if let Some(slot) = node.shared_key {
+                            shared_keys[lane * n_keys + slot as usize].clone()
+                        } else {
+                            build_group_key(key_cols, input, key_buf)
+                        };
+                        let state = store.observe_ref(key, input, nows[lane]);
+                        if node.emits {
+                            for (j, o) in output.iter().enumerate() {
+                                out[lane * a + j] = match o {
+                                    GroupOutput::Key(i) => input[key_cols[*i]],
+                                    GroupOutput::StateVar(v) => state.vars[*v],
+                                };
+                            }
+                        }
+                    }
+                    if node.emits {
+                        lane_live[idx] = live;
                     }
                 }
             }

@@ -19,32 +19,36 @@
 //! A real cache splits each way into a **tag array** and a **data array**:
 //! a set probe compares all of the set's tags against the probe tag in one
 //! cycle, and only the matching way's data is read. `BucketedCache` mirrors
-//! that split. The geometry-fixed side is a flat array of packed *slot
-//! words* — per slot a 32-bit `tag << 24 | dataway+1` (0 = empty), two per
-//! `u64` — plus per-bucket occupancy counts; the data side is two parallel
-//! flat arrays (keys, and values fused with their residency timestamps and
-//! recency counters) indexed by the slot word's low bits:
+//! that split with a *wide* tag. The geometry-fixed side is a flat array of
+//! 128-bit *slot words* — per slot a 64-bit key **discriminant** (the key's
+//! sole word when the key fits 64 bits, its seeded hash otherwise), an
+//! *exact* flag, and a 24-bit data-way index (0 = empty) — plus per-bucket
+//! occupancy counts; the data side is two parallel flat arrays (keys, and
+//! values fused with their residency timestamps and recency counters)
+//! indexed by the slot word's low bits:
 //!
 //! ```text
-//!                 bucket b, slots 0..m      one u64 = two packed slots
-//! slot_words  [ t0│idx0 ║ t1│idx1 ] [ t2│idx2 ║ t3│idx3 ] …
-//!                └─┬──┘              ← XOR broadcast(tag), SWAR zero-byte
-//!                  │                   test over the tag bytes: a whole
-//!                  │                   bucket tag-compared in word ops
-//!                  ▼ (low 24 bits, on tag match only)
+//!                bucket b, slots 0..m        one u128 per slot
+//! slots  [ disc₀ │e│ idx₀ ] [ disc₁ │e│ idx₁ ] …
+//!           └─┬──┘              ← one 64-bit discriminant compare per way
+//!             │                   (exact ⇒ equality decided right here;
+//!             │                    inexact ⇒ filter, confirm below)
+//!             ▼ (low 24 bits, on discriminant match only)
 //! keys   [ k₀ │ k₁ │ … ]          full keys — the equality confirm
 //! state  [ v₀,t₀ⁱⁿ,t₀ˡᵃˢᵗ,lru₀ │ … ]  fold state + residency + recency
 //! ```
 //!
-//! The 8-bit tag is the top byte of the seeded 64-bit key hash (the bucket
-//! index consumes the low bits, so tag and placement stay independent); the
-//! probe XORs the slot word with the broadcast tag and runs an exact SWAR
-//! zero-byte test, so a probe is **one hash, one tag-word compare per ≤ 2
-//! ways — at most `⌈m/2⌉` word ops — and at most `m` key confirms** (in
-//! practice ~1: a tag match is necessary but not sufficient, with a 1/256
-//! false-positive rate per occupied way). This is the software spelling of
-//! the hardware's parallel tag compare, and the filter load *is* the
-//! data-way pointer load.
+//! What fills the discriminant is the [`SlotKey`] contract: a key that fits
+//! one word stores the *key itself* and sets the exact bit, so a hit is
+//! decided entirely inside the slot word — the probe touches **one** cache
+//! line before the state array and never loads the key arena. Wider keys
+//! store the seeded 64-bit hash (a 2⁻⁶⁴ false-positive filter per occupied
+//! way; the bucket index consumes `h mod n`, which leaves the compared word
+//! discriminating) and confirm on the full key only after a discriminant
+//! match. Either way a probe is **one hash, at most `m` 64-bit compares,
+//! and — only for wide keys — ~one key confirm**. This is the software
+//! spelling of the hardware's parallel tag compare, and the filter load
+//! *is* the data-way pointer load.
 //!
 //! Construction is O(1) work per page regardless of capacity (the
 //! geometry-fixed arrays are lazily-zeroed primitive words — SRAM is
@@ -60,6 +64,44 @@ use crate::policy::{EvictionPolicy, VictimRng};
 use perfq_packet::Nanos;
 use std::collections::HashMap;
 use std::hash::Hash;
+
+/// How a key projects into the 64-bit discriminant of a packed slot word.
+///
+/// `slot_word(hash)` returns `(discriminant, exact)`:
+///
+/// * **exact** — the discriminant losslessly encodes the key: two exact
+///   keys with equal discriminants are equal keys, so a probe hit is
+///   decided inside the slot word without touching the key arena.
+/// * **inexact** — the discriminant is a filter (conventionally the seeded
+///   64-bit key hash): equal discriminants mean "almost certainly equal",
+///   and the probe confirms on the full key in the arena.
+///
+/// Two laws: (1) for any keys `a`, `b` whose results are both exact,
+/// equal discriminants imply `a == b`; (2) the projection is a pure
+/// function of the key (the cache passes the same seeded hash for the
+/// same key, so reusing `hash` keeps it pure).
+pub trait SlotKey {
+    /// The slot discriminant for this key. `hash` is the seeded 64-bit
+    /// key hash the cache already computed for bucket placement — free to
+    /// reuse as the inexact filter.
+    fn slot_word(&self, hash: u64) -> (u64, bool);
+}
+
+impl SlotKey for u64 {
+    #[inline]
+    fn slot_word(&self, _hash: u64) -> (u64, bool) {
+        (*self, true)
+    }
+}
+
+impl SlotKey for u128 {
+    #[inline]
+    fn slot_word(&self, hash: u64) -> (u64, bool) {
+        // 128 bits cannot fit the discriminant losslessly; filter on the
+        // seeded hash and confirm in the arena.
+        (hash, false)
+    }
+}
 
 /// A resident key-value pair with residency metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,7 +158,7 @@ enum Inner<K, V> {
     Full(FullLruCache<K, V>),
 }
 
-impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
+impl<K: Eq + Hash + Clone + SlotKey, V> SramCache<K, V> {
     /// Create a cache with the given geometry, policy and hash seed.
     #[must_use]
     pub fn new(geometry: CacheGeometry, policy: EvictionPolicy, hash_seed: u64) -> Self {
@@ -272,32 +314,12 @@ impl<K: Eq + Hash + Clone, V> SramCache<K, V> {
 // Bucketed implementation (n buckets × m ways, struct-of-arrays layout)
 // ---------------------------------------------------------------------------
 
-/// Broadcast-byte constants for the SWAR tag compare.
-const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
-const HI1: u64 = 0x8080_8080_8080_8080;
-/// The non-tag (arena index) bytes of a packed slot word; forced nonzero
-/// before the zero-byte test so only the two tag bytes can match.
-const INDEX_BYTES: u64 = 0x00ff_ffff_00ff_ffff;
-
-/// The 8-bit slot tag: the top byte of the seeded 64-bit key hash (the
-/// bucket index consumes the low bits via the modulo, so top bits stay
-/// independent of placement). Tag 0 marks an empty slot, so 0 remaps to 1 —
-/// the tag is a pure filter (a probe confirms on the full key), so the
-/// remap costs nothing but a hair more filter collision on two tag values.
-#[inline]
-fn tag_byte(h: u64) -> u8 {
-    let t = (h >> 56) as u8;
-    t | u8::from(t == 0)
-}
-
-/// Exact SWAR zero-byte finder: bit 7 of each result byte is set iff that
-/// byte of `v` is zero (Hacker's Delight §6-1; no cross-byte carries, so —
-/// unlike the `(v-1) & !v` shortcut — there are no false positives or
-/// misses on repeated tags).
-#[inline]
-fn zero_bytes(v: u64) -> u64 {
-    !(((v & LO7) + LO7) | v | LO7) & HI1
-}
+/// Exact-discriminant flag in a slot word's low half: set when the 64-bit
+/// discriminant losslessly encodes the key (see [`SlotKey`]).
+const EXACT_BIT: u64 = 1 << 63;
+/// The arena-index field of a slot word's low half (`arena + 1`; a low
+/// half of 0 marks an empty slot).
+const INDEX_MASK: u64 = 0x00ff_ffff;
 
 /// A value and its per-entry bookkeeping, one arena element: the fold state
 /// is updated on every hit and the stamps/recency beside it in the same
@@ -321,20 +343,20 @@ struct Stamped<V> {
 
 /// Fig. 4's cache as a split tag store + parallel data arrays.
 ///
-/// The *geometry-fixed* side is all primitive words — the packed 8-bit tag
-/// array (0 = empty slot), the slot→entry index table and the per-bucket
-/// occupancy counts — so building a cache of any capacity is one
-/// lazily-zeroed allocation per array (no per-slot initialization; SRAM is
-/// pre-provisioned, construction does O(1) work per page). The *entry* side
-/// is two parallel flat arrays — keys, and values fused with their
-/// residency timestamps/recency counters — indexed by the `u32` the slot
-/// table holds, dense (no holes), and only as long as the resident
-/// population.
+/// The *geometry-fixed* side is one flat array of 128-bit slot words — a
+/// 64-bit key discriminant plus an exact flag and a 24-bit data-way index
+/// (0 = empty) — and the per-bucket occupancy counts, so building a cache
+/// of any capacity is one lazily-zeroed allocation per array (no per-slot
+/// initialization; SRAM is pre-provisioned, construction does O(1) work
+/// per page). The *entry* side is two parallel flat arrays — keys, and
+/// values fused with their residency timestamps/recency counters — indexed
+/// by the slot word's low bits, dense (no holes), and only as long as the
+/// resident population.
 ///
 /// Slots fill compactly from index 0 within each bucket (`lens[b]` counts
 /// the occupied prefix; `remove` back-fills the hole with the bucket's last
 /// slot), which keeps every victim scan a dense forward walk and makes slot
-/// index dynamics identical to the previous `Vec<Vec<Slot>>` layout — the
+/// index dynamics identical to the previous packed-`u32` layout — the
 /// differential suite pins hit/miss/eviction streams byte-for-byte.
 /// Eviction swaps the incoming entry into the victim's arena slot with
 /// `mem::replace`: no clone, no allocation, no free-list churn. The arenas
@@ -343,30 +365,30 @@ struct Stamped<V> {
 /// is amortized doubling that settles during warm-up.
 #[derive(Debug, Clone)]
 struct BucketedCache<K, V> {
-    /// Packed slot words, two slots per `u64` (geometry-fixed): each 32-bit
-    /// half is `tag << 24 | (arena index + 1)`, 0 = empty. The tag byte is
-    /// the flat tag array — compared a `u64` word at a time — and the low
-    /// 24 bits are the data-way pointer, so the probe's filter load *is*
-    /// the index load.
-    slot_words: Vec<u64>,
+    /// Packed slot words, one `u128` per slot (geometry-fixed): the high
+    /// 64 bits are the [`SlotKey`] discriminant, the low 64 bits are
+    /// `EXACT_BIT? | (arena index + 1)` with a low half of 0 = empty. The
+    /// discriminant is the flat tag array — one-word keys are *confirmed*
+    /// right here — and the low bits are the data-way pointer, so the
+    /// probe's filter load is the index load.
+    slots: Vec<u128>,
     /// Occupied-prefix length per bucket (geometry-fixed).
     lens: Vec<u32>,
-    /// Resident keys (dense arena), consulted only on tag match.
+    /// Resident keys (dense arena), consulted only on inexact-discriminant
+    /// match.
     keys: Vec<K>,
     /// Fold state + residency timestamps + recency, parallel to `keys`.
     state: Vec<Stamped<V>>,
     buckets: usize,
     ways: usize,
-    words_per_bucket: usize,
     seed: u64,
     seq: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
+impl<K: Eq + Hash + Clone + SlotKey, V> BucketedCache<K, V> {
     fn new(geometry: CacheGeometry, seed: u64) -> Self {
         let (buckets, ways) = (geometry.buckets, geometry.ways);
         let capacity = buckets * ways;
-        let words_per_bucket = ways.div_ceil(2);
         assert!(
             capacity < (1 << 24),
             "bucketed cache capacity limited to 16M pairs (24-bit slot words)"
@@ -379,13 +401,12 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         // doubling during warm-up.
         let reserve = capacity.min(1 << 20);
         BucketedCache {
-            slot_words: vec![0; buckets * words_per_bucket],
+            slots: vec![0; capacity],
             lens: vec![0; buckets],
             keys: Vec::with_capacity(reserve),
             state: Vec::with_capacity(reserve),
             buckets,
             ways,
-            words_per_bucket,
             seed,
             seq: 0,
         }
@@ -401,69 +422,41 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         (h % self.buckets as u64) as usize
     }
 
-    /// Read a slot's packed 32-bit word (`tag << 24 | arena+1`, 0 = empty).
+    /// Pack a slot word: discriminant high, `EXACT_BIT? | arena+1` low.
     #[inline]
-    fn slot_word(&self, b: usize, slot: usize) -> u32 {
-        (self.slot_words[b * self.words_per_bucket + slot / 2] >> ((slot % 2) * 32)) as u32
-    }
-
-    /// Write a slot's packed 32-bit word.
-    #[inline]
-    fn set_slot_word(&mut self, b: usize, slot: usize, v: u32) {
-        let w = &mut self.slot_words[b * self.words_per_bucket + slot / 2];
-        let sh = (slot % 2) * 32;
-        *w = (*w & !(0xffff_ffffu64 << sh)) | (u64::from(v) << sh);
-    }
-
-    #[inline]
-    fn pack(tag: u8, arena: usize) -> u32 {
-        (u32::from(tag) << 24) | (arena as u32 + 1)
-    }
-
-    /// Packed word at a flat slot-table index (`bucket · ways + way`).
-    #[inline]
-    fn slot_word_at(&self, flat: usize) -> u32 {
-        self.slot_word(flat / self.ways, flat % self.ways)
-    }
-
-    /// Write the packed word at a flat slot-table index.
-    #[inline]
-    fn set_slot_word_at(&mut self, flat: usize, v: u32) {
-        self.set_slot_word(flat / self.ways, flat % self.ways, v);
+    fn pack(disc: u64, exact: bool, arena: usize) -> u128 {
+        let low = (arena as u64 + 1) | if exact { EXACT_BIT } else { 0 };
+        (u128::from(disc) << 64) | u128::from(low)
     }
 
     /// The arena index behind an occupied slot.
     #[inline]
     fn entry_of(&self, b: usize, slot: usize) -> usize {
-        let e = self.slot_word(b, slot) & 0x00ff_ffff;
+        let e = self.slots[b * self.ways + slot] as u64 & INDEX_MASK;
         debug_assert!(e != 0, "occupied slot has an arena entry");
         (e - 1) as usize
     }
 
-    /// The parallel tag compare: XOR each slot word's tag bytes with the
-    /// broadcast probe tag, find zero bytes, and confirm candidates with
-    /// full key equality. Empty slots hold tag 0 and the probe tag is never
-    /// 0, so no occupancy check is needed. Returns `(way, arena index)` of
-    /// the resident key.
+    /// The parallel tag compare, with a wide tag: each occupied slot's
+    /// 64-bit discriminant is compared against the probe key's. An *exact*
+    /// match on both sides decides equality inside the slot word — one-word
+    /// keys never load the key arena; an inexact match is a filter (2⁻⁶⁴
+    /// false positives per occupied way) confirmed on the full key. Only
+    /// the occupied prefix `0..lens[b]` is scanned (the compact-prefix
+    /// invariant). Returns `(way, arena index)` of the resident key.
     #[inline]
     fn probe(&self, b: usize, h: u64, key: &K) -> Option<(usize, usize)> {
-        let wbase = b * self.words_per_bucket;
-        // Tag bytes sit at bits 24..32 and 56..64 of each packed word; the
-        // index bytes are forced nonzero so only tag bytes can test zero.
-        let bcast = (u64::from(tag_byte(h)) * 0x0000_0001_0000_0001u64) << 24;
-        for w in 0..self.words_per_bucket {
-            // A tag match is necessary but not sufficient (1/256 false
-            // positive per occupied way): confirm on the full key.
-            let word = self.slot_words[wbase + w];
-            let mut matches = zero_bytes((word ^ bcast) | INDEX_BYTES);
-            while matches != 0 {
-                let half = matches.trailing_zeros() / 32;
-                let slot = w * 2 + half as usize;
-                let j = ((word >> (half * 32)) as u32 & 0x00ff_ffff) as usize - 1;
-                if self.keys[j] == *key {
-                    return Some((slot, j));
-                }
-                matches &= matches - 1;
+        let (disc, exact) = key.slot_word(h);
+        let base = b * self.ways;
+        for slot in 0..self.lens[b] as usize {
+            let word = self.slots[base + slot];
+            if (word >> 64) as u64 != disc {
+                continue;
+            }
+            let low = word as u64;
+            let j = ((low & INDEX_MASK) - 1) as usize;
+            if (exact && low & EXACT_BIT != 0) || self.keys[j] == *key {
+                return Some((slot, j));
             }
         }
         None
@@ -477,7 +470,16 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
 
     /// Append a new entry to the arena and fill the bucket's next free slot
     /// (compact prefix invariant). Returns the arena index.
-    fn fill_slot(&mut self, b: usize, tag: u8, key: K, value: V, now: Nanos, seq: u64) -> usize {
+    fn fill_slot(
+        &mut self,
+        b: usize,
+        disc: u64,
+        exact: bool,
+        key: K,
+        value: V,
+        now: Nanos,
+        seq: u64,
+    ) -> usize {
         let slot = self.lens[b] as usize;
         debug_assert!(slot < self.ways, "bucket has a free slot");
         let i = b * self.ways + slot;
@@ -491,19 +493,21 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
             inserted: seq,
             back: i as u32,
         });
-        self.set_slot_word(b, slot, Self::pack(tag, j));
+        self.slots[i] = Self::pack(disc, exact, j);
         self.lens[b] += 1;
         j
     }
 
     /// Swap the incoming entry into the victim's arena slot via
-    /// `mem::replace`, returning the victim. The slot keeps its arena index;
-    /// only the tag byte changes.
+    /// `mem::replace`, returning the victim. The slot keeps its arena
+    /// index; only the discriminant changes.
+    #[allow(clippy::too_many_arguments)]
     fn replace_slot(
         &mut self,
         b: usize,
         slot: usize,
-        tag: u8,
+        disc: u64,
+        exact: bool,
         key: K,
         value: V,
         now: Nanos,
@@ -522,7 +526,7 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
                 back: (b * self.ways + slot) as u32,
             },
         );
-        self.set_slot_word(b, slot, Self::pack(tag, j));
+        self.slots[b * self.ways + slot] = Self::pack(disc, exact, j);
         (
             j,
             CacheEntry {
@@ -566,13 +570,15 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         // fill_slot/replace_slot stamp one timestamp into both residency
         // fields; insert() carries the entry's own interval, so restore its
         // last_seen afterwards.
+        let (disc, exact) = key.slot_word(h);
         if (self.lens[b] as usize) < self.ways {
-            let j = self.fill_slot(b, tag_byte(h), key, value, first_seen, seq);
+            let j = self.fill_slot(b, disc, exact, key, value, first_seen, seq);
             self.state[j].last_seen = last_seen;
             return None;
         }
         let victim_slot = self.pick_victim(b, policy, rng);
-        let (j, victim) = self.replace_slot(b, victim_slot, tag_byte(h), key, value, first_seen, seq);
+        let (j, victim) =
+            self.replace_slot(b, victim_slot, disc, exact, key, value, first_seen, seq);
         self.state[j].last_seen = last_seen;
         Some(victim)
     }
@@ -604,8 +610,9 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
                 },
             );
         }
+        let (disc, exact) = key.slot_word(h);
         if (self.lens[b] as usize) < self.ways {
-            let j = self.fill_slot(b, tag_byte(h), key, init(), now, seq);
+            let j = self.fill_slot(b, disc, exact, key, init(), now, seq);
             return (
                 &mut self.state[j].value,
                 UpsertOutcome {
@@ -615,7 +622,7 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
             );
         }
         let victim_slot = self.pick_victim(b, policy, rng);
-        let (j, victim) = self.replace_slot(b, victim_slot, tag_byte(h), key, init(), now, seq);
+        let (j, victim) = self.replace_slot(b, victim_slot, disc, exact, key, init(), now, seq);
         (
             &mut self.state[j].value,
             UpsertOutcome {
@@ -634,12 +641,12 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         // the bucket's last slot (the SoA spelling of `Vec::swap_remove`).
         let last = self.lens[b] as usize - 1;
         if slot != last {
-            let moved_word = self.slot_word(b, last);
-            self.set_slot_word(b, slot, moved_word);
-            let moved = (moved_word & 0x00ff_ffff) as usize - 1;
+            let moved_word = self.slots[base + last];
+            self.slots[base + slot] = moved_word;
+            let moved = (moved_word as u64 & INDEX_MASK) as usize - 1;
             self.state[moved].back = (base + slot) as u32;
         }
-        self.set_slot_word(b, last, 0);
+        self.slots[base + last] = 0;
         self.lens[b] -= 1;
         self.detach_arena(j)
     }
@@ -652,9 +659,12 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         let key = self.keys.swap_remove(j);
         let state = self.state.swap_remove(j);
         if j < self.keys.len() {
+            // Rewrite only the arena-index field; the moved entry's
+            // discriminant and exact bit are properties of its key and
+            // stay put.
             let back = self.state[j].back as usize;
-            let tag = (self.slot_word_at(back) >> 24) as u8;
-            self.set_slot_word_at(back, Self::pack(tag, j));
+            let w = self.slots[back];
+            self.slots[back] = (w & !u128::from(INDEX_MASK)) | u128::from(j as u64 + 1);
         }
         CacheEntry {
             key,
@@ -683,16 +693,16 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
                 let entry = self.detach_arena(j);
                 sink(entry);
             }
-            let wbase = b * self.words_per_bucket;
-            self.tag_words_clear(wbase);
+            self.clear_bucket_slots(b);
         }
         debug_assert!(self.keys.is_empty(), "drain empties the arena");
     }
 
     /// Zero one bucket's slot words (all slots empty).
     #[inline]
-    fn tag_words_clear(&mut self, wbase: usize) {
-        for w in &mut self.slot_words[wbase..wbase + self.words_per_bucket] {
+    fn clear_bucket_slots(&mut self, b: usize) {
+        let base = b * self.ways;
+        for w in &mut self.slots[base..base + self.ways] {
             *w = 0;
         }
     }
@@ -728,7 +738,7 @@ impl<K: Eq + Hash + Clone, V> BucketedCache<K, V> {
         let mut idx = 0;
         let mut best = u64::MAX;
         for slot in 0..len {
-            let v = field(&self.state[(self.slot_word(b, slot) & 0x00ff_ffff) as usize - 1]);
+            let v = field(&self.state[self.entry_of(b, slot)]);
             if v < best {
                 best = v;
                 idx = slot;

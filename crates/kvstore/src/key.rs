@@ -75,6 +75,20 @@ impl InlineKey {
     }
 }
 
+impl crate::cache::SlotKey for InlineKey {
+    #[inline]
+    fn slot_word(&self, hash: u64) -> (u64, bool) {
+        match self {
+            // A one-word key (srcip, qid, …) fits the discriminant
+            // losslessly: the probe decides equality in the slot word and
+            // never loads the key arena. The empty key must stay inexact —
+            // an exact zero discriminant would alias the one-word key [0].
+            InlineKey::Inline { len: 1, words } => (words[0] as u64, true),
+            _ => (hash, false),
+        }
+    }
+}
+
 impl Hash for InlineKey {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Hash the logical word sequence, not the representation, mirroring

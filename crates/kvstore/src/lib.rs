@@ -63,13 +63,17 @@
 //! * **Cache — split tag/data arrays (Fig. 4).** A real cache way keeps an
 //!   SRAM tag array separate from the data array and compares *every* tag
 //!   in a set against the probe tag in one cycle. The bucketed cache
-//!   mirrors that: a geometry-fixed flat array of packed slot words (8-bit
-//!   hash tag + 24-bit data-way index, two slots per `u64`) is probed with
-//!   an XOR-broadcast + SWAR zero-byte test — one `u64` word op tag-compares
-//!   two ways, and only tag matches touch the parallel key/state arrays for
-//!   the full-key confirm. A probe is one hash, `⌈m/2⌉` word compares and
-//!   (almost always) one key confirm; eviction moves the victim out by
-//!   `mem::replace`. See [`cache`]'s module docs for the diagram.
+//!   mirrors that with a *wide* tag: a geometry-fixed flat array of 128-bit
+//!   slot words, each a 64-bit key discriminant (the [`cache::SlotKey`]
+//!   projection: the key itself for one-word keys, its seeded hash
+//!   otherwise) plus an exact flag and a 24-bit data-way index. One-word
+//!   keys are confirmed *inside* the slot word — a hit touches one cache
+//!   line before the state array and never loads the key arena; wider keys
+//!   filter on the hash discriminant (2⁻⁶⁴ per-way false positives) and
+//!   confirm on the full key. A probe is one hash, at most `m` 64-bit
+//!   compares and (for wide keys) ~one key confirm; eviction moves the
+//!   victim out by `mem::replace`. See [`cache`]'s module docs for the
+//!   diagram.
 //! * **Backing store — open addressing.** Evictions land in a seeded
 //!   SplitMix linear-probe table (tombstone-free backward-shift deletes),
 //!   so absorbing an eviction or a sharded drain walks one contiguous probe
@@ -149,7 +153,7 @@ pub use area::{
     AreaPlan, CachePlanner, PlanError, QueryAllocation, QueryDemand, StoreAllocation, StoreDemand,
 };
 pub use backing::{BackingEntry, BackingStore, Epoch, MergeMode};
-pub use cache::{CacheEntry, CacheSlotRef, SramCache};
+pub use cache::{CacheEntry, CacheSlotRef, SlotKey, SramCache};
 pub use geometry::CacheGeometry;
 pub use key::{InlineKey, INLINE_KEY_WORDS};
 pub use policy::EvictionPolicy;

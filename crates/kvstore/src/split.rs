@@ -16,7 +16,7 @@
 //! counter/sum ops used by the Fig. 5 benchmark and tests.
 
 use crate::backing::{BackingEntry, BackingStore, MergeMode};
-use crate::cache::{CacheEntry, SramCache};
+use crate::cache::{CacheEntry, SlotKey, SramCache};
 use crate::geometry::CacheGeometry;
 use crate::policy::EvictionPolicy;
 use crate::stats::StoreStats;
@@ -53,7 +53,7 @@ pub struct SplitStore<K, O: ValueOps> {
     stats: StoreStats,
 }
 
-impl<K: Eq + Hash + Clone, O: ValueOps> SplitStore<K, O> {
+impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
     /// Build a store with the given cache configuration.
     #[must_use]
     pub fn new(geometry: CacheGeometry, policy: EvictionPolicy, hash_seed: u64, ops: O) -> Self {

@@ -155,6 +155,15 @@ impl QueueRecord {
             row.clear();
             row.resize(width, Value::Int(0));
         }
+        self.write_row_masked_into(row, mask);
+    }
+
+    /// Slice form of [`QueueRecord::write_row_masked`] for callers that keep
+    /// many rows in one contiguous buffer (the vectorized engine's lane
+    /// matrix): `row` must already be exactly [`QueueRecord::row_width`]
+    /// cells. Unmasked cells are left untouched, as in the `Vec` form.
+    pub fn write_row_masked_into(&self, row: &mut [Value], mask: u64) {
+        debug_assert_eq!(row.len(), Self::row_width());
         let need = |i: usize| mask & (1u64 << i) != 0;
         let pkt = &self.packet;
         let h = &pkt.headers;

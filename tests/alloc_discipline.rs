@@ -3,11 +3,15 @@
 //! The end-to-end pipeline — packets through the network event loop, queue
 //! records through `Runtime::process_batch` — must perform **zero heap
 //! allocations per record in steady state**: every buffer it needs (event
-//! heap, route scratch, batch buffer, row buffers, bytecode stack, cache
-//! arenas, backing-store table) is either pooled on a long-lived struct or
-//! sized during warm-up. A counting global allocator proves it: after one
-//! full warm-up replay, a second replay of the same trace through the same
-//! runtime must not move the allocation counter at all.
+//! heap, route scratch, batch buffer, lane rows, per-node output lanes,
+//! bytecode stack, cache arenas, backing-store table) is either pooled on a
+//! long-lived struct or sized during warm-up. The vectorized path's survivor
+//! bitmasks are plain `u64` words (`lane_live` / the shared `pass_masks`),
+//! so filtering a chunk costs no memory at all. A counting global allocator
+//! proves it: after one full warm-up replay, a second replay of the same
+//! trace through the same runtime must not move the allocation counter at
+//! all — at any chunking, including ragged chunk sizes that force partial
+//! mask words.
 
 use perfq_core::{compile_query, MultiRuntime, Runtime};
 use perfq_lang::fig2;
@@ -182,4 +186,44 @@ fn steady_state_batched_replay_allocates_nothing() {
         multi.records() - processed_warmup,
     );
     assert_eq!(multi.records(), processed_warmup * 2, "second replay ran fully");
+
+    // The vectorized sweep's scratch (lane rows, per-node output lanes,
+    // survivor-mask words, the shared-prefix verdict/key buffers) must stay
+    // capacity-stable under *ragged* batch lengths too — chunk sizes that
+    // are not a multiple of the internal chunk width leave partial mask
+    // words and shorter lane prefixes, and none of that may reallocate.
+    let mut net = Network::new(NetworkConfig::default());
+    let recs = net.run_collect(packets.iter().copied());
+    let sizes = [97usize, 1, 255, 64, 13];
+    let ragged = |rt: &mut Runtime| {
+        let mut rest = &recs[..];
+        for size in sizes.iter().cycle() {
+            if rest.is_empty() {
+                break;
+            }
+            let n = (*size).min(rest.len());
+            let (part, tail) = rest.split_at(n);
+            rt.process_batch(part);
+            rest = tail;
+        }
+    };
+    for q in [&fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC] {
+        let compiled =
+            compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+        let mut rt = Runtime::new(compiled);
+        ragged(&mut rt);
+        let processed_warmup = rt.records();
+
+        let before = allocs();
+        ragged(&mut rt);
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "{}: warmed ragged-chunk vectorized replay allocated {} times",
+            q.name,
+            after - before,
+        );
+        assert_eq!(rt.records(), processed_warmup * 2, "second replay ran fully");
+    }
 }

@@ -110,6 +110,68 @@ fn optimized_engine_matches_oracle_on_fig2() {
     }
 }
 
+/// Survivor-bitmask edge case: batch lengths that are not a multiple of the
+/// mask word (64) or of the internal chunk width — including length-1
+/// batches and a ragged mixed-size split of the same stream. The partial
+/// final mask word (`lane_mask(n)` for `n < 64`) must not admit phantom
+/// lanes or drop real ones.
+#[test]
+fn ragged_batch_lengths_are_identical() {
+    let recs = records(1_000);
+    let sizes = [1usize, 15, 17, 3, 63, 65, 2, 100, 31, 16];
+    for q in fig2::ALL {
+        let c = compiled(q.source, CompileOptions::default());
+        let mut single = Runtime::new(c.clone());
+        let mut batched = Runtime::new(c);
+        for r in &recs {
+            single.process_record(r);
+        }
+        let mut rest = &recs[..];
+        let mut i = 0;
+        while !rest.is_empty() {
+            let n = sizes[i % sizes.len()].min(rest.len());
+            let (part, tail) = rest.split_at(n);
+            batched.process_batch(part);
+            rest = tail;
+            i += 1;
+        }
+        single.finish();
+        batched.finish();
+        assert_eq!(single.records(), batched.records(), "{}", q.name);
+        assert_eq!(single.collect(), batched.collect(), "{}", q.name);
+    }
+}
+
+/// Survivor-bitmask edge case: batches whose filter verdict is uniform —
+/// one batch where every record passes `proto == TCP` and one where every
+/// record fails it (all-ones and all-zeros survivor masks). The filtered
+/// queries must drop the non-TCP batch entirely, and every query must match
+/// record-at-a-time over the same concatenated stream.
+#[test]
+fn all_pass_and_all_drop_batches_are_identical() {
+    let recs = records(2_000);
+    let tcp_val = Value::Int(6);
+    let (tcp, non_tcp): (Vec<_>, Vec<_>) =
+        recs.iter().cloned().partition(|r| r.to_row()[4] == tcp_val);
+    assert!(
+        !tcp.is_empty() && !non_tcp.is_empty(),
+        "trace must carry both TCP and non-TCP records"
+    );
+    for q in fig2::ALL {
+        let c = compiled(q.source, CompileOptions::default());
+        let mut single = Runtime::new(c.clone());
+        let mut batched = Runtime::new(c);
+        for r in tcp.iter().chain(&non_tcp) {
+            single.process_record(r);
+        }
+        batched.process_batch(&tcp);
+        batched.process_batch(&non_tcp);
+        single.finish();
+        batched.finish();
+        assert_eq!(single.collect(), batched.collect(), "{}", q.name);
+    }
+}
+
 /// Windowed runtimes accept batches too, rolling windows mid-batch.
 #[test]
 fn windowed_runtime_batches_roll_windows() {
@@ -130,5 +192,44 @@ fn windowed_runtime_batches_roll_windows() {
     for (wa, wb) in a.iter().zip(&b) {
         assert_eq!(wa.records, wb.records);
         assert_eq!(wa.results, wb.results);
+    }
+}
+
+/// Epoch-boundary edge case: one batch straddling *every* window boundary
+/// at once (the whole trace as a single batch), and a ragged split whose
+/// chunks straddle boundaries at arbitrary offsets. Window rolls must land
+/// between exactly the same records as record-at-a-time processing.
+#[test]
+fn batch_straddling_epoch_boundaries_is_identical() {
+    let recs = records(3_000);
+    let c = compiled("SELECT COUNT GROUPBY srcip", CompileOptions::default());
+    let mut single = perfq_core::WindowedRuntime::new(c.clone(), Nanos::from_millis(50));
+    let mut one_batch = perfq_core::WindowedRuntime::new(c.clone(), Nanos::from_millis(50));
+    let mut ragged = perfq_core::WindowedRuntime::new(c, Nanos::from_millis(50));
+    for r in &recs {
+        single.process_record(r);
+    }
+    one_batch.process_batch(&recs);
+    let mut rest = &recs[..];
+    for size in [999usize, 1, 777, 65].iter().cycle() {
+        if rest.is_empty() {
+            break;
+        }
+        let n = (*size).min(rest.len());
+        let (part, tail) = rest.split_at(n);
+        ragged.process_batch(part);
+        rest = tail;
+    }
+    let a = single.finish();
+    let b = one_batch.finish();
+    let c = ragged.finish();
+    assert!(a.len() > 1, "trace must span multiple windows");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    for (wa, (wb, wc)) in a.iter().zip(b.iter().zip(&c)) {
+        assert_eq!(wa.records, wb.records);
+        assert_eq!(wa.results, wb.results);
+        assert_eq!(wa.records, wc.records);
+        assert_eq!(wa.results, wc.results);
     }
 }

@@ -9,7 +9,10 @@
 //!   iterations per benchmark (default 5 when set without a number). Fast and
 //!   stable enough for CI smoke comparisons.
 //! * `PERFQ_BENCH_JSON=<path>` — write every result as a JSON array of
-//!   `{"bench", "ns_per_iter", "elems_per_sec"}` objects to `path`.
+//!   `{"bench", "ns_per_iter", "p25_ns", "p75_ns", "elems_per_sec"}`
+//!   objects to `path`. `ns_per_iter` is the median; the quartiles carry
+//!   the run-to-run spread so consumers can report *median with IQR*
+//!   instead of a bare point estimate.
 //!
 //! A positional command-line argument filters benchmarks by substring of
 //! their `group/name` id, mirroring criterion's CLI.
@@ -73,8 +76,26 @@ pub struct BenchResult {
     pub id: String,
     /// Median nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// 25th-percentile (fastest-quartile) nanoseconds per iteration.
+    pub p25_ns: f64,
+    /// 75th-percentile (slowest-quartile) nanoseconds per iteration.
+    pub p75_ns: f64,
     /// Elements per second (when the group declared element throughput).
     pub elems_per_sec: Option<f64>,
+}
+
+impl BenchResult {
+    /// Interquartile spread as a fraction of the median — the stability
+    /// metric smoke comparisons report alongside every number, so a noisy
+    /// measurement phase is visible instead of masquerading as a regression.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            (self.p75_ns - self.p25_ns) / self.ns_per_iter
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The benchmark driver.
@@ -127,8 +148,9 @@ impl Criterion {
                 .elems_per_sec
                 .map_or("null".to_string(), |v| format!("{v:.1}"));
             out.push_str(&format!(
-                "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"elems_per_sec\": {}}}{}\n",
-                r.id, r.ns_per_iter, eps, sep
+                "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"p25_ns\": {:.1}, \
+                 \"p75_ns\": {:.1}, \"elems_per_sec\": {}}}{}\n",
+                r.id, r.ns_per_iter, r.p25_ns, r.p75_ns, eps, sep
             ));
         }
         out.push_str("]\n");
@@ -165,6 +187,8 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             smoke_iters: self.criterion.smoke_iters,
             median_ns: 0.0,
+            p25_ns: 0.0,
+            p75_ns: 0.0,
         };
         f(&mut bencher);
         let ns = bencher.median_ns;
@@ -172,19 +196,26 @@ impl BenchmarkGroup<'_> {
             Some(Throughput::Elements(n)) if ns > 0.0 => Some(n as f64 * 1e9 / ns),
             _ => None,
         };
+        let result = BenchResult {
+            id: id.clone(),
+            ns_per_iter: ns,
+            p25_ns: bencher.p25_ns,
+            p75_ns: bencher.p75_ns,
+            elems_per_sec,
+        };
+        let spread = result.spread() * 100.0;
         match elems_per_sec {
             Some(eps) => println!(
-                "bench: {id:<48} {:>12.1} ns/iter  {:>10} elem/s",
+                "bench: {id:<48} {:>12.1} ns/iter  {:>10} elem/s  (IQR \u{b1}{spread:.1}%)",
                 ns,
                 si(eps)
             ),
-            None => println!("bench: {id:<48} {:>12.1} ns/iter", ns),
+            None => println!(
+                "bench: {id:<48} {:>12.1} ns/iter  (IQR \u{b1}{spread:.1}%)",
+                ns
+            ),
         }
-        self.criterion.results.push(BenchResult {
-            id,
-            ns_per_iter: ns,
-            elems_per_sec,
-        });
+        self.criterion.results.push(result);
     }
 
     /// Run one benchmark parameterized by an input value.
@@ -203,10 +234,14 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     smoke_iters: Option<u32>,
     median_ns: f64,
+    p25_ns: f64,
+    p75_ns: f64,
 }
 
 impl Bencher {
-    /// Time `routine`, storing the median per-iteration wall time.
+    /// Time `routine`, storing the median and quartile per-iteration wall
+    /// times (the quartiles feed the spread reporting — a point estimate
+    /// without a stability figure is uninterpretable on a noisy box).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let mut samples: Vec<f64> = Vec::new();
         if let Some(n) = self.smoke_iters {
@@ -231,6 +266,8 @@ impl Bencher {
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
         self.median_ns = samples[samples.len() / 2];
+        self.p25_ns = samples[samples.len() / 4];
+        self.p75_ns = samples[(samples.len() * 3) / 4];
     }
 }
 
@@ -290,6 +327,9 @@ mod tests {
         assert_eq!(r.id, "g/work");
         assert!(r.ns_per_iter > 0.0);
         assert!(r.elems_per_sec.unwrap() > 0.0);
+        assert!(r.p25_ns > 0.0 && r.p25_ns <= r.ns_per_iter);
+        assert!(r.p75_ns >= r.ns_per_iter);
+        assert!(r.spread() >= 0.0);
     }
 
     #[test]
