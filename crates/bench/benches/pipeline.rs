@@ -414,6 +414,57 @@ fn bench_fig5_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dynamic query lifecycle (PR 7): a replay that installs a third
+/// query mid-stream under the 32 Mbit budget and uninstalls it again pays
+/// two replans and two rounds of live store migration (residents shrink at
+/// install, regrow at uninstall) plus the transient query's quarter-stream
+/// of fold work. Benched against the same two-query replay with no churn,
+/// so the pair prices the lifecycle machinery itself — the floors keep a
+/// regression in the migrate/replan path from hiding inside replay noise.
+fn bench_install_churn(c: &mut Criterion) {
+    const MBIT: u64 = 1024 * 1024;
+    let recs = small_records(20_000);
+    let n = recs.len();
+    let resident = || -> Vec<_> {
+        [&fig2::LATENCY_EWMA, &fig2::TCP_NON_MONOTONIC]
+            .iter()
+            .map(|q| compile_query(q.source, &fig2::default_params(), Default::default()).unwrap())
+            .collect()
+    };
+    let counter = compile_query(
+        fig2::PER_FLOW_COUNTERS.source,
+        &fig2::default_params(),
+        Default::default(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("install_churn");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("static_2q_32mbit", |b| {
+        b.iter(|| {
+            let (mut multi, _plan) =
+                MultiRuntime::provisioned(resident(), 32 * MBIT).expect("budget fits");
+            multi.process_batch(&recs);
+            multi.finish();
+            black_box(multi.records())
+        });
+    });
+    group.bench_function("churn_mid_replay_32mbit", |b| {
+        b.iter(|| {
+            let (mut multi, _plan) =
+                MultiRuntime::provisioned(resident(), 32 * MBIT).expect("budget fits");
+            multi.process_batch(&recs[..n / 2]);
+            let id = multi.install(counter.clone()).expect("install replans");
+            multi.process_batch(&recs[n / 2..3 * n / 4]);
+            let departed = multi.uninstall(id).expect("id is live");
+            multi.process_batch(&recs[3 * n / 4..]);
+            multi.finish();
+            black_box((multi.records(), departed.tables.len()))
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_queue,
@@ -423,6 +474,7 @@ criterion_group!(
     bench_end_to_end,
     bench_multi_query,
     bench_multi_query_shared,
+    bench_install_churn,
     bench_fig5_sweep
 );
 criterion_main!(benches);

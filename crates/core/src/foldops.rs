@@ -333,6 +333,11 @@ pub struct FoldOps {
     /// Takes precedence over the generic aux/scratch machinery on every
     /// path (init/update/merge) — see [`ConstAKernel`].
     fast: Option<ConstAKernel>,
+    /// The initial state vector, materialised once: the per-miss `init`
+    /// and the per-eviction additive merge correction both read it without
+    /// rebuilding it, keeping the cache-miss and freshness-sweep paths
+    /// allocation-free for inline-width folds.
+    init: StateVec,
     mode: MergeMode,
     /// Single-threaded working memory (the switch pipeline is one stream).
     scratch: RefCell<Scratch>,
@@ -357,8 +362,10 @@ impl FoldOps {
             && has_constant_a(&fold.body, &linear_vars);
         let program = bytecode::compile_stmts_bound(&fold.body, &params);
         let fast = const_a_kernel(&fold, &params);
+        let init = StateVec::from_slice(&fold.init_state());
         FoldOps {
             fold,
+            init,
             program,
             params,
             linear_vars,
@@ -630,7 +637,7 @@ impl ValueOps for FoldOps {
         // under eviction churn allocates nothing.
         if self.fast.is_some() {
             return FoldState {
-                vars: StateVec::from_slice(&self.fold.init_state()),
+                vars: self.init.clone(),
                 packets: 0,
                 aux: None,
             };
@@ -657,7 +664,7 @@ impl ValueOps for FoldOps {
             None
         };
         FoldState {
-            vars: StateVec::from_slice(&self.fold.init_state()),
+            vars: self.init.clone(),
             packets: 0,
             aux,
         }
@@ -749,7 +756,7 @@ impl ValueOps for FoldOps {
             // debug_assert would make legitimate inexact-sharded drains
             // panic in debug builds; the single-stream invariant is instead
             // pinned behaviourally by the oracle differential suites.
-            let init = self.fold.init_state();
+            let init = &self.init;
             let mut corrected = evicted.vars.clone();
             for &v in &self.linear_vars {
                 let adj = standing.vars[v].as_f64() - init[v].as_f64();
@@ -780,11 +787,9 @@ impl ValueOps for FoldOps {
         // 2. Correct the linear components:
         //    corrected = evicted + ΠA · (replayed − snapshot).
         let k = self.k();
-        let init_state;
         let snapshot: &[Value] = if self.window == 0 {
             // No window: the "snapshot" is the initial state.
-            init_state = self.fold.init_state();
-            &init_state
+            &self.init
         } else {
             &aux.snapshot
         };

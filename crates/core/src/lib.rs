@@ -189,6 +189,35 @@
 //! every physical cache. See [`multi`] for the full legality rule and
 //! [`multi::SharingReport`] for what a given install shared.
 //!
+//! # Dynamic lifecycle
+//!
+//! The paper's queries "are installed at run time" — so the deployment is
+//! mutable while records flow. [`MultiRuntime::install`] admits one more
+//! compiled program into a live deployment and [`MultiRuntime::uninstall`]
+//! retires one by its stable install id, returning its final results
+//! (the sharded twins [`MultiSharded::install`] /
+//! [`MultiSharded::uninstall`] pause only the touched workers, drain their
+//! queues, and resume). Under a budget both re-run the
+//! `perfq_kvstore::CachePlanner` over the surviving set and **live-migrate**
+//! every resident store to its new slice between batches
+//! (`SplitStore::migrate_geometry`: rehash cache-resident pairs,
+//! timestamps intact, overflow absorbed through the normal merge path) —
+//! residents shrink to admit a newcomer and regrow when one leaves, with
+//! the backing store (the truth, §3.2) untouched throughout. The sharing
+//! analysis re-runs incrementally: a program installed at the same
+//! *epoch* (deployment record count) as a structurally-identical resident
+//! adopts its deduplicated store — equal epochs prove the shared store
+//! holds exactly the state the newcomer's private store would — while
+//! cross-epoch twins stay private; uninstalling a store's owner promotes
+//! the first surviving alias to owner (the physical store's state moves
+//! with it), and a composed alias pair whose chains a replan pulls apart
+//! is *repaired* by cloning the shared state back into the alias. The
+//! contract, pinned by `tests/query_lifecycle.rs` differentially against
+//! restart-from-scratch deployments at every install event (and by
+//! `tests/store_migration.rs` property-testing the migration itself): any
+//! interleaving of installs and uninstalls is byte-identical to a fresh
+//! deployment observing the suffix each installed query actually saw.
+//!
 //! # Example
 //!
 //! ```

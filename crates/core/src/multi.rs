@@ -138,9 +138,11 @@ pub fn demand_of(name: impl Into<String>, compiled: &CompiledProgram) -> Option<
 /// only a [`MultiRuntime`]/[`MultiSharded`] additionally collapses the
 /// duplicate stores into one at run time.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when no program has any aggregation store.
+/// [`PlanError::EmptyDemands`] when no program has any aggregation store,
+/// plus whatever the planner itself rejects
+/// ([`perfq_kvstore::CachePlanner::plan`]).
 pub fn provision(
     programs: &mut [CompiledProgram],
     budget_bits: u64,
@@ -168,10 +170,34 @@ fn provision_with(
     budget_bits: u64,
     analysis: &SharingAnalysis,
 ) -> Result<AreaPlan, PlanError> {
+    let ids: Vec<u64> = (0..programs.len() as u64).collect();
+    let (idxs, demands) = lifecycle_demands(programs, &ids, &analysis.aliases);
+    if demands.is_empty() {
+        return Err(PlanError::EmptyDemands);
+    }
+    let plan = CachePlanner::new(budget_bits).plan(&demands)?;
+    for (i, alloc) in idxs.iter().zip(&plan.queries) {
+        apply_allocation(&mut programs[*i], alloc);
+    }
+    Ok(plan)
+}
+
+/// The planner demand set of the current deployment: one [`QueryDemand`]
+/// named `q{id}` per store-bearing program (`ids[i]` is program `i`'s
+/// stable install id — the initial install uses `id == i`, so the names
+/// match the documented `q{i}` convention), with every **base-rooted**
+/// alias pair tagged into a [`StoreDemand::dedup`] group keyed by its
+/// owner's coordinates. Returns the covered program indices in demand
+/// order alongside, so allocations can be written back positionally.
+fn lifecycle_demands(
+    programs: &[CompiledProgram],
+    ids: &[u64],
+    aliases: &[((usize, usize), (usize, usize))],
+) -> (Vec<usize>, Vec<QueryDemand>) {
     // A dedup group is named by its owner's (program, query) coordinates.
     let group_token = |p: usize, q: usize| ((p as u64) << 32) | q as u64;
     let mut groups: Vec<((usize, usize), u64)> = Vec::new();
-    for ((ap, aq), (op, oq)) in &analysis.aliases {
+    for ((ap, aq), (op, oq)) in aliases {
         if !matches!(programs[*ap].program.queries[*aq].input, QueryInput::Base) {
             continue;
         }
@@ -206,19 +232,29 @@ fn provision_with(
             .collect();
         if !stores.is_empty() {
             idxs.push(i);
-            demands.push(QueryDemand::new(format!("q{i}"), stores));
+            demands.push(QueryDemand::new(format!("q{}", ids[i]), stores));
         }
     }
-    assert!(
-        !demands.is_empty(),
-        "no aggregation stores to provision in {} program(s)",
-        programs.len()
-    );
-    let plan = CachePlanner::new(budget_bits).plan(&demands)?;
-    for (i, alloc) in idxs.iter().zip(&plan.queries) {
-        apply_allocation(&mut programs[*i], alloc);
+    (idxs, demands)
+}
+
+/// Back-fill the owning query's name into a bare
+/// [`PlanError::SliceTooSmall`] (a
+/// [`StoreAllocation::shard_geometry`](perfq_kvstore::StoreAllocation::shard_geometry)
+/// call does not know its owner).
+fn name_slice_error(e: PlanError, name: &str) -> PlanError {
+    match e {
+        PlanError::SliceTooSmall {
+            slice_bits,
+            pair_bits,
+            ..
+        } => PlanError::SliceTooSmall {
+            query: name.to_string(),
+            slice_bits,
+            pair_bits,
+        },
+        other => other,
     }
-    Ok(plan)
 }
 
 /// Write an allocation's geometries into a compiled program's store plans.
@@ -246,10 +282,8 @@ pub fn shard_programs(
         .stores
         .iter()
         .map(|s| {
-            s.shard_geometry(shards).map_err(|mut e| {
-                e.query = alloc.name.clone();
-                e
-            })
+            s.shard_geometry(shards)
+                .map_err(|e| name_slice_error(e, &alloc.name))
         })
         .collect::<Result<_, _>>()?;
     Ok((0..shards)
@@ -343,6 +377,128 @@ fn stores_dedupable(a: &CompiledProgram, ai: usize, b: &CompiledProgram, bi: usi
         && fingerprint::store_equivalent(&a.program, ai, &b.program, bi)
 }
 
+/// [`phys_eq`] with the geometry comparison dropped — the nomination form
+/// used by the dynamic lifecycle. A freshly-compiled program carries
+/// compile-default geometries while the live deployment carries
+/// provisioned ones, so geometry equality at nomination time would reject
+/// every candidate the replan is about to *make* equal. The planner forces
+/// base-rooted groups onto one geometry; composed candidates are
+/// re-checked with the strict [`stores_dedupable`] after the plan lands.
+fn phys_relaxed(a: &StorePlan, b: &StorePlan) -> bool {
+    a.policy == b.policy
+        && a.hash_seed == b.hash_seed
+        && a.key_bits == b.key_bits
+        && a.value_bits == b.value_bits
+        && a.ops.dataplane_identical(&b.ops)
+}
+
+/// [`upstream_phys_identical`] under the relaxed (geometry-free) rule.
+fn upstream_phys_relaxed(a: &CompiledProgram, ai: usize, b: &CompiledProgram, bi: usize) -> bool {
+    match (&a.program.queries[ai].input, &b.program.queries[bi].input) {
+        (QueryInput::Base, QueryInput::Base) => true,
+        (QueryInput::Table(x), QueryInput::Table(y)) => {
+            let stores_match = match (&a.stores[*x], &b.stores[*y]) {
+                (Some(p), Some(q)) => phys_relaxed(p, q),
+                (None, None) => true,
+                _ => false,
+            };
+            stores_match && upstream_phys_relaxed(a, *x, b, *y)
+        }
+        _ => false,
+    }
+}
+
+/// [`stores_dedupable`] under the relaxed (geometry-free) rule.
+fn stores_dedupable_relaxed(
+    a: &CompiledProgram,
+    ai: usize,
+    b: &CompiledProgram,
+    bi: usize,
+) -> bool {
+    let (Some(x), Some(y)) = (&a.stores[ai], &b.stores[bi]) else {
+        return false;
+    };
+    phys_relaxed(x, y)
+        && upstream_phys_relaxed(a, ai, b, bi)
+        && fingerprint::store_equivalent(&a.program, ai, &b.program, bi)
+}
+
+/// Nominate store-dedup pairs for a freshly-installed program (index
+/// `new_idx`, last in `programs`). Exactness of an alias rests on the
+/// owner's store holding exactly the state the alias's private store
+/// would have held, **from the beginning of the alias's stream** — so on
+/// top of the structural/physical rule two lifecycle conditions apply:
+///
+/// * **equal install epochs** (`epochs`, records-processed at install):
+///   the owner must have observed precisely the records the new query
+///   will be accountable for. Equal epochs mean the owner's store was
+///   empty when the pair forms, and mirrored geometries keep the two
+///   hypothetical stores identical from then on.
+/// * **freshness**: only the *new* program may take the alias side. Two
+///   long-lived programs whose stores drifted through different geometry
+///   histories can momentarily look identical; re-aliasing them would
+///   erase that history. (Their pairs, if legal, formed when *they* were
+///   installed and are carried in the deployment's settled alias list.)
+///
+/// Candidates are nominated with the relaxed geometry-free rule (see
+/// [`phys_relaxed`]) and must be confirmed with the strict
+/// [`stores_dedupable`] against post-plan geometries before any store is
+/// elided.
+fn lifecycle_alias_candidates(
+    programs: &[CompiledProgram],
+    epochs: &[u64],
+    prev: &[((usize, usize), (usize, usize))],
+    new_idx: usize,
+) -> Vec<((usize, usize), (usize, usize))> {
+    let fps: Vec<Vec<perfq_lang::SubplanFp>> = programs
+        .iter()
+        .map(|p| p.program.subplan_fingerprints())
+        .collect();
+    let new_plan = ExecPlan::build(&programs[new_idx].program);
+    let mut out: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    for (qi, node) in new_plan.nodes.iter().enumerate() {
+        if programs[new_idx].stores[qi].is_none() || node.emits {
+            continue;
+        }
+        let Some(store_fp) = fps[new_idx][qi].store else {
+            continue;
+        };
+        'owners: for op in 0..=new_idx {
+            if epochs[op] != epochs[new_idx] {
+                continue;
+            }
+            // Within the new program itself, only earlier queries may own.
+            let limit = if op == new_idx {
+                qi
+            } else {
+                programs[op].stores.len()
+            };
+            for oq in 0..limit {
+                if programs[op].stores[oq].is_none() {
+                    continue;
+                }
+                // An owner must not itself be an alias (of any vintage).
+                if prev
+                    .iter()
+                    .chain(out.iter())
+                    .any(|((ap, aq), _)| (*ap, *aq) == (op, oq))
+                {
+                    continue;
+                }
+                if fps[op][oq].store != Some(store_fp) {
+                    continue;
+                }
+                if !stores_dedupable_relaxed(&programs[new_idx], qi, &programs[op], oq) {
+                    continue;
+                }
+                out.push(((new_idx, qi), (op, oq)));
+                break 'owners;
+            }
+        }
+    }
+    out
+}
+
 /// Decide, at install time, what the given program set can share. Pure
 /// analysis — applying the result to runtimes/worker programs is the
 /// caller's job.
@@ -393,7 +549,27 @@ pub(crate) fn analyze_sharing(programs: &[CompiledProgram]) -> SharingAnalysis {
         }
     }
 
-    // --- common-subexpression slots over the surviving base-rooted nodes ---
+    let (filters, keys) = analyze_prefix_sharing(&plans, &aliased);
+    SharingAnalysis {
+        aliases,
+        filters,
+        keys,
+    }
+}
+
+/// The common-subexpression half of the sharing pass: unique base filters
+/// and multi-column key tuples over the surviving (active, non-aliased)
+/// base-rooted nodes. Factored out of [`analyze_sharing`] so the dynamic
+/// lifecycle can re-annotate a live deployment from its *settled* alias
+/// set without re-running the store-dedup nomination.
+#[allow(clippy::type_complexity)]
+fn analyze_prefix_sharing(
+    plans: &[ExecPlan],
+    aliased: &[Vec<bool>],
+) -> (
+    Vec<(Filter, Vec<(usize, usize)>)>,
+    Vec<(Vec<usize>, KeyGate, Vec<(usize, usize)>)>,
+) {
     // Filters first: their retained slot indices gate the key slots below.
     let mut filters: Vec<(Filter, Vec<(usize, usize)>)> = Vec::new();
     for (pi, plan) in plans.iter().enumerate() {
@@ -478,11 +654,7 @@ pub(crate) fn analyze_sharing(programs: &[CompiledProgram]) -> SharingAnalysis {
             }
         }
     }
-    SharingAnalysis {
-        aliases,
-        filters,
-        keys,
-    }
+    (filters, keys)
 }
 
 /// Restrict a sharing analysis to what the **sharded** dataplane can
@@ -681,6 +853,24 @@ pub struct MultiRuntime {
     stack: EvalStack,
     /// What the install-time sharing pass found.
     report: SharingReport,
+    /// Stable install ids, parallel to `runtimes` — program indices shift
+    /// on [`MultiRuntime::uninstall`], ids never do.
+    ids: Vec<u64>,
+    /// Next install id to hand out.
+    next_id: u64,
+    /// Deployment record count at each program's install, parallel to
+    /// `runtimes` — the store-dedup epoch gate
+    /// ([`lifecycle_alias_candidates`]).
+    epochs: Vec<u64>,
+    /// The SRAM budget this deployment was provisioned under, if any;
+    /// lifecycle events replan it.
+    budget: Option<u64>,
+    /// Records the deployment has processed (programs installed later have
+    /// seen only a suffix).
+    records: u64,
+    /// Whether the cross-query sharing pass is enabled (lifecycle events
+    /// re-run it).
+    share: bool,
 }
 
 /// Evaluate the shared prefix for one row, appending `n_filters` verdicts
@@ -761,6 +951,7 @@ impl MultiRuntime {
             }
         }
         let union_cols = runtimes.iter().fold(0u64, |m, rt| m | rt.base_cols());
+        let n = runtimes.len();
         MultiRuntime {
             runtimes,
             union_cols,
@@ -776,6 +967,12 @@ impl MultiRuntime {
             key_buf: Vec::new(),
             stack: EvalStack::new(),
             report,
+            ids: (0..n as u64).collect(),
+            next_id: n as u64,
+            epochs: vec![0; n],
+            budget: None,
+            records: 0,
+            share,
         }
     }
 
@@ -786,7 +983,9 @@ impl MultiRuntime {
         budget_bits: u64,
     ) -> Result<(Self, AreaPlan), PlanError> {
         let plan = provision(&mut programs, budget_bits)?;
-        Ok((Self::new(programs), plan))
+        let mut multi = Self::new(programs);
+        multi.budget = Some(budget_bits);
+        Ok((multi, plan))
     }
 
     /// Number of installed programs.
@@ -795,7 +994,8 @@ impl MultiRuntime {
         self.runtimes.len()
     }
 
-    /// True when no program is installed (never, by construction).
+    /// True when no program is installed (only possible after
+    /// [`MultiRuntime::uninstall`] removed the last one).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.runtimes.is_empty()
@@ -807,22 +1007,317 @@ impl MultiRuntime {
         &self.runtimes
     }
 
+    /// The stable install ids, parallel to [`MultiRuntime::runtimes`].
+    #[must_use]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
     /// What the install-time sharing pass shared across the programs.
     #[must_use]
     pub fn sharing(&self) -> &SharingReport {
         &self.report
     }
 
-    /// Records each program has processed (identical across programs).
+    /// Records the deployment has processed. A program installed mid-stream
+    /// ([`MultiRuntime::install`]) has observed only the suffix from its
+    /// install on.
     #[must_use]
     pub fn records(&self) -> u64 {
-        self.runtimes[0].records()
+        self.records
+    }
+
+    /// Install one more compiled program into the **live** deployment —
+    /// the dynamic half of the paper's "queries are installed at run time"
+    /// contract (§3.3 prices the SRAM budget precisely so operators can
+    /// keep re-deploying queries against it). Returns the program's stable
+    /// install id ([`MultiRuntime::uninstall`] takes it back).
+    ///
+    /// Semantics (pinned by `tests/query_lifecycle.rs`): after the call,
+    /// the deployment behaves exactly as if the new program were a fresh
+    /// [`Runtime`] started at this instant — it observes only the record
+    /// suffix from its install on — while every resident program's state
+    /// carries over byte-identically.
+    ///
+    /// Under a budget ([`MultiRuntime::provisioned`]) the planner re-runs
+    /// over the grown deployment and every resident store **live-migrates**
+    /// to its new (smaller) slice without stopping ingest
+    /// ([`perfq_kvstore::SplitStore::migrate_geometry`] — rehash
+    /// cache-resident pairs, spill what no longer fits, timestamps
+    /// preserved). The sharing analysis re-runs incrementally: the new
+    /// program may adopt a resident deduplicated store (equal install
+    /// epochs only — see `lifecycle_alias_candidates`) or join the
+    /// shared filter/key prefix; a live composed alias pair whose chains
+    /// the replan diverges is **repaired** — the shared store's state is
+    /// cloned into the alias as its private store again.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the replan rejects ([`PlanError`]); the deployment is
+    /// untouched on error.
+    pub fn install(&mut self, program: CompiledProgram) -> Result<u64, PlanError> {
+        let new_idx = self.runtimes.len();
+        let mut programs: Vec<CompiledProgram> = self
+            .runtimes
+            .iter()
+            .map(|rt| rt.compiled().clone())
+            .collect();
+        programs.push(program);
+        let mut epochs = self.epochs.clone();
+        epochs.push(self.records);
+        let mut candidates = if self.share {
+            lifecycle_alias_candidates(&programs, &epochs, &self.aliases, new_idx)
+        } else {
+            Vec::new()
+        };
+
+        // Dry-run the replan: errors must leave the deployment untouched,
+        // and candidate pairs are kept only when the strict dedup rule
+        // holds at the geometries the plan will actually install. The
+        // demand set is identical with or without the candidates that get
+        // dropped below (only base-rooted pairs are planner-tagged, and
+        // those always confirm — the planner mirrors the group geometry),
+        // so the commit-time replan reproduces this exact plan.
+        if let Some(budget) = self.budget {
+            let mut ids = self.ids.clone();
+            ids.push(self.next_id);
+            let combined: Vec<_> = self
+                .aliases
+                .iter()
+                .chain(candidates.iter())
+                .copied()
+                .collect();
+            let (idxs, demands) = lifecycle_demands(&programs, &ids, &combined);
+            if !demands.is_empty() {
+                let plan = CachePlanner::new(budget).plan(&demands)?;
+                for (slot, pi) in idxs.iter().enumerate() {
+                    apply_allocation(&mut programs[*pi], &plan.queries[slot]);
+                }
+            }
+        }
+        candidates.retain(|((ap, aq), (op, oq))| {
+            stores_dedupable(&programs[*ap], *aq, &programs[*op], *oq)
+        });
+
+        // Commit. The new runtime starts at its planned geometries; the
+        // residents live-migrate to theirs in `replan_and_migrate`.
+        let mut rt = Runtime::new(programs.pop().expect("the new program is last"));
+        for ((ap, aq), _) in &candidates {
+            debug_assert_eq!(*ap, new_idx, "only the new program takes the alias side");
+            rt.deactivate_query(*aq);
+        }
+        self.runtimes.push(rt);
+        self.aliases.extend(candidates);
+        let id = self.next_id;
+        self.ids.push(id);
+        self.epochs.push(self.records);
+        self.next_id += 1;
+        if let Some(budget) = self.budget {
+            self.replan_and_migrate(budget);
+        }
+        self.reannotate();
+        Ok(id)
+    }
+
+    /// Uninstall the program with install id `id`, returning its final
+    /// results — exactly what [`Runtime::finish`] + [`Runtime::collect`]
+    /// would report for a private runtime stopped now. `None` for an
+    /// unknown id.
+    ///
+    /// The departing program's slice returns to the pool: under a budget
+    /// the survivors replan and their stores live-migrate onto the
+    /// (larger) slices. Dedup bookkeeping is repaired: a departing
+    /// *owner*'s shared store is **promoted** into its first surviving
+    /// alias (the live state moves — stream continuity preserved), further
+    /// aliases re-parent onto the promoted owner, and a departing *alias*
+    /// collects from a flushed snapshot of its owner's store.
+    pub fn uninstall(&mut self, id: u64) -> Option<ResultSet> {
+        let pos = self.ids.iter().position(|x| *x == id)?;
+
+        // Promote departing shared stores into their first surviving
+        // alias; re-parent the rest onto the promoted owner.
+        let mut promoted: Vec<((usize, usize), (usize, usize))> = Vec::new();
+        for i in 0..self.aliases.len() {
+            let ((ap, aq), (op, oq)) = self.aliases[i];
+            if op != pos || ap == pos {
+                continue;
+            }
+            match promoted.iter().find(|(old, _)| *old == (op, oq)) {
+                Some((_, new_owner)) => self.aliases[i].1 = *new_owner,
+                None => {
+                    let store = self.runtimes[op].clone_store(oq);
+                    self.runtimes[ap].set_store(aq, store);
+                    self.runtimes[ap].reactivate_query(aq);
+                    promoted.push(((op, oq), (ap, aq)));
+                }
+            }
+        }
+
+        // Collect the departing program: cross-program aliased queries
+        // read a flushed snapshot of their owner's (still running) store;
+        // within-program pairs adopt as usual.
+        let mut snaps = Vec::new();
+        let mut within = Vec::new();
+        for ((ap, aq), (op, oq)) in &self.aliases {
+            if *ap != pos {
+                continue;
+            }
+            if *op == pos {
+                within.push((*aq, *oq));
+            } else {
+                let mut snap = self.runtimes[*op].clone_store(*oq);
+                snap.flush();
+                snaps.push((*aq, snap));
+            }
+        }
+        let mut rt = self.runtimes.remove(pos);
+        rt.finish();
+        for (aq, snap) in &snaps {
+            rt.adopt_store_snapshot(*aq, snap);
+        }
+        for (aq, oq) in &within {
+            rt.adopt_store_within(*aq, *oq);
+        }
+        let results = rt.collect();
+
+        // Bookkeeping: drop every pair touching the departing program,
+        // shift indices past it down by one.
+        self.aliases
+            .retain(|((ap, _), (op, _))| *ap != pos && *op != pos);
+        for ((ap, _), (op, _)) in &mut self.aliases {
+            if *ap > pos {
+                *ap -= 1;
+            }
+            if *op > pos {
+                *op -= 1;
+            }
+        }
+        self.ids.remove(pos);
+        self.epochs.remove(pos);
+
+        if let Some(budget) = self.budget {
+            self.replan_and_migrate(budget);
+        }
+        self.reannotate();
+        Some(results)
+    }
+
+    /// Replan the budget over the current resident set and live-migrate
+    /// every store to its planned geometry, repairing (privatizing) any
+    /// composed alias pair the new geometries diverge: the shared store's
+    /// pre-migration state — exactly what the alias's private store would
+    /// hold — is cloned, migrated to the alias's new geometry, and handed
+    /// back to the reactivated alias query.
+    ///
+    /// Cannot fail: on install the identical plan was just validated
+    /// ([`MultiRuntime::install`]'s dry run), and on uninstall every
+    /// surviving slice only grows.
+    fn replan_and_migrate(&mut self, budget: u64) {
+        let mut programs: Vec<CompiledProgram> = self
+            .runtimes
+            .iter()
+            .map(|rt| rt.compiled().clone())
+            .collect();
+        let (idxs, demands) = lifecycle_demands(&programs, &self.ids, &self.aliases);
+        if demands.is_empty() {
+            return;
+        }
+        let plan = CachePlanner::new(budget)
+            .plan(&demands)
+            .expect("lifecycle replan was validated at install / slices only grow on uninstall");
+        for (slot, pi) in idxs.iter().enumerate() {
+            apply_allocation(&mut programs[*pi], &plan.queries[slot]);
+        }
+        // Snapshot diverging pairs' owners *before* any migration.
+        let mut repairs = Vec::new();
+        for (i, ((ap, aq), (op, oq))) in self.aliases.iter().enumerate() {
+            if !stores_dedupable(&programs[*ap], *aq, &programs[*op], *oq) {
+                repairs.push((i, self.runtimes[*op].clone_store(*oq)));
+            }
+        }
+        // Live-migrate every resident store (dormant alias stores too —
+        // their compiled geometries must track the plan).
+        for (slot, pi) in idxs.iter().enumerate() {
+            let rt = &mut self.runtimes[*pi];
+            let mut it = plan.queries[slot].stores.iter();
+            for qi in 0..programs[*pi].stores.len() {
+                if programs[*pi].stores[qi].is_some() {
+                    let a = it.next().expect("allocation covers every store");
+                    rt.migrate_store(qi, a.geometry);
+                }
+            }
+        }
+        // Materialize the repairs at the alias's new private geometry.
+        for (i, mut snap) in repairs.into_iter().rev() {
+            let ((ap, aq), _) = self.aliases.remove(i);
+            let geom = programs[ap].stores[aq]
+                .as_ref()
+                .expect("alias stores exist")
+                .geometry;
+            snap.migrate_geometry(geom);
+            self.runtimes[ap].set_store(aq, snap);
+            self.runtimes[ap].reactivate_query(aq);
+        }
+    }
+
+    /// Rebuild the shared-prefix annotation, sharing report and union
+    /// column mask over the current resident set after a lifecycle event.
+    /// Slot numbering is recomputed from scratch (every runtime's stale
+    /// annotations are cleared first); the settled alias list is kept
+    /// as-is — store dedup legality is an install-time decision, never
+    /// re-nominated between long-lived programs
+    /// ([`lifecycle_alias_candidates`]' freshness rule).
+    fn reannotate(&mut self) {
+        let programs: Vec<CompiledProgram> = self
+            .runtimes
+            .iter()
+            .map(|rt| rt.compiled().clone())
+            .collect();
+        let (filters, keys) = if self.share {
+            let plans: Vec<ExecPlan> = programs
+                .iter()
+                .map(|p| ExecPlan::build(&p.program))
+                .collect();
+            let mut aliased: Vec<Vec<bool>> =
+                plans.iter().map(|p| vec![false; p.nodes.len()]).collect();
+            for ((ap, aq), _) in &self.aliases {
+                aliased[*ap][*aq] = true;
+            }
+            analyze_prefix_sharing(&plans, &aliased)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        for rt in &mut self.runtimes {
+            rt.clear_shared_slots();
+        }
+        for (slot, (_, users)) in filters.iter().enumerate() {
+            for (p, q) in users {
+                self.runtimes[*p].set_shared_slots(*q, Some(slot as u32), None);
+            }
+        }
+        for (slot, (_, _, users)) in keys.iter().enumerate() {
+            for (p, q) in users {
+                self.runtimes[*p].set_shared_slots(*q, None, Some(slot as u32));
+            }
+        }
+        self.report = report_of(
+            &programs,
+            &SharingAnalysis {
+                aliases: self.aliases.clone(),
+                filters: filters.clone(),
+                keys: keys.clone(),
+            },
+        );
+        self.shared_filters = filters.into_iter().map(|(f, _)| f).collect();
+        self.shared_keys = keys.into_iter().map(|(k, g, _)| (k, g)).collect();
+        self.union_cols = self.runtimes.iter().fold(0u64, |m, rt| m | rt.base_cols());
     }
 
     /// Process one queue record: materialize the row once (union mask),
     /// evaluate the shared prefix once, and dispatch to every program's
     /// plan.
     pub fn process_record(&mut self, rec: &QueueRecord) {
+        self.records += 1;
         let now = rec.observed_at();
         let mut row = std::mem::take(&mut self.row_buf);
         rec.write_row_masked(&mut row, self.union_cols);
@@ -856,6 +1351,7 @@ impl MultiRuntime {
     /// programs are independent, so per-program stream order — the order
     /// that matters — is preserved.
     pub fn process_batch(&mut self, recs: &[QueueRecord]) {
+        self.records += recs.len() as u64;
         let mask = self.union_cols;
         let nk = self.shared_keys.len();
         let width = QueueRecord::row_width();
@@ -970,6 +1466,26 @@ pub struct MultiSharded {
     /// Store-dedup substitutions applied on drain.
     aliases: Vec<((usize, usize), (usize, usize))>,
     report: SharingReport,
+    /// Program-level compiled programs, parallel to `sharded` (each
+    /// carrying its **whole-slice** provisioned geometry; the worker
+    /// programs inside `sharded` carry the `1/N` shard geometries).
+    /// Lifecycle analysis and replanning run at program level.
+    programs: Vec<CompiledProgram>,
+    /// Stable install ids, parallel to `sharded`.
+    ids: Vec<u64>,
+    /// Next install id to hand out.
+    next_id: u64,
+    /// Deployment record count at each program's install (dedup epoch
+    /// gate).
+    epochs: Vec<u64>,
+    /// The SRAM budget the deployment was provisioned under, if any.
+    budget: Option<u64>,
+    /// Records routed into the deployment.
+    records: u64,
+    /// Whether store dedup is enabled for lifecycle events.
+    share: bool,
+    /// Worker shards per program.
+    shards: usize,
 }
 
 impl MultiSharded {
@@ -1005,13 +1521,23 @@ impl MultiSharded {
         } else {
             (Vec::new(), SharingReport::default())
         };
+        let n = programs.len();
         MultiSharded {
             sharded: programs
-                .into_iter()
+                .iter()
+                .cloned()
                 .map(|p| ShardedRuntime::new(p, shards))
                 .collect(),
             aliases,
             report,
+            programs,
+            ids: (0..n as u64).collect(),
+            next_id: n as u64,
+            epochs: vec![0; n],
+            budget: None,
+            records: 0,
+            share,
+            shards,
         }
     }
 
@@ -1043,20 +1569,23 @@ impl MultiSharded {
         let report = report_of(&programs, &analysis);
 
         let mut sharded = Vec::with_capacity(programs.len());
-        let mut allocs = plan.queries.iter();
-        for (i, mut p) in programs.into_iter().enumerate() {
+        for (i, p) in programs.iter_mut().enumerate() {
             for ((ap, aq), _) in &analysis.aliases {
                 if *ap == i {
                     p.deduped_queries.push(*aq);
                 }
             }
-            // `provision` named the i-th store-bearing program `q{i}`.
+            // `provision` named the i-th program's demand `q{i}`; look the
+            // allocation up **by name** — programs without stores place no
+            // demand, so positional iteration would silently misalign every
+            // later program's geometry with its neighbour's.
             let workers = if p.stores.iter().any(Option::is_some) {
-                let alloc = allocs.next().expect("plan covers store-bearing programs");
-                debug_assert_eq!(alloc.name, format!("q{i}"));
-                shard_programs(&p, alloc, shards)?
+                let alloc = plan
+                    .query(&format!("q{i}"))
+                    .expect("plan covers every store-bearing program");
+                shard_programs(p, alloc, shards)?
             } else {
-                vec![p; shards]
+                vec![p.clone(); shards]
             };
             sharded.push(ShardedRuntime::with_worker_programs(
                 workers,
@@ -1064,11 +1593,20 @@ impl MultiSharded {
                 DEFAULT_BATCH,
             ));
         }
+        let n = programs.len();
         Ok((
             MultiSharded {
                 sharded,
                 aliases: analysis.aliases,
                 report,
+                programs,
+                ids: (0..n as u64).collect(),
+                next_id: n as u64,
+                epochs: vec![0; n],
+                budget: Some(budget_bits),
+                records: 0,
+                share: true,
+                shards,
             },
             plan,
         ))
@@ -1080,7 +1618,8 @@ impl MultiSharded {
         self.sharded.len()
     }
 
-    /// True when no program is installed (never, by construction).
+    /// True when no program is installed (only possible after
+    /// [`MultiSharded::uninstall`] removed the last one).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.sharded.is_empty()
@@ -1089,7 +1628,19 @@ impl MultiSharded {
     /// Worker shards per program.
     #[must_use]
     pub fn shards(&self) -> usize {
-        self.sharded[0].shards()
+        self.shards
+    }
+
+    /// The stable install ids, in program order.
+    #[must_use]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Records routed into the deployment so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
     }
 
     /// What the install-time sharing pass shared across the programs.
@@ -1100,6 +1651,7 @@ impl MultiSharded {
 
     /// Route one record to its shard in **every** program's dataplane.
     pub fn process_record(&mut self, rec: &QueueRecord) {
+        self.records += 1;
         for sh in &mut self.sharded {
             sh.process_record(rec);
         }
@@ -1116,6 +1668,12 @@ impl MultiSharded {
     /// queues in one pass — the multi-program producer
     /// ([`Network::run_multi_sharded`]). Returns per-program, per-shard
     /// routed counts.
+    ///
+    /// This hands the producer side of every SPSC queue to the network
+    /// loop; lifecycle operations ([`MultiSharded::install`] /
+    /// [`MultiSharded::uninstall`]) are not supported afterwards — drive
+    /// records via [`MultiSharded::process_batch`] when interleaving
+    /// lifecycle events with ingest.
     pub fn run_network(
         &mut self,
         net: &mut Network,
@@ -1127,7 +1685,364 @@ impl MultiSharded {
             .iter_mut()
             .map(ShardedRuntime::take_feeds)
             .unzip();
-        net.run_multi_sharded(packets, |i, r| routers[i].route(r), senders, batch)
+        let counts = net.run_multi_sharded(packets, |i, r| routers[i].route(r), senders, batch);
+        if let Some(first) = counts.first() {
+            self.records += first.iter().sum::<u64>();
+        }
+        counts
+    }
+
+    /// Install one more compiled program into the live sharded deployment
+    /// — [`MultiRuntime::install`] semantics, across cores. Returns the
+    /// program's stable install id.
+    ///
+    /// The new program gets its own [`ShardedRuntime`] (fresh workers and
+    /// queues); under a budget every resident program's workers **pause**
+    /// (in-flight queue records drain to the stores first), live-migrate
+    /// their caches to the replanned `1/N` shard geometries, and resume.
+    /// Store dedup follows the single-stream rule plus the shard gates
+    /// (exactness + identical routing, `retain_shard_exact`) and the
+    /// lifecycle epoch/freshness gates (`lifecycle_alias_candidates`).
+    ///
+    /// Not supported after [`MultiSharded::run_network`] (the queue
+    /// producers were handed away).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the replan rejects ([`PlanError`]); the deployment is
+    /// untouched on error.
+    pub fn install(&mut self, program: CompiledProgram) -> Result<u64, PlanError> {
+        let new_idx = self.programs.len();
+        let mut programs = self.programs.clone();
+        programs.push(program);
+        let mut epochs = self.epochs.clone();
+        epochs.push(self.records);
+        let mut candidates = if self.share {
+            let mut analysis = SharingAnalysis {
+                aliases: lifecycle_alias_candidates(&programs, &epochs, &self.aliases, new_idx),
+                ..SharingAnalysis::default()
+            };
+            retain_shard_exact(&mut analysis, &programs);
+            analysis.aliases
+        } else {
+            Vec::new()
+        };
+
+        // Dry-run the replan and resolve every shard geometry up front:
+        // errors must leave the deployment untouched.
+        let mut planned: Option<(Vec<usize>, AreaPlan)> = None;
+        if let Some(budget) = self.budget {
+            let mut ids = self.ids.clone();
+            ids.push(self.next_id);
+            let combined: Vec<_> = self
+                .aliases
+                .iter()
+                .chain(candidates.iter())
+                .copied()
+                .collect();
+            let (idxs, demands) = lifecycle_demands(&programs, &ids, &combined);
+            if !demands.is_empty() {
+                let plan = CachePlanner::new(budget).plan(&demands)?;
+                for (slot, pi) in idxs.iter().enumerate() {
+                    apply_allocation(&mut programs[*pi], &plan.queries[slot]);
+                }
+                planned = Some((idxs, plan));
+            }
+        }
+        candidates.retain(|((ap, aq), (op, oq))| {
+            stores_dedupable(&programs[*ap], *aq, &programs[*op], *oq)
+        });
+
+        // Per-worker programs for the arrival, and every resident store's
+        // new shard geometry — still before any mutation.
+        let mut workers = if programs[new_idx].stores.iter().any(Option::is_some) {
+            if let Some((idxs, plan)) = &planned {
+                let slot = idxs
+                    .iter()
+                    .position(|pi| *pi == new_idx)
+                    .expect("the new program has stores");
+                shard_programs(&programs[new_idx], &plan.queries[slot], self.shards)?
+            } else {
+                vec![programs[new_idx].clone(); self.shards]
+            }
+        } else {
+            vec![programs[new_idx].clone(); self.shards]
+        };
+        let mut migrations: Vec<(usize, Vec<CacheGeometry>)> = Vec::new();
+        if let Some((idxs, plan)) = &planned {
+            for (slot, pi) in idxs.iter().enumerate() {
+                if *pi == new_idx {
+                    continue;
+                }
+                let alloc = &plan.queries[slot];
+                let geoms = alloc
+                    .stores
+                    .iter()
+                    .map(|s| {
+                        s.shard_geometry(self.shards)
+                            .map_err(|e| name_slice_error(e, &alloc.name))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                migrations.push((*pi, geoms));
+            }
+        }
+
+        // -- commit -----------------------------------------------------
+        // Detect live pairs the replan diverges (composed chains), pause
+        // every touched dataplane, snapshot diverging owners per worker
+        // *before* migrating, migrate, repair, resume.
+        let mut broken = Vec::new();
+        for (i, ((ap, aq), (op, oq))) in self.aliases.iter().enumerate() {
+            if !stores_dedupable(&programs[*ap], *aq, &programs[*op], *oq) {
+                broken.push(i);
+            }
+        }
+        let mut paused: Vec<Option<Vec<Runtime>>> =
+            (0..self.sharded.len()).map(|_| None).collect();
+        let mut need = vec![false; self.sharded.len()];
+        for (pi, _) in &migrations {
+            need[*pi] = true;
+        }
+        for i in &broken {
+            let ((ap, _), (op, _)) = self.aliases[*i];
+            need[ap] = true;
+            need[op] = true;
+        }
+        for (pi, n) in need.iter().enumerate() {
+            if *n {
+                paused[pi] = Some(self.sharded[pi].pause());
+            }
+        }
+        let mut repairs = Vec::new();
+        for i in &broken {
+            let (_, (op, oq)) = self.aliases[*i];
+            let snaps: Vec<_> = paused[op]
+                .as_ref()
+                .expect("diverged owners are paused")
+                .iter()
+                .map(|w| w.clone_store(oq))
+                .collect();
+            repairs.push((*i, snaps));
+        }
+        for (pi, geoms) in &migrations {
+            for w in paused[*pi].as_mut().expect("migrating programs are paused") {
+                let mut it = geoms.iter();
+                for qi in 0..programs[*pi].stores.len() {
+                    if programs[*pi].stores[qi].is_some() {
+                        let g = it.next().expect("geometry per store");
+                        w.migrate_store(qi, *g);
+                    }
+                }
+            }
+        }
+        for (i, snaps) in repairs.into_iter().rev() {
+            let ((ap, aq), _) = self.aliases.remove(i);
+            let workers = paused[ap].as_mut().expect("diverged aliases are paused");
+            for (w, mut snap) in workers.iter_mut().zip(snaps) {
+                let geom = w.compiled().stores[aq]
+                    .as_ref()
+                    .expect("alias stores exist")
+                    .geometry;
+                snap.migrate_geometry(geom);
+                w.set_store(aq, snap);
+                w.reactivate_query(aq);
+            }
+        }
+        for (pi, p) in paused.into_iter().enumerate() {
+            if let Some(workers) = p {
+                self.sharded[pi].resume(workers);
+            }
+        }
+
+        // Adopt the arrival.
+        for ((ap, aq), _) in &candidates {
+            debug_assert_eq!(*ap, new_idx, "only the new program takes the alias side");
+            programs[new_idx].deduped_queries.push(*aq);
+            for w in &mut workers {
+                w.deduped_queries.push(*aq);
+            }
+        }
+        self.sharded.push(ShardedRuntime::with_worker_programs(
+            workers,
+            DEFAULT_QUEUE_CAPACITY,
+            DEFAULT_BATCH,
+        ));
+        self.programs = programs;
+        self.aliases.extend(candidates);
+        let id = self.next_id;
+        self.ids.push(id);
+        self.epochs.push(self.records);
+        self.next_id += 1;
+        self.report = report_of(
+            &self.programs,
+            &SharingAnalysis {
+                aliases: self.aliases.clone(),
+                ..SharingAnalysis::default()
+            },
+        );
+        Ok(id)
+    }
+
+    /// Uninstall the program with install id `id`, returning its final
+    /// (cross-shard merged) results — exactly what
+    /// [`ShardedRuntime::finish`] + collect would report for a private
+    /// deployment stopped now. `None` for an unknown id.
+    ///
+    /// Mirrors [`MultiRuntime::uninstall`]: departing owners' shared
+    /// stores are promoted **worker by worker** into their first surviving
+    /// alias (dedup requires identical routing, so worker `w`'s states are
+    /// interchangeable), departing aliases collect from flushed cross-shard
+    /// merges of their owner's stores, and under a budget the survivors
+    /// replan onto the reclaimed area and live-migrate.
+    ///
+    /// Not supported after [`MultiSharded::run_network`].
+    pub fn uninstall(&mut self, id: u64) -> Option<ResultSet> {
+        let pos = self.ids.iter().position(|x| *x == id)?;
+        // Pause everything: promotions, snapshots and the survivors'
+        // migrations all need direct access to the worker runtimes.
+        let mut paused: Vec<Vec<Runtime>> =
+            self.sharded.iter_mut().map(ShardedRuntime::pause).collect();
+
+        let mut promoted: Vec<((usize, usize), (usize, usize))> = Vec::new();
+        for i in 0..self.aliases.len() {
+            let ((ap, aq), (op, oq)) = self.aliases[i];
+            if op != pos || ap == pos {
+                continue;
+            }
+            match promoted.iter().find(|(old, _)| *old == (op, oq)) {
+                Some((_, new_owner)) => self.aliases[i].1 = *new_owner,
+                None => {
+                    for w in 0..self.shards {
+                        let store = paused[op][w].clone_store(oq);
+                        paused[ap][w].set_store(aq, store);
+                        paused[ap][w].reactivate_query(aq);
+                    }
+                    promoted.push(((op, oq), (ap, aq)));
+                }
+            }
+        }
+
+        // Snapshot owners of the departing program's aliased queries:
+        // merged across the owner's workers (identical routing — shard
+        // order), flushed, frozen.
+        let mut snaps = Vec::new();
+        let mut within = Vec::new();
+        for ((ap, aq), (op, oq)) in &self.aliases {
+            if *ap != pos {
+                continue;
+            }
+            if *op == pos {
+                within.push((*aq, *oq));
+            } else {
+                let mut merged = paused[*op][0].clone_store(*oq);
+                merged.flush();
+                for w in &paused[*op][1..] {
+                    merged.absorb_store(w.clone_store(*oq));
+                }
+                snaps.push((*aq, merged));
+            }
+        }
+
+        // Drain the departing program's workers into one finished runtime.
+        let removed = paused.remove(pos);
+        drop(self.sharded.remove(pos));
+        let mut it = removed.into_iter();
+        let mut rt = it.next().expect("at least one shard");
+        rt.finish();
+        for mut w in it {
+            w.finish();
+            rt.absorb_finished(w);
+        }
+        for (aq, snap) in &snaps {
+            rt.adopt_store_snapshot(*aq, snap);
+        }
+        for (aq, oq) in &within {
+            rt.adopt_store_within(*aq, *oq);
+        }
+        let results = rt.collect();
+
+        // Bookkeeping.
+        self.aliases
+            .retain(|((ap, _), (op, _))| *ap != pos && *op != pos);
+        for ((ap, _), (op, _)) in &mut self.aliases {
+            if *ap > pos {
+                *ap -= 1;
+            }
+            if *op > pos {
+                *op -= 1;
+            }
+        }
+        self.ids.remove(pos);
+        self.epochs.remove(pos);
+        self.programs.remove(pos);
+
+        // Replan the survivors onto the reclaimed area and live-migrate
+        // (slices only grow — failures would be programming errors).
+        if let Some(budget) = self.budget {
+            let (idxs, demands) = lifecycle_demands(&self.programs, &self.ids, &self.aliases);
+            if !demands.is_empty() {
+                let plan = CachePlanner::new(budget)
+                    .plan(&demands)
+                    .expect("surviving slices only grow");
+                let mut post = self.programs.clone();
+                for (slot, pi) in idxs.iter().enumerate() {
+                    apply_allocation(&mut post[*pi], &plan.queries[slot]);
+                }
+                let mut broken = Vec::new();
+                for (i, ((ap, aq), (op, oq))) in self.aliases.iter().enumerate() {
+                    if !stores_dedupable(&post[*ap], *aq, &post[*op], *oq) {
+                        broken.push(i);
+                    }
+                }
+                let mut repairs = Vec::new();
+                for i in &broken {
+                    let (_, (op, oq)) = self.aliases[*i];
+                    let s: Vec<_> = paused[op].iter().map(|w| w.clone_store(oq)).collect();
+                    repairs.push((*i, s));
+                }
+                for (slot, pi) in idxs.iter().enumerate() {
+                    let geoms: Vec<CacheGeometry> = plan.queries[slot]
+                        .stores
+                        .iter()
+                        .map(|s| s.shard_geometry(self.shards).expect("shard slices only grow"))
+                        .collect();
+                    for w in &mut paused[*pi] {
+                        let mut itg = geoms.iter();
+                        for qi in 0..post[*pi].stores.len() {
+                            if post[*pi].stores[qi].is_some() {
+                                let g = itg.next().expect("geometry per store");
+                                w.migrate_store(qi, *g);
+                            }
+                        }
+                    }
+                }
+                for (i, s) in repairs.into_iter().rev() {
+                    let ((ap, aq), _) = self.aliases.remove(i);
+                    for (w, mut snap) in paused[ap].iter_mut().zip(s) {
+                        let geom = w.compiled().stores[aq]
+                            .as_ref()
+                            .expect("alias stores exist")
+                            .geometry;
+                        snap.migrate_geometry(geom);
+                        w.set_store(aq, snap);
+                        w.reactivate_query(aq);
+                    }
+                }
+                self.programs = post;
+            }
+        }
+
+        for (sh, workers) in self.sharded.iter_mut().zip(paused) {
+            sh.resume(workers);
+        }
+        self.report = report_of(
+            &self.programs,
+            &SharingAnalysis {
+                aliases: self.aliases.clone(),
+                ..SharingAnalysis::default()
+            },
+        );
+        Some(results)
     }
 
     /// Drain every program's dataplane (join workers, merge fold state)
@@ -1483,5 +2398,208 @@ mod tests {
             counter_geom.capacity() > solo.queries[0].stores[0].geometry.capacity(),
             "reclaimed bits must buy a bigger cache"
         );
+    }
+
+    #[test]
+    fn empty_demand_sets_are_errors_not_panics() {
+        let mut programs = vec![compiled("SELECT srcip FROM T")];
+        assert!(matches!(
+            provision(&mut programs, 32 * MBIT),
+            Err(PlanError::EmptyDemands)
+        ));
+    }
+
+    #[test]
+    fn install_observes_only_the_suffix() {
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(11)).take(4_000));
+        let (first, second) = records.split_at(2_000);
+        let mut multi = MultiRuntime::new(vec![compiled(fig2::PER_FLOW_COUNTERS.source)]);
+        multi.process_batch(first);
+        let id = multi.install(compiled(fig2::LATENCY_EWMA.source)).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(multi.records(), 2_000);
+        multi.process_batch(second);
+        multi.finish();
+        let got = multi.collect();
+        // The resident saw everything; the arrival saw only the suffix.
+        let mut rt0 = Runtime::new(compiled(fig2::PER_FLOW_COUNTERS.source));
+        rt0.process_batch(&records);
+        rt0.finish();
+        assert_eq!(got[0], rt0.collect());
+        let mut rt1 = Runtime::new(compiled(fig2::LATENCY_EWMA.source));
+        rt1.process_batch(second);
+        rt1.finish();
+        assert_eq!(got[1], rt1.collect());
+    }
+
+    #[test]
+    fn budgeted_install_shrinks_residents_and_uninstall_regrows_them() {
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(13)).take(6_000));
+        let (a, rest) = records.split_at(2_000);
+        let (b, c) = rest.split_at(2_000);
+        let (mut multi, _) =
+            MultiRuntime::provisioned(vec![compiled("SELECT COUNT GROUPBY 5tuple")], 8 * MBIT)
+                .unwrap();
+        let geom_of = |m: &MultiRuntime| {
+            m.runtimes()[0].compiled().stores[0]
+                .as_ref()
+                .unwrap()
+                .geometry
+        };
+        let g_solo = geom_of(&multi);
+        multi.process_batch(a);
+        let id = multi
+            .install(compiled("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip"))
+            .unwrap();
+        let g_shared = geom_of(&multi);
+        assert!(
+            g_shared.capacity() < g_solo.capacity(),
+            "the resident's store live-migrated onto a smaller slice"
+        );
+        multi.process_batch(b);
+        let departed = multi.uninstall(id).unwrap();
+        assert!(!departed.tables[0].rows.is_empty());
+        assert_eq!(
+            geom_of(&multi),
+            g_solo,
+            "the reclaimed slice regrows the survivor"
+        );
+        multi.process_batch(c);
+        multi.finish();
+        // The departed program's results: a private runtime provisioned at
+        // the same two-program plan, fed exactly the records it observed.
+        let mut progs = vec![
+            compiled("SELECT COUNT GROUPBY 5tuple"),
+            compiled("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip"),
+        ];
+        provision(&mut progs, 8 * MBIT).unwrap();
+        let mut reference = Runtime::new(progs.pop().unwrap());
+        reference.process_batch(b);
+        reference.finish();
+        assert_eq!(departed, reference.collect());
+    }
+
+    #[test]
+    fn equal_epoch_install_adopts_the_shared_store() {
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(17)).take(3_000));
+        let (mut multi, _) =
+            MultiRuntime::provisioned(vec![compiled("SELECT COUNT GROUPBY 5tuple")], 32 * MBIT)
+                .unwrap();
+        // Both programs have observed zero records: the arrival's R1 may
+        // adopt the resident counter store.
+        multi
+            .install(compiled(fig2::PER_FLOW_LOSS_RATE.source))
+            .unwrap();
+        assert_eq!(multi.sharing().stores.len(), 1);
+        multi.process_batch(&records);
+        multi.finish();
+        let got = multi.collect();
+        // Byte-identical to the statically-provisioned deployment.
+        let (mut all, _) = MultiRuntime::provisioned(
+            vec![
+                compiled("SELECT COUNT GROUPBY 5tuple"),
+                compiled(fig2::PER_FLOW_LOSS_RATE.source),
+            ],
+            32 * MBIT,
+        )
+        .unwrap();
+        all.process_batch(&records);
+        all.finish();
+        assert_eq!(got, all.collect());
+    }
+
+    #[test]
+    fn cross_epoch_duplicates_stay_private_and_exact() {
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(19)).take(4_000));
+        let (head, tail) = records.split_at(1_500);
+        let mut multi = MultiRuntime::new(vec![compiled("SELECT COUNT GROUPBY 5tuple")]);
+        multi.process_batch(head);
+        // The resident counter holds state the arrival never observed:
+        // adopting it would hand the new query 1 500 phantom records.
+        multi
+            .install(compiled(fig2::PER_FLOW_LOSS_RATE.source))
+            .unwrap();
+        assert!(
+            multi.sharing().stores.is_empty(),
+            "cross-epoch dedup must not form: {:?}",
+            multi.sharing().stores
+        );
+        multi.process_batch(tail);
+        multi.finish();
+        let got = multi.collect();
+        let mut rt1 = Runtime::new(compiled(fig2::PER_FLOW_LOSS_RATE.source));
+        rt1.process_batch(tail);
+        rt1.finish();
+        assert_eq!(got[1], rt1.collect());
+    }
+
+    #[test]
+    fn uninstalling_an_owner_promotes_the_alias() {
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(29)).take(4_000));
+        let (head, tail) = records.split_at(2_000);
+        let mut multi = MultiRuntime::new(vec![
+            compiled("SELECT COUNT GROUPBY 5tuple"),
+            compiled(fig2::PER_FLOW_LOSS_RATE.source),
+        ]);
+        assert_eq!(multi.sharing().stores.len(), 1, "premise: R1 aliases");
+        multi.process_batch(head);
+        // Uninstall the owner mid-stream: the alias inherits the live
+        // store and the stream continues seamlessly.
+        let counter = multi.uninstall(0).unwrap();
+        multi.process_batch(tail);
+        multi.finish();
+        let got = multi.collect();
+        // The counter's final results cover only its lifetime.
+        let mut rt0 = Runtime::new(compiled("SELECT COUNT GROUPBY 5tuple"));
+        rt0.process_batch(head);
+        rt0.finish();
+        assert_eq!(counter, rt0.collect());
+        // The surviving loss-rate program is byte-identical to a private
+        // replay of the full stream.
+        let mut rt1 = Runtime::new(compiled(fig2::PER_FLOW_LOSS_RATE.source));
+        rt1.process_batch(&records);
+        rt1.finish();
+        assert_eq!(got[0], rt1.collect());
+    }
+
+    #[test]
+    fn sharded_lifecycle_matches_the_single_stream_plane() {
+        let mut net = Network::new(NetworkConfig::default());
+        let records =
+            net.run_collect(SyntheticTrace::new(TraceConfig::test_small(23)).take(4_000));
+        let (head, tail) = records.split_at(2_000);
+        let programs = || vec![compiled("SELECT COUNT GROUPBY 5tuple")];
+        let arrival = || compiled(fig2::PER_FLOW_LOSS_RATE.source);
+        let (mut sh, _) = MultiSharded::provisioned(programs(), 32 * MBIT, 2).unwrap();
+        let (mut single, _) = MultiRuntime::provisioned(programs(), 32 * MBIT).unwrap();
+        sh.process_batch(head);
+        single.process_batch(head);
+        let sid = sh.install(arrival()).unwrap();
+        let mid = single.install(arrival()).unwrap();
+        sh.process_batch(tail);
+        single.process_batch(tail);
+        let mut a = sh.uninstall(sid).unwrap();
+        let mut b = single.uninstall(mid).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "the departing program's results agree across planes");
+        let mut got_sh = sh.finish_collect();
+        single.finish();
+        let mut got_single = single.collect();
+        for (x, y) in got_sh.iter_mut().zip(got_single.iter_mut()) {
+            x.sort();
+            y.sort();
+        }
+        assert_eq!(got_sh, got_single);
     }
 }

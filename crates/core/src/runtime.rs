@@ -28,7 +28,7 @@ use crate::compiler::CompiledProgram;
 use crate::foldops::FoldOps;
 use crate::plan::{lane_mask, ExecPlan, NodeKind, RowSource, CHUNK, LANES};
 use crate::result::{value_key, ResultRow, ResultSet, ResultTable};
-use perfq_kvstore::{InlineKey, SplitStore, StoreStats};
+use perfq_kvstore::{CacheGeometry, InlineKey, SplitStore, StoreStats};
 use perfq_lang::bytecode::EvalStack;
 use perfq_lang::ir::eval;
 use perfq_lang::resolve::GroupOutput;
@@ -241,6 +241,77 @@ impl Runtime {
             (Some(d), Some(s)) => d.adopt_results_from(s),
             _ => unreachable!("dedup only pairs aggregation stores"),
         }
+    }
+
+    /// Dynamic lifecycle, inverse of [`Runtime::deactivate_query`]: bring a
+    /// previously-deduplicated aggregation back into the streaming pass.
+    /// Used when an alias is promoted to owner (its owner was uninstalled)
+    /// or when re-provisioning diverges an alias pair's geometries. The
+    /// node's filter bytecode was compiled at plan-build time, before any
+    /// deactivation, so reactivation restores exactly the original node.
+    pub(crate) fn reactivate_query(&mut self, idx: usize) {
+        self.plan.nodes[idx].active = true;
+        self.plan.recompute_base_cols(&self.compiled.program);
+    }
+
+    /// Dynamic lifecycle: drop every shared-prefix annotation. The
+    /// multi-query dataplane re-runs its sharing analysis after an
+    /// install/uninstall and re-applies fresh slot numbers; stale slots
+    /// would index into rebuilt scratch vectors.
+    pub(crate) fn clear_shared_slots(&mut self) {
+        for node in &mut self.plan.nodes {
+            node.shared_filter = None;
+            node.shared_key = None;
+        }
+    }
+
+    /// Dynamic lifecycle: live-migrate query `idx`'s store to a newly
+    /// provisioned geometry ([`SplitStore::migrate_geometry`]) and keep the
+    /// compiled store plan in sync, so physical-identity checks
+    /// (`phys_eq`) observe the geometry the store actually runs at.
+    pub(crate) fn migrate_store(&mut self, idx: usize, geometry: CacheGeometry) {
+        if let Some(store) = self.stores[idx].as_mut() {
+            store.migrate_geometry(geometry);
+        }
+        if let Some(plan) = self.compiled.stores[idx].as_mut() {
+            plan.geometry = geometry;
+        }
+    }
+
+    /// Dynamic lifecycle: snapshot query `idx`'s live store (cache-resident
+    /// state, backing table and statistics).
+    pub(crate) fn clone_store(&self, idx: usize) -> SplitStore<InlineKey, FoldOps> {
+        self.stores[idx]
+            .as_ref()
+            .expect("lifecycle only snapshots aggregation stores")
+            .clone()
+    }
+
+    /// Dynamic lifecycle: replace query `idx`'s store wholesale — the
+    /// receiving half of an alias promotion or a sharing repair, where the
+    /// owner's live state moves into the (previously dormant) alias slot.
+    pub(crate) fn set_store(&mut self, idx: usize, store: SplitStore<InlineKey, FoldOps>) {
+        assert!(
+            self.stores[idx].is_some(),
+            "lifecycle only replaces aggregation stores"
+        );
+        self.stores[idx] = Some(store);
+    }
+
+    /// Dynamic lifecycle: adopt results from a **flushed** snapshot of an
+    /// owner store — the collect side of uninstalling an alias query, where
+    /// the owner keeps running and the departing program reads a frozen
+    /// copy of the shared state.
+    pub(crate) fn adopt_store_snapshot(
+        &mut self,
+        dst: usize,
+        snapshot: &SplitStore<InlineKey, FoldOps>,
+    ) {
+        debug_assert!(self.finished, "adopt after finish");
+        self.stores[dst]
+            .as_mut()
+            .expect("dedup only pairs aggregation stores")
+            .adopt_results_from(snapshot);
     }
 
     /// Store statistics of a GROUPBY query (by query index).

@@ -253,8 +253,32 @@ pub struct ShardedRuntime {
     /// Producer-side staging, one buffer per shard.
     buffers: Vec<Vec<QueueRecord>>,
     batch: usize,
+    /// Per-shard SPSC queue capacity, kept so [`ShardedRuntime::resume`]
+    /// can rebuild identical transport after a pause.
+    queue_capacity: usize,
     workers: Vec<JoinHandle<Runtime>>,
     routed: Vec<u64>,
+}
+
+/// Spawn one worker thread: drain the queue in batches into the runtime,
+/// return the runtime (un-finished) when the producer closes the channel —
+/// which is what lets a paused dataplane resume exactly where it stopped.
+fn spawn_worker(
+    mut rt: Runtime,
+    rx: spsc::Receiver<QueueRecord>,
+    batch: usize,
+) -> JoinHandle<Runtime> {
+    std::thread::spawn(move || {
+        let mut buf: Vec<QueueRecord> = Vec::with_capacity(batch);
+        loop {
+            buf.clear();
+            if rx.recv_many(&mut buf, batch) == 0 {
+                break;
+            }
+            rt.process_batch(&buf);
+        }
+        rt
+    })
 }
 
 impl ShardedRuntime {
@@ -309,18 +333,7 @@ impl ShardedRuntime {
         let mut workers = Vec::with_capacity(shards);
         for compiled in programs {
             let (tx, rx) = spsc::channel::<QueueRecord>(queue_capacity);
-            let mut rt = Runtime::new(compiled);
-            workers.push(std::thread::spawn(move || {
-                let mut buf: Vec<QueueRecord> = Vec::with_capacity(batch);
-                loop {
-                    buf.clear();
-                    if rx.recv_many(&mut buf, batch) == 0 {
-                        break;
-                    }
-                    rt.process_batch(&buf);
-                }
-                rt
-            }));
+            workers.push(spawn_worker(Runtime::new(compiled), rx, batch));
             senders.push(tx);
         }
         ShardedRuntime {
@@ -328,9 +341,63 @@ impl ShardedRuntime {
             senders: Some(senders),
             buffers: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
             batch,
+            queue_capacity,
             workers,
             routed: vec![0; shards],
         }
+    }
+
+    /// Dynamic lifecycle: quiesce the dataplane between batches. Staged
+    /// records flush to their queues, the queues close, and every worker
+    /// joins, handing back its **un-finished** [`Runtime`] in shard order —
+    /// caches still resident, ready for a live store migration or an alias
+    /// promotion. [`ShardedRuntime::resume`] restarts ingestion from exactly
+    /// this state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer side was handed away via
+    /// [`ShardedRuntime::take_feeds`] (an external event loop owns the
+    /// stream; there is no between-batches point to pause at), or if a
+    /// worker died.
+    pub(crate) fn pause(&mut self) -> Vec<Runtime> {
+        let senders = self
+            .senders
+            .take()
+            .expect("cannot pause after take_feeds handed the producer side away");
+        for (buf, tx) in self.buffers.iter_mut().zip(&senders) {
+            if !buf.is_empty() {
+                tx.send_all(buf).expect("shard worker disconnected");
+            }
+        }
+        drop(senders); // close the streams; workers drain their queues and exit
+        self.workers
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    }
+
+    /// Dynamic lifecycle: restart a paused dataplane with the given worker
+    /// runtimes (shard order; normally the vector [`ShardedRuntime::pause`]
+    /// returned, possibly with migrated stores or promoted aliases). Fresh
+    /// SPSC queues are built at the original capacity; routing is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataplane is not paused or the worker count changed.
+    pub(crate) fn resume(&mut self, runtimes: Vec<Runtime>) {
+        assert!(
+            self.senders.is_none() && self.workers.is_empty(),
+            "resume requires a paused dataplane"
+        );
+        assert_eq!(runtimes.len(), self.buffers.len(), "one runtime per shard");
+        let mut senders = Vec::with_capacity(runtimes.len());
+        for rt in runtimes {
+            let (tx, rx) = spsc::channel::<QueueRecord>(self.queue_capacity);
+            self.workers.push(spawn_worker(rt, rx, self.batch));
+            senders.push(tx);
+        }
+        self.senders = Some(senders);
     }
 
     /// Number of worker shards.

@@ -152,31 +152,66 @@ impl WorkloadModel {
     }
 }
 
-/// Planning failure: some slice of the budget is too small to hold even a
-/// single key-value pair of the demanded width.
+/// Planning failure. With online install/uninstall every variant is a
+/// reachable *operator input* (an empty deployment, a retired last query, a
+/// name collision), so the planner reports them instead of panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlanError {
-    /// Name of the query whose store could not be provisioned.
-    pub query: String,
-    /// The slice that was available for the store, in bits.
-    pub slice_bits: u64,
-    /// The store's pair width, in bits.
-    pub pair_bits: u32,
+pub enum PlanError {
+    /// Some slice of the budget is too small to hold even a single
+    /// key-value pair of the demanded width.
+    SliceTooSmall {
+        /// Name of the query whose store could not be provisioned (empty
+        /// when the error comes from a bare [`StoreAllocation`] call that
+        /// does not know its owner; callers back-fill it).
+        query: String,
+        /// The slice that was available for the store, in bits.
+        slice_bits: u64,
+        /// The store's pair width, in bits.
+        pair_bits: u32,
+    },
+    /// The demand list is empty — nothing to plan.
+    EmptyDemands,
+    /// The demands' weights sum to zero, so no share can be computed.
+    ZeroWeight,
+    /// A query demanded planning with no aggregation stores (a program
+    /// without `GROUPBY` has no cache demand and must not be planned).
+    NoStores {
+        /// The offending query's name.
+        query: String,
+    },
+    /// Two demands carry the same name, which would make [`AreaPlan::query`]
+    /// lookups silently ambiguous.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
 }
 
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // The query name is empty when the error comes from a bare
-        // `StoreAllocation::shard_geometry` call (the allocation does not
-        // know its owner; `perfq_core::shard_programs` back-fills it).
-        if !self.query.is_empty() {
-            write!(f, "query `{}`: ", self.query)?;
+        match self {
+            PlanError::SliceTooSmall {
+                query,
+                slice_bits,
+                pair_bits,
+            } => {
+                if !query.is_empty() {
+                    write!(f, "query `{query}`: ")?;
+                }
+                write!(
+                    f,
+                    "a {slice_bits}-bit slice cannot hold a single {pair_bits}-bit pair"
+                )
+            }
+            PlanError::EmptyDemands => write!(f, "plan() needs at least one query"),
+            PlanError::ZeroWeight => write!(f, "demand weights sum to zero"),
+            PlanError::NoStores { query } => {
+                write!(f, "query `{query}` has no aggregation stores to provision")
+            }
+            PlanError::DuplicateName { name } => {
+                write!(f, "duplicate query name `{name}` in the demand list")
+            }
         }
-        write!(
-            f,
-            "a {}-bit slice cannot hold a single {}-bit pair",
-            self.slice_bits, self.pair_bits
-        )
     }
 }
 
@@ -294,7 +329,7 @@ impl StoreAllocation {
             self.pair_bits,
             self.geometry_ways_hint(),
         )
-        .ok_or(PlanError {
+        .ok_or(PlanError::SliceTooSmall {
             query: String::new(),
             slice_bits: self.slice_bits / shards as u64,
             pair_bits: self.pair_bits,
@@ -440,16 +475,28 @@ impl CachePlanner {
     /// strictly gains slice bits whenever anything was reclaimed.
     ///
     /// Errors when some physical store's slice cannot hold a single pair —
-    /// the multi-query analogue of "this query does not fit the chip".
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty demand list or a query without stores (a program
-    /// with no `GROUPBY` has no cache demand and must not be planned).
+    /// the multi-query analogue of "this query does not fit the chip" — and
+    /// on the degenerate operator inputs online replanning makes reachable:
+    /// an empty demand list ([`PlanError::EmptyDemands`]), a zero total
+    /// weight ([`PlanError::ZeroWeight`]), a query without stores
+    /// ([`PlanError::NoStores`]), and colliding query names
+    /// ([`PlanError::DuplicateName`], which would make by-name plan lookups
+    /// silently ambiguous).
     pub fn plan(&self, demands: &[QueryDemand]) -> Result<AreaPlan, PlanError> {
-        assert!(!demands.is_empty(), "plan() needs at least one query");
+        if demands.is_empty() {
+            return Err(PlanError::EmptyDemands);
+        }
         let total_weight: u128 = demands.iter().map(|d| u128::from(d.weight)).sum();
-        assert!(total_weight > 0, "weights must be positive");
+        if total_weight == 0 {
+            return Err(PlanError::ZeroWeight);
+        }
+        for (i, d) in demands.iter().enumerate() {
+            if demands[..i].iter().any(|e| e.name == d.name) {
+                return Err(PlanError::DuplicateName {
+                    name: d.name.clone(),
+                });
+            }
+        }
 
         // Pass 1: baseline slices, and the dedup roll call. A group's first
         // member (matching widths) is canonical/physical; later members are
@@ -465,11 +512,11 @@ impl CachePlanner {
         let mut reclaimed = 0u64;
         let mut physical = 0u64;
         for (qi, d) in demands.iter().enumerate() {
-            assert!(
-                !d.stores.is_empty(),
-                "query `{}` has no aggregation stores to provision",
-                d.name
-            );
+            if d.stores.is_empty() {
+                return Err(PlanError::NoStores {
+                    query: d.name.clone(),
+                });
+            }
             let slice_bits =
                 (u128::from(self.budget_bits) * u128::from(d.weight) / total_weight) as u64;
             let store_slice = slice_bits / d.stores.len() as u64;
@@ -526,7 +573,7 @@ impl CachePlanner {
                     None => {
                         let slice = t.baseline + extra;
                         let geometry = fit_geometry(slice, t.demand.pair_bits, t.demand.ways)
-                            .ok_or_else(|| PlanError {
+                            .ok_or_else(|| PlanError::SliceTooSmall {
                                 query: d.name.clone(),
                                 slice_bits: slice,
                                 pair_bits: t.demand.pair_bits,
@@ -723,14 +770,48 @@ mod tests {
         let err = CachePlanner::new(100)
             .plan(&[demand("tiny", 128, 8)])
             .unwrap_err();
-        assert_eq!(err.pair_bits, 128);
-        assert!(err.slice_bits < 128);
+        let PlanError::SliceTooSmall {
+            slice_bits,
+            pair_bits,
+            ..
+        } = err.clone()
+        else {
+            panic!("expected SliceTooSmall, got {err:?}");
+        };
+        assert_eq!(pair_bits, 128);
+        assert!(slice_bits < 128);
         assert!(err.to_string().contains("tiny"));
         // And a budget that feeds one query can starve four.
         assert!(CachePlanner::new(400).plan(&[demand("one", 128, 8)]).is_ok());
         let starved: Vec<QueryDemand> =
             ["a", "b", "c", "d"].iter().map(|n| demand(n, 128, 8)).collect();
         assert!(CachePlanner::new(400).plan(&starved).is_err());
+    }
+
+    #[test]
+    fn degenerate_operator_inputs_are_errors_not_panics() {
+        // Online install/uninstall makes each of these a reachable operator
+        // input: an emptied deployment, a store-less program, a zero weight
+        // sum, and a name collision.
+        let planner = CachePlanner::new(32 * MBIT);
+        assert_eq!(planner.plan(&[]).unwrap_err(), PlanError::EmptyDemands);
+        assert_eq!(
+            planner
+                .plan(&[QueryDemand::new("no-stores", vec![])])
+                .unwrap_err(),
+            PlanError::NoStores {
+                query: "no-stores".into()
+            },
+        );
+        let mut zero = demand("z", 128, 8);
+        zero.weight = 0;
+        assert_eq!(planner.plan(&[zero]).unwrap_err(), PlanError::ZeroWeight);
+        assert_eq!(
+            planner
+                .plan(&[demand("dup", 128, 8), demand("dup", 160, 4)])
+                .unwrap_err(),
+            PlanError::DuplicateName { name: "dup".into() },
+        );
     }
 
     #[test]

@@ -247,6 +247,24 @@ impl<K: Eq + Hash + Clone + SlotKey, V> SramCache<K, V> {
         }
     }
 
+    /// Insert a fully-formed entry that is **not** resident, preserving its
+    /// `first_seen`/`last_seen` timestamps — the rehash step of a live
+    /// geometry migration, where resident state moves into a differently
+    /// shaped cache without splitting any key's observed residency interval.
+    /// If the target bucket is full, the policy's victim is evicted and
+    /// returned.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the key is already resident.
+    pub fn insert_entry(&mut self, entry: CacheEntry<K, V>) -> Option<CacheEntry<K, V>> {
+        debug_assert!(!self.contains(&entry.key), "insert of a resident key");
+        let (policy, rng) = (self.policy, &mut self.rng);
+        match &mut self.inner {
+            Inner::Bucketed(c) => c.insert(entry, policy, rng),
+            Inner::Full(c) => c.insert(entry, policy, rng),
+        }
+    }
+
     /// Single-pass lookup-or-insert: the per-packet primitive.
     ///
     /// A hit refreshes recency (per policy) and returns the resident value;
@@ -291,6 +309,19 @@ impl<K: Eq + Hash + Clone + SlotKey, V> SramCache<K, V> {
         match &mut self.inner {
             Inner::Bucketed(c) => c.drain_into(sink),
             Inner::Full(c) => c.drain_into(sink),
+        }
+    }
+
+    /// Remove every resident entry whose `last_seen` is strictly before
+    /// `cutoff`, handing each to `sink` — the periodic freshness sweep's
+    /// primitive (§3.2: "keys can be periodically evicted to ensure the
+    /// backing store is fresh"). Unlike an `iter`-then-`remove` pass, this
+    /// walks the slot structures in place and performs **zero allocations**,
+    /// so a long-running service can sweep on the warm path.
+    pub fn evict_idle_into(&mut self, cutoff: Nanos, sink: impl FnMut(CacheEntry<K, V>)) {
+        match &mut self.inner {
+            Inner::Bucketed(c) => c.evict_idle_into(cutoff, sink),
+            Inner::Full(c) => c.evict_idle_into(cutoff, sink),
         }
     }
 
@@ -698,6 +729,21 @@ impl<K: Eq + Hash + Clone + SlotKey, V> BucketedCache<K, V> {
         debug_assert!(self.keys.is_empty(), "drain empties the arena");
     }
 
+    /// Detach every slot whose entry went idle before `cutoff`. Slots scan
+    /// in *descending* order within each bucket: `take_slot` back-fills the
+    /// hole with the bucket's last slot, which a descending walk has already
+    /// examined, so no occupied slot is skipped and nothing allocates.
+    fn evict_idle_into(&mut self, cutoff: Nanos, mut sink: impl FnMut(CacheEntry<K, V>)) {
+        for b in 0..self.buckets {
+            for slot in (0..self.lens[b] as usize).rev() {
+                if self.state[self.entry_of(b, slot)].last_seen < cutoff {
+                    let entry = self.take_slot(b, slot);
+                    sink(entry);
+                }
+            }
+        }
+    }
+
     /// Zero one bucket's slot words (all slots empty).
     #[inline]
     fn clear_bucket_slots(&mut self, b: usize) {
@@ -915,6 +961,25 @@ impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
         for (i, slot) in self.nodes.iter_mut().enumerate() {
             if let Some(node) = slot.take() {
                 self.free.push(i);
+                sink(node.entry);
+            }
+        }
+    }
+
+    /// Unlink and hand off every node idle since before `cutoff`. The free
+    /// list was sized for the full capacity at construction, so `push` never
+    /// reallocates, and `map.remove` frees in place — the sweep allocates
+    /// nothing.
+    fn evict_idle_into(&mut self, cutoff: Nanos, mut sink: impl FnMut(CacheEntry<K, V>)) {
+        for idx in 0..self.nodes.len() {
+            let stale = self.nodes[idx]
+                .as_ref()
+                .map_or(false, |n| n.entry.last_seen < cutoff);
+            if stale {
+                self.unlink(idx);
+                let node = self.nodes[idx].take().expect("checked stale above");
+                self.map.remove(&node.entry.key);
+                self.free.push(idx);
                 sink(node.entry);
             }
         }

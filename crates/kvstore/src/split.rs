@@ -51,6 +51,11 @@ pub struct SplitStore<K, O: ValueOps> {
     backing: BackingStore<K, O::Value>,
     ops: O,
     stats: StoreStats,
+    /// Eviction policy, kept so a live geometry migration can rebuild the
+    /// cache identically configured.
+    policy: EvictionPolicy,
+    /// Placement hash seed, kept for the same reason.
+    hash_seed: u64,
 }
 
 impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
@@ -63,6 +68,8 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             backing,
             ops,
             stats: StoreStats::default(),
+            policy,
+            hash_seed,
         }
     }
 
@@ -106,6 +113,7 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             backing,
             ops,
             stats,
+            ..
         } = self;
         cache.drain_into(|entry| {
             stats.flush_writes += 1;
@@ -115,20 +123,61 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
     }
 
     /// Evict entries idle since before `cutoff` (periodic freshness sweep).
+    ///
+    /// Sweeps the cache's slot structures in place
+    /// ([`SramCache::evict_idle_into`]) — no key list is materialised, so a
+    /// warmed store sweeps with **zero allocations** and the sweep is safe on
+    /// the service's steady-state path.
     pub fn evict_idle_since(&mut self, cutoff: Nanos) {
-        let idle: Vec<K> = self
-            .cache
-            .iter()
-            .filter(|e| e.last_seen < cutoff)
-            .map(|e| e.key.clone())
-            .collect();
-        for key in idle {
-            if let Some(entry) = self.cache.remove(&key) {
-                self.stats.backing_writes += 1;
-                self.stats.flush_writes += 1;
-                absorb_entry(&mut self.backing, &self.ops, entry);
-            }
+        let SplitStore {
+            cache,
+            backing,
+            ops,
+            stats,
+            ..
+        } = self;
+        cache.evict_idle_into(cutoff, |entry| {
+            stats.backing_writes += 1;
+            stats.flush_writes += 1;
+            absorb_entry(backing, ops, entry);
+        });
+    }
+
+    /// Rehash resident state into a new cache geometry — the live-migration
+    /// step of online re-provisioning, run between batches while the rest of
+    /// the dataplane keeps ingesting.
+    ///
+    /// A fresh cache is built at `new_geometry` with the store's original
+    /// eviction policy and hash seed, and every resident entry moves across
+    /// with its `first_seen`/`last_seen` interval intact, so no key's
+    /// residency is split into extra epochs by the move. When the slice
+    /// **shrinks** and an entry no longer fits, the overflow is absorbed
+    /// into the backing store through the usual merge machinery and counted
+    /// as an eviction (`evictions`/`backing_writes`), preserving the stats
+    /// identity `backing_writes == evictions + flush_writes`. The backing
+    /// store — the truth (§3.2) — is untouched, so results are unaffected.
+    ///
+    /// A migration to the current geometry is a no-op.
+    pub fn migrate_geometry(&mut self, new_geometry: CacheGeometry) {
+        if self.cache.geometry() == new_geometry {
+            return;
         }
+        let mut next = SramCache::new(new_geometry, self.policy, self.hash_seed);
+        let SplitStore {
+            cache,
+            backing,
+            ops,
+            stats,
+            ..
+        } = self;
+        cache.drain_into(|entry| {
+            if let Some(victim) = next.insert_entry(entry) {
+                stats.evictions += 1;
+                stats.backing_writes += 1;
+                absorb_entry(backing, ops, victim);
+            }
+        });
+        self.cache = next;
     }
 
     /// Drain another store of the same configuration into this one — the
@@ -192,6 +241,12 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
     #[must_use]
     pub fn cache(&self) -> &SramCache<K, O::Value> {
         &self.cache
+    }
+
+    /// The cache geometry this store is currently provisioned at.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.cache.geometry()
     }
 
     /// The value ops.
@@ -482,6 +537,72 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.packets, st.hits + st.misses);
         assert_eq!(st.backing_writes, st.evictions + st.flush_writes);
+    }
+
+    #[test]
+    fn migrate_grow_keeps_every_resident_and_leaves_backing_alone() {
+        let mut s = counter_store(2);
+        for (i, k) in [1u64, 2, 3, 1, 2].iter().enumerate() {
+            s.observe(*k, &(), Nanos(i as u64));
+        }
+        let backing_before = s.backing().len();
+        let resident = s.cache().len();
+        s.migrate_geometry(CacheGeometry::fully_associative(16));
+        assert_eq!(s.geometry(), CacheGeometry::fully_associative(16));
+        assert_eq!(s.cache().len(), resident, "grow never spills");
+        assert_eq!(s.backing().len(), backing_before);
+        s.flush();
+        assert_eq!(*s.result(&1).unwrap().value().unwrap(), 2);
+        assert_eq!(*s.result(&2).unwrap().value().unwrap(), 2);
+        assert_eq!(*s.result(&3).unwrap().value().unwrap(), 1);
+    }
+
+    #[test]
+    fn migrate_shrink_spills_overflow_and_keeps_results_exact() {
+        let mut s = counter_store(8);
+        for (i, k) in [1u64, 2, 3, 4, 5, 1, 2, 3].iter().enumerate() {
+            s.observe(*k, &(), Nanos(i as u64));
+        }
+        assert_eq!(s.cache().len(), 5);
+        s.migrate_geometry(CacheGeometry::fully_associative(2));
+        assert_eq!(s.cache().len(), 2, "shrink spills down to capacity");
+        let st = s.stats();
+        assert_eq!(st.evictions, 3, "spilled entries count as evictions");
+        assert_eq!(st.backing_writes, st.evictions + st.flush_writes);
+        s.observe(1, &(), Nanos(100));
+        s.flush();
+        for (k, want) in [(1u64, 3u64), (2, 2), (3, 2), (4, 1), (5, 1)] {
+            assert_eq!(*s.result(&k).unwrap().value().unwrap(), want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn migrate_does_not_split_residency_epochs() {
+        // An epoch-mode key resident across a migration must stay one epoch:
+        // the rehash preserves first_seen/last_seen instead of re-inserting.
+        let mut s: SplitStore<u64, MaxOps> = SplitStore::new(
+            CacheGeometry::new(4, 2),
+            EvictionPolicy::Lru,
+            1,
+            MaxOps,
+        );
+        s.observe(1, &5, Nanos(0));
+        s.migrate_geometry(CacheGeometry::fully_associative(8));
+        s.observe(1, &9, Nanos(10));
+        s.flush();
+        let res = s.result(&1).unwrap();
+        assert!(res.is_valid(), "migration must not open a second epoch");
+        assert_eq!(*res.value().unwrap(), 9);
+    }
+
+    #[test]
+    fn migrate_to_same_geometry_is_a_noop() {
+        let mut s = counter_store(4);
+        s.observe(1, &(), Nanos(0));
+        let stats = s.stats();
+        s.migrate_geometry(CacheGeometry::fully_associative(4));
+        assert_eq!(s.stats(), stats);
+        assert!(s.cache().contains(&1));
     }
 }
 

@@ -34,6 +34,8 @@ cargo test --release -q \
     --test shard_property \
     --test store_differential \
     --test multi_query_equivalence \
+    --test query_lifecycle \
+    --test store_migration \
     --test area_plan \
     --test area_sweep \
     --test alloc_discipline

@@ -14,7 +14,9 @@
 //! mask words.
 
 use perfq_core::{compile_query, MultiRuntime, Runtime};
+use perfq_kvstore::{CacheGeometry, CounterOps, EvictionPolicy, SplitStore};
 use perfq_lang::fig2;
+use perfq_packet::Nanos;
 use perfq_switch::{Network, NetworkConfig, Topology};
 use perfq_trace::{SyntheticTrace, TraceConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -225,5 +227,67 @@ fn steady_state_batched_replay_allocates_nothing() {
             after - before,
         );
         assert_eq!(rt.records(), processed_warmup * 2, "second replay ran fully");
+    }
+
+    // The periodic freshness sweep (`Runtime::refresh_backing` →
+    // `SplitStore::evict_idle_since`) is part of the service's steady-state
+    // loop, so it obeys the same discipline: the sweep walks the cache's
+    // slot structures in place — no key list is materialised — and for a
+    // mergeable fold every write-back merges into a standing backing entry.
+    // Warm one full evict-everything sweep (the backing table reaches its
+    // final size), re-warm the cache with the same records, and the second
+    // full sweep must not allocate at all.
+    {
+        let compiled = compile_query(
+            fig2::PER_FLOW_COUNTERS.source,
+            &fig2::default_params(),
+            Default::default(),
+        )
+        .unwrap();
+        let mut rt = Runtime::new(compiled);
+        let sweep_all = Nanos(u64::MAX);
+        rt.process_batch(&recs);
+        rt.refresh_backing(sweep_all);
+        rt.process_batch(&recs);
+
+        let before = allocs();
+        rt.refresh_backing(sweep_all);
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "warmed idle sweep allocated {} times",
+            after - before,
+        );
+    }
+
+    // Same pin on the bare store, on the fully-associative geometry whose
+    // eviction path (global LRU list surgery) differs from the
+    // set-associative one.
+    {
+        let mut store: SplitStore<u64, CounterOps> = SplitStore::new(
+            CacheGeometry::fully_associative(64),
+            EvictionPolicy::Lru,
+            7,
+            CounterOps,
+        );
+        let feed = |s: &mut SplitStore<u64, CounterOps>| {
+            for i in 0..4096u64 {
+                s.observe(i % 256, &(), Nanos(i));
+            }
+        };
+        feed(&mut store);
+        store.evict_idle_since(Nanos(u64::MAX));
+        feed(&mut store);
+
+        let before = allocs();
+        store.evict_idle_since(Nanos(u64::MAX));
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "warmed fully-associative sweep allocated {} times",
+            after - before,
+        );
     }
 }

@@ -13,10 +13,24 @@
 
 use perfq::prelude::*;
 use perfq_kvstore::area::{self, WorkloadModel};
-use perfq_kvstore::{CachePlanner, QueryDemand, StoreDemand};
+use perfq_kvstore::{CachePlanner, PlanError, QueryDemand, StoreDemand};
 use proptest::prelude::*;
 
 const MBIT: u64 = 1024 * 1024;
+
+/// A planner rejection inside the property suite must be the geometric one —
+/// a slice genuinely under one pair width (the degenerate-input variants are
+/// unreachable from `build_demands`' well-formed mixes).
+fn slice_too_small(e: &PlanError) -> (u64, u32) {
+    match e {
+        PlanError::SliceTooSmall {
+            slice_bits,
+            pair_bits,
+            ..
+        } => (*slice_bits, *pair_bits),
+        other => panic!("expected SliceTooSmall, got {other:?}"),
+    }
+}
 
 // ---------------------------------------------------------------- §4 pins --
 
@@ -211,7 +225,8 @@ proptest! {
             }
             Err(e) => {
                 // An error must mean some slice is under one pair width.
-                prop_assert!(e.slice_bits < u64::from(e.pair_bits),
+                let (slice_bits, pair_bits) = slice_too_small(&e);
+                prop_assert!(slice_bits < u64::from(pair_bits),
                     "rejected a feasible slice: {e}");
             }
         }
@@ -253,7 +268,8 @@ proptest! {
         let plan = match CachePlanner::new(budget).plan(&demands) {
             Ok(plan) => plan,
             Err(e) => {
-                prop_assert!(e.slice_bits < u64::from(e.pair_bits),
+                let (slice_bits, pair_bits) = slice_too_small(&e);
+                prop_assert!(slice_bits < u64::from(pair_bits),
                     "rejected a feasible slice: {e}");
                 return Ok(());
             }
@@ -332,7 +348,8 @@ proptest! {
                         store_total += total;
                     }
                     Err(e) => {
-                        prop_assert!(e.slice_bits < u64::from(e.pair_bits),
+                        let (slice_bits, pair_bits) = slice_too_small(&e);
+                        prop_assert!(slice_bits < u64::from(pair_bits),
                             "rejected a feasible shard slice: {e}");
                     }
                 }
