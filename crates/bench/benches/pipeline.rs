@@ -98,6 +98,43 @@ fn bench_runtime(c: &mut Criterion) {
     }
 }
 
+/// Flow-run coalescing (PR 8) on a bursty stream: each 1024-record window
+/// is sorted by flow, producing equal-key runs of ~5 records on this trace
+/// (2.4k flows over 20k records) — the shape interface batching, GRO, and
+/// per-port mirroring produce in practice. Per query, the coalesced run
+/// (one fused probe per run, additive folds pre-reduced to one slot write)
+/// interleaves immediately with its uncoalesced twin
+/// (`set_run_coalescing(false)`: one probe per row, the PR 6 engine's
+/// store discipline, on the same stream), so the BENCH ratio guard
+/// compares numbers from the same machine-noise phase.
+fn bench_runtime_bursty(c: &mut Criterion) {
+    let mut records = small_records(20_000);
+    for chunk in records.chunks_mut(1024) {
+        chunk.sort_by_key(|r| r.packet.five_tuple().to_bits());
+    }
+    for q in [&fig2::PER_FLOW_COUNTERS, &fig2::LATENCY_EWMA] {
+        let compiled =
+            compile_query(q.source, &fig2::default_params(), Default::default()).unwrap();
+        let mut group = c.benchmark_group("query_runtime_bursty");
+        group.throughput(Throughput::Elements(records.len() as u64));
+        for coalesce in [true, false] {
+            let label = if coalesce { "coalesced" } else { "uncoalesced" };
+            group.bench_function(format!("{} {label}", q.name), |b| {
+                b.iter(|| {
+                    let mut rt = Runtime::new(compiled.clone());
+                    rt.set_run_coalescing(coalesce);
+                    for chunk in records.chunks(256) {
+                        rt.process_batch(black_box(chunk));
+                    }
+                    rt.finish();
+                    black_box(rt.records())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
 /// The sharded multi-core dataplane at 4 shards: router + SPSC hand-off +
 /// 4 worker runtimes + merge-on-drain, end to end per iteration. On a
 /// multi-core box the workers run in parallel and this scales past the
@@ -470,6 +507,7 @@ criterion_group!(
     bench_queue,
     bench_network,
     bench_runtime,
+    bench_runtime_bursty,
     bench_runtime_sharded,
     bench_end_to_end,
     bench_multi_query,

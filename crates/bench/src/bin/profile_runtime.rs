@@ -1,12 +1,18 @@
 //! Decompose per-record dataplane cost: row materialization, key build,
-//! store update, full pipeline — plus an end-to-end decomposition of the
-//! full replay (trace generation vs switch event loop vs store vs query
-//! execution time shares), so ingest-path regressions are attributable to a
-//! stage rather than a single opaque number.
+//! store update (probe vs fold vs ring handoff), full pipeline — plus an
+//! end-to-end decomposition of the full replay (trace generation vs switch
+//! event loop vs store vs query execution time shares), so ingest-path
+//! regressions are attributable to a stage rather than a single opaque
+//! number.
 //!
 //! ```sh
 //! cargo run --release -p perfq-bench --bin profile_runtime
+//! cargo run --release -p perfq-bench --bin profile_runtime -- --csv
 //! ```
+//!
+//! `--csv` switches the report to machine-readable rows
+//! (`stage,ns_per_record,mrecords_per_sec,derived`) with section headers as
+//! `#` comments, for diffing runs across commits.
 
 use perfq_core::{compile_query, MultiRuntime, Runtime};
 use perfq_lang::fig2;
@@ -14,7 +20,36 @@ use perfq_lang::Value;
 use perfq_switch::{Network, NetworkConfig, QueueRecord};
 use perfq_trace::{SyntheticTrace, TraceConfig};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// `--csv` flag, set once at startup before any measurement prints.
+static CSV: AtomicBool = AtomicBool::new(false);
+
+fn csv() -> bool {
+    CSV.load(Ordering::Relaxed)
+}
+
+/// Print a section header (`#`-prefixed comment in CSV mode).
+fn section(title: &str) {
+    if csv() {
+        println!("# {title}");
+    } else {
+        println!("\n{title}");
+    }
+}
+
+/// Emit one measurement row in the active output format.
+fn emit(label: &str, ns: f64, mps: f64, is_derived: bool) {
+    if csv() {
+        println!("{label},{ns:.2},{mps:.2},{}", u8::from(is_derived));
+    } else {
+        println!(
+            "{label:<40} {ns:>10.2} ns/record {mps:>10.2} M/s{}",
+            if is_derived { "  (derived)" } else { "" }
+        );
+    }
+}
 
 fn time(label: &str, n: usize, mut f: impl FnMut()) -> f64 {
     // One warmup, then best-of-3. Returns the best wall time so callers can
@@ -26,30 +61,35 @@ fn time(label: &str, n: usize, mut f: impl FnMut()) -> f64 {
         f();
         best = best.min(t.elapsed().as_secs_f64());
     }
-    println!(
-        "{label:<40} {:>10.2} ns/record {:>10.2} M/s",
-        best * 1e9 / n as f64,
-        n as f64 / best / 1e6
-    );
+    emit(label, best * 1e9 / n as f64, n as f64 / best / 1e6, false);
     best
 }
 
 /// Print a derived (subtracted) phase share in the same format as [`time`].
 fn derived(label: &str, n: usize, secs: f64) {
     let secs = secs.max(0.0);
-    println!(
-        "{label:<40} {:>10.2} ns/record {:>10.2} M/s  (derived)",
+    emit(
+        label,
         secs * 1e9 / n as f64,
-        if secs > 0.0 { n as f64 / secs / 1e6 } else { f64::INFINITY }
+        if secs > 0.0 { n as f64 / secs / 1e6 } else { f64::INFINITY },
+        true,
     );
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--csv") {
+        CSV.store(true, Ordering::Relaxed);
+        println!("stage,ns_per_record,mrecords_per_sec,derived");
+    }
     let mut net = Network::new(NetworkConfig::default());
     let records: Vec<QueueRecord> =
         net.run_collect(SyntheticTrace::new(TraceConfig::test_small(7)).take(20_000));
     let n = records.len();
-    println!("{n} records\n");
+    if csv() {
+        println!("# {n} records");
+    } else {
+        println!("{n} records\n");
+    }
 
     // Row materialization alone.
     let mut row: Vec<Value> = Vec::new();
@@ -67,7 +107,7 @@ fn main() {
     use perfq_kvstore::{CacheGeometry, CounterOps, EvictionPolicy, InlineKey, SplitStore};
     let key_cols = [0usize, 1, 2, 3, 4];
     let mut key_buf: Vec<i64> = Vec::new();
-    time("row + key build + hash", n, || {
+    let keybuild = time("row + key build + hash", n, || {
         let mut acc = 0u64;
         for r in &records {
             r.write_row(&mut row);
@@ -99,6 +139,66 @@ fn main() {
         }
         black_box(store.stats().packets);
     });
+
+    // ---- store decomposition: probe vs fold vs handoff -------------------
+    // The fused-upsert handle API separates the probe (hash + tag compare +
+    // victim/LRU bookkeeping in `upsert_slot`) from the fold (the value
+    // write through the held handle); the difference against the key-build
+    // baseline isolates each. "Handoff" is the third hot-path component the
+    // sharded dataplane adds on top: a record crossing the lock-free SPSC
+    // ring (13-word encode, padded atomic cursors, batch publication),
+    // measured single-threaded in 256-record batches so the number is the
+    // per-record protocol cost, not cross-core cache traffic.
+    section("store decomposition (probe vs fold vs handoff):");
+    let mut cache: perfq_kvstore::SramCache<InlineKey, u64> = perfq_kvstore::SramCache::new(
+        CacheGeometry::set_associative(1 << 16, 8),
+        EvictionPolicy::Lru,
+        1,
+    );
+    let probe_t = time("store: row+key+probe (upsert_slot)", n, || {
+        let mut acc = 0u64;
+        for r in &records {
+            r.write_row(&mut row);
+            key_buf.clear();
+            for c in &key_cols {
+                key_buf.push(row[*c].as_i64());
+            }
+            let (h, _) = cache.upsert_slot(InlineKey::from_slice(&key_buf), r.tin, || 0u64);
+            acc = acc.wrapping_add(*cache.slot_value_mut(h));
+        }
+        black_box(acc);
+    });
+    let fold_t = time("store: row+key+probe+fold (handle)", n, || {
+        for r in &records {
+            r.write_row(&mut row);
+            key_buf.clear();
+            for c in &key_cols {
+                key_buf.push(row[*c].as_i64());
+            }
+            let (h, _) = cache.upsert_slot(InlineKey::from_slice(&key_buf), r.tin, || 0u64);
+            *cache.slot_value_mut(h) += 1;
+        }
+        black_box(cache.len());
+    });
+    derived("store: probe share", n, probe_t - keybuild);
+    derived("store: fold share", n, fold_t - probe_t);
+    {
+        use perfq_switch::spsc::channel;
+        let (tx, rx) = channel::<QueueRecord>(512);
+        let mut batch: Vec<QueueRecord> = Vec::with_capacity(256);
+        let mut out: Vec<QueueRecord> = Vec::with_capacity(256);
+        time("store: ring handoff (13-word spsc)", n, || {
+            let mut acc = 0u64;
+            for part in records.chunks(256) {
+                batch.extend_from_slice(part);
+                tx.send_all(&mut batch).expect("receiver held open");
+                rx.recv_many(&mut out, 256);
+                acc = acc.wrapping_add(out.len() as u64);
+                out.clear();
+            }
+            black_box(acc);
+        });
+    }
 
     for q in [
         &fig2::PER_FLOW_COUNTERS,
@@ -134,7 +234,7 @@ fn main() {
     // store share is the difference from the full replay. For unfiltered
     // queries the filter phase is zero and the materialize-only loop below
     // is the subtrahend.
-    println!("\nvectorized batch decomposition (chunk lanes + survivor masks):");
+    section("vectorized batch decomposition (chunk lanes + survivor masks):");
     let mut lane_rows: Vec<Vec<Value>> = vec![Vec::new(); 16];
     let mat = time("vec: lane materialize only", n, || {
         let mut acc = 0i64;
@@ -189,7 +289,7 @@ fn main() {
     }
 
     // ---- end-to-end decomposition: where does a full replay spend time? --
-    println!("\nend-to-end replay decomposition (packets through Network into the engine):");
+    section("end-to-end replay decomposition (packets through Network into the engine):");
     let packets: Vec<perfq_packet::Packet> =
         SyntheticTrace::new(TraceConfig::test_small(7)).take(20_000).collect();
 
@@ -255,7 +355,7 @@ fn main() {
     // The shared pass saves (K-1) ingest passes and (K-1) row
     // materializations per record; the per-program plan execution cannot be
     // shared, so the attainable speedup is K·(ingest+exec̅)/(ingest+K·exec̅).
-    println!("\nmulti-query (K=3 Fig. 2 queries, batched):");
+    section("multi-query (K=3 Fig. 2 queries, batched):");
     let programs: Vec<_> = [
         &fig2::PER_FLOW_COUNTERS,
         &fig2::LATENCY_EWMA,
@@ -290,15 +390,19 @@ fn main() {
             run(&programs);
             best[slot] = best[slot].min(t.elapsed().as_secs_f64());
         }
-        println!(
-            "{:<40} {:>10.2} ns/record {:>10.2} M/s",
-            format!("multi: {label}"),
+        emit(
+            &format!("multi: {label}"),
             best[slot] * 1e9 / n as f64,
-            n as f64 / best[slot] / 1e6
+            n as f64 / best[slot] / 1e6,
+            false,
         );
     }
-    println!(
-        "multi: shared-ingest speedup            {:>10.2}x",
-        best[0] / best[1]
-    );
+    if csv() {
+        println!("# multi: shared-ingest speedup = {:.2}x", best[0] / best[1]);
+    } else {
+        println!(
+            "multi: shared-ingest speedup            {:>10.2}x",
+            best[0] / best[1]
+        );
+    }
 }

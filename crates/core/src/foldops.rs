@@ -300,6 +300,9 @@ struct Scratch {
     a: Vec<f64>,
     /// Matrix-multiply temporary.
     mat_tmp: Vec<f64>,
+    /// Merge-time `replayed − snapshot` vector over the linear variables —
+    /// pooled so the sharded drain's merge storm allocates nothing warm.
+    delta: Vec<f64>,
     /// The constant `A` matrix, extracted lazily on the first post-window
     /// update (only used when `FoldOps::constant_a`). Empty = not yet
     /// extracted.
@@ -394,6 +397,73 @@ impl FoldOps {
     #[must_use]
     pub fn is_additive(&self) -> bool {
         self.additive
+    }
+
+    /// Whether a run of consecutive same-key packets may be **pre-reduced**
+    /// into a single store write: the vectorized sweep sums the per-packet
+    /// contributions ([`Self::run_contribution`]) and applies the total once
+    /// ([`Self::apply_run`]).
+    ///
+    /// The gate demands exactness, not plausibility: the fold must fit the
+    /// compiled constant-A kernel with a bare state term (`A = 1` — any coefficient
+    /// would make per-packet order observable), an **integer** state
+    /// variable (wrapping `i64` arithmetic is associative; float addition
+    /// is not), and a combine of `s + B`, `B + s`, or `s − B` (for which
+    /// `((s ∘ b₁) ∘ b₂) ≡ s ∘ (b₁ + b₂)` holds bit-exactly in modular
+    /// arithmetic). Everything else — EWMA, windows, epoch folds —
+    /// falls back to per-row folding on the held slot handle.
+    #[must_use]
+    pub fn run_prereducible(&self) -> bool {
+        use perfq_lang::ast::BinOp;
+        self.fast.as_ref().is_some_and(|k| {
+            k.coeff.is_none()
+                && k.ty == perfq_lang::ValueType::Int
+                && matches!(
+                    k.combine,
+                    Some((BinOp::Add, _, _)) | Some((BinOp::Sub, true, _))
+                )
+        })
+    }
+
+    /// One packet's contribution to a pre-reduced run: the kernel's `B`
+    /// term evaluated on this input row. Returns `None` when the value is
+    /// not an [`Value::Int`] (a float or bool `B` coerces per-row inside
+    /// the kernel, which pre-reduction cannot reproduce) — the caller must
+    /// flush the run so far and fold that row individually.
+    ///
+    /// Only meaningful when [`Self::run_prereducible`] holds.
+    #[must_use]
+    pub fn run_contribution(&self, input: &[Value]) -> Option<i64> {
+        debug_assert!(self.run_prereducible());
+        let k = self.fast.as_ref()?;
+        let (_, _, b) = k.combine.as_ref()?;
+        match perfq_lang::ir::eval(b, &[], input, &self.params) {
+            Ok(Value::Int(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Apply a pre-reduced run of `n` packets whose `B` contributions sum
+    /// (wrapping) to `acc`, exactly as `n` sequential kernel updates would:
+    /// `s ← s ∓ acc` in wrapping `i64`, `packets += n`.
+    ///
+    /// Only legal when [`Self::run_prereducible`] holds and every row's
+    /// [`Self::run_contribution`] returned `Some`.
+    pub fn apply_run(&self, value: &mut FoldState, acc: i64, n: u64) {
+        use perfq_lang::ast::BinOp;
+        debug_assert!(n > 0, "a pre-reduced run covers at least one packet");
+        debug_assert!(self.run_prereducible());
+        let k = self.fast.as_ref().expect("gated by run_prereducible");
+        let (op, _, _) = k.combine.as_ref().expect("gated by run_prereducible");
+        value.packets += n;
+        let Value::Int(s) = value.vars[0] else {
+            unreachable!("an Int-typed kernel state variable holds an Int")
+        };
+        value.vars[0] = Value::Int(match op {
+            BinOp::Add => s.wrapping_add(acc),
+            BinOp::Sub => s.wrapping_sub(acc),
+            _ => unreachable!("run_prereducible admits only Add/Sub"),
+        });
     }
 
     /// True when two ops drive **byte-identical** store state on identical
@@ -793,9 +863,16 @@ impl ValueOps for FoldOps {
         } else {
             &aux.snapshot
         };
-        let mut delta = vec![0.0; k];
+        // All remaining work is straight arithmetic (no fold-body execution),
+        // so one scratch borrow covers it; the pooled `delta` buffer keeps
+        // the warmed merge path — the sharded drain's inner loop —
+        // allocation-free.
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        s.delta.clear();
+        s.delta.resize(k, 0.0);
         for (i, &v) in self.linear_vars.iter().enumerate() {
-            delta[i] = replayed[v].as_f64() - snapshot[v].as_f64();
+            s.delta[i] = replayed[v].as_f64() - snapshot[v].as_f64();
         }
         // Constant-A folds reconstruct ΠA = A^(post-window packets) here
         // instead of accumulating it per packet. The scalar case (k = 1,
@@ -804,18 +881,15 @@ impl ValueOps for FoldOps {
         let pow_matrix;
         let prod: &[f64] = if self.constant_a {
             let n = aux.packets - u64::from(self.window);
-            let scratch = self.scratch.borrow();
             assert!(
-                !scratch.const_a.is_empty(),
+                !s.const_a.is_empty(),
                 "a key with post-window packets implies A was extracted"
             );
             if k == 1 {
-                pow_scalar = [scalar_pow(scratch.const_a[0], n)];
+                pow_scalar = [scalar_pow(s.const_a[0], n)];
                 &pow_scalar
             } else {
-                let a = scratch.const_a.clone();
-                drop(scratch);
-                pow_matrix = matrix_pow(&a, k, n);
+                pow_matrix = matrix_pow(&s.const_a, k, n);
                 &pow_matrix
             }
         } else {
@@ -824,9 +898,9 @@ impl ValueOps for FoldOps {
         let mut corrected = evicted.vars.clone();
         for (i, &v) in self.linear_vars.iter().enumerate() {
             let adj: f64 = if self.additive {
-                delta[i]
+                s.delta[i]
             } else {
-                (0..k).map(|j| prod[i * k + j] * delta[j]).sum()
+                (0..k).map(|j| prod[i * k + j] * s.delta[j]).sum()
             };
             corrected[v] = match self.fold.state[v].ty {
                 perfq_lang::ValueType::Float => Value::Float(evicted.vars[v].as_f64() + adj),

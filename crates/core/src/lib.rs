@@ -54,9 +54,12 @@
 //!    `perfq_kvstore::InlineKey` ([i64; 5] inline, heap spill only for
 //!    wider keys) and fold state lives in `foldops::StateVec` (two
 //!    variables inline in the cache slot), so the per-packet store update
-//!    touches no second heap line. The split store's
-//!    `SramCache::upsert_with` does exactly one hash and one probe per
-//!    packet.
+//!    touches no second heap line. The split store probes **once** per
+//!    packet: `SramCache::upsert_slot` resolves the key to a `SlotHandle`
+//!    and the fold mutates state *through the handle*
+//!    (`slot_value_mut`/`touch_slot`), so probe and fold share a single
+//!    hash + slot resolution (the fused upsert — the old probe-again-in-a-
+//!    closure shape is gone from the hot path).
 //! 4. **Merge shortcuts and compiled fold kernels** — additive windowless
 //!    folds (COUNT/SUM) carry no merge bookkeeping at all; folds with a
 //!    provably constant `A` matrix (EWMA) skip per-packet ΠA extraction and
@@ -77,6 +80,42 @@
 //! speedup of this engine over the seed tree-walking runtime
 //! (2.2–3.2× records/sec on the Fig. 2 benchmark queries);
 //! `scripts/bench_smoke.sh` guards it against regression.
+//!
+//! # Hot-path anatomy
+//!
+//! Where a record's nanoseconds actually go, measured on the bench box by
+//! `profile_runtime --csv` (stage decomposition; per-flow counter query
+//! unless noted — see `crates/bench/src/bin/profile_runtime.rs`):
+//!
+//! ```text
+//!   stage (one record)                                  ~ns/record
+//!   ────────────────────────────────────────────────────────────────
+//!   write_row        pruned-column materialize               21
+//!   + key build      row + group-key build + hash            62  (cum.)
+//!   store probe      SramCache::upsert_slot                  37
+//!   fold             += through the SlotHandle                4
+//!   ring handoff     SPSC encode + publish + decode          47  (sharded only)
+//!   ────────────────────────────────────────────────────────────────
+//!   whole pipeline   per-flow counters                      164  (6.1 M rec/s)
+//!   whole pipeline   latency EWMA                           210  (4.8 M rec/s)
+//! ```
+//!
+//! Three consequences shape the engine. **The probe dominates the store**
+//! (37 ns probe vs 4 ns fold), which is why the vectorized GroupBy sweep
+//! coalesces equal-key *runs* — one `observe_run_first` probe per run,
+//! `observe_run_next`/`observe_run_folded` through the already-resolved
+//! handle for the rest, and additive folds pre-reduce the run to a scalar
+//! before one `touch_slot(n)`. On locally-sorted traffic (mean run ≈ 5,
+//! the shape RSS steering + bursty flows produce) this wins 1.17–1.25×
+//! (`query_runtime_bursty` guards the ratio same-run); on hash-ordered
+//! traffic (run ≈ 1.4) the run tracker costs nothing measurable.
+//! **Key build rivals the probe** (~40 ns of the 62), bounding what any
+//! store-side work can save — the multi-query CSE that builds each unique
+//! key once per record attacks this term, not the store. **The ring
+//! handoff is priced like a second probe** (47 ns), so the sharded
+//! dataplane only pays it when a second core can absorb it — see
+//! *Sharded execution* below and the `sharded_note` in
+//! `BENCH_pipeline.json` for the single-core caveat.
 //!
 //! # Vectorized execution
 //!
@@ -130,8 +169,10 @@
 //!
 //! [`ShardedRuntime`] scales the engine past one core by key-hash
 //! partitioning the record stream: each of N worker shards owns a private
-//! flat plan and its own kvstore shard, fed over fixed-capacity SPSC queues
-//! (`perfq_switch::spsc`; `Network::run_sharded` is the producer half), and
+//! flat plan and its own kvstore shard, fed over fixed-capacity **lock-free**
+//! SPSC rings — word-encoded records in atomic slots, batch publication,
+//! a spin/yield/park backoff ladder, no mutex anywhere on the data path
+//! (`perfq_switch::spsc`; `Network::run_sharded` is the producer half) — and
 //! the drain merges per-shard fold state through the §3.2 merge machinery —
 //! the same algebra that reconciles one flow observed at many switches
 //! reconciles one key processed on many cores. The shard is a **pure

@@ -143,6 +143,23 @@ pub struct UpsertOutcome<K, V> {
     pub victim: Option<CacheEntry<K, V>>,
 }
 
+/// An opaque reference to a resident slot, returned by
+/// [`SramCache::upsert_slot`] — the probe-once primitive behind flow-run
+/// coalescing. Re-touching the slot through [`SramCache::touch_slot`] skips
+/// the hash and the bucket probe entirely while performing *exactly* the
+/// bookkeeping a hit through [`SramCache::upsert_with`] would (recency
+/// refresh per policy, `last_seen` stamp), so a run of equal-key records
+/// costs one probe total and stays byte-identical to the probe-per-record
+/// path.
+///
+/// Validity: the handle refers to the key it was minted for only until the
+/// next structural cache operation (an upsert of a *different* key, a
+/// remove, a drain, a migration). The vectorized sweep honors this by
+/// holding a handle only across a run of consecutive equal-key records
+/// within one node sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHandle(usize);
+
 /// The on-chip cache: geometry + policy behind one interface.
 #[derive(Debug, Clone)]
 pub struct SramCache<K, V> {
@@ -281,8 +298,76 @@ impl<K: Eq + Hash + Clone + SlotKey, V> SramCache<K, V> {
         let refresh = !matches!(self.policy, EvictionPolicy::Fifo);
         let (policy, rng) = (self.policy, &mut self.rng);
         match &mut self.inner {
-            Inner::Bucketed(c) => c.upsert_with(key, now, init, refresh, policy, rng),
-            Inner::Full(c) => c.upsert_with(key, now, init, refresh, policy, rng),
+            Inner::Bucketed(c) => {
+                let (j, outcome) = c.upsert_slot(key, now, init, refresh, policy, rng);
+                (&mut c.state[j].value, outcome)
+            }
+            Inner::Full(c) => {
+                let (idx, outcome) = c.upsert_slot(key, now, init, refresh, policy, rng);
+                let n = c.nodes[idx].as_mut().expect("upserted node exists");
+                (&mut n.entry.value, outcome)
+            }
+        }
+    }
+
+    /// [`SramCache::upsert_with`], but additionally returning a
+    /// [`SlotHandle`] to the (now-resident) slot so immediately following
+    /// touches of the same key can skip the probe. Bookkeeping is
+    /// byte-identical to `upsert_with`.
+    pub fn upsert_slot(
+        &mut self,
+        key: K,
+        now: Nanos,
+        init: impl FnOnce() -> V,
+    ) -> (SlotHandle, UpsertOutcome<K, V>) {
+        let refresh = !matches!(self.policy, EvictionPolicy::Fifo);
+        let (policy, rng) = (self.policy, &mut self.rng);
+        let (idx, outcome) = match &mut self.inner {
+            Inner::Bucketed(c) => c.upsert_slot(key, now, init, refresh, policy, rng),
+            Inner::Full(c) => c.upsert_slot(key, now, init, refresh, policy, rng),
+        };
+        (SlotHandle(idx), outcome)
+    }
+
+    /// The value behind a held slot, without recency side effects.
+    pub fn slot_value_mut(&mut self, handle: SlotHandle) -> &mut V {
+        match &mut self.inner {
+            Inner::Bucketed(c) => &mut c.state[handle.0].value,
+            Inner::Full(c) => {
+                &mut c.nodes[handle.0].as_mut().expect("held node exists").entry.value
+            }
+        }
+    }
+
+    /// Touch a held slot as if `n` consecutive hit-upserts of its key
+    /// happened, the last one at `now`, and return the value — the fused
+    /// re-touch of flow-run coalescing. End state is byte-identical to `n`
+    /// sequential [`SramCache::upsert_with`] hits: the recency counter
+    /// advances by `n` (refresh per policy; intermediate counter values are
+    /// unobservable because no other key intervenes during a run), the LRU
+    /// list position refreshes, and `last_seen` takes the final timestamp.
+    pub fn touch_slot(&mut self, handle: SlotHandle, n: u64, now: Nanos) -> &mut V {
+        debug_assert!(n > 0, "a touch covers at least one record");
+        let refresh = !matches!(self.policy, EvictionPolicy::Fifo);
+        match &mut self.inner {
+            Inner::Bucketed(c) => {
+                c.seq += n;
+                let s = &mut c.state[handle.0];
+                if refresh {
+                    s.accessed = c.seq;
+                }
+                s.last_seen = now;
+                &mut s.value
+            }
+            Inner::Full(c) => {
+                if refresh {
+                    c.unlink(handle.0);
+                    c.push_front(handle.0);
+                }
+                let node = c.nodes[handle.0].as_mut().expect("held node exists");
+                node.entry.last_seen = now;
+                &mut node.entry.value
+            }
         }
     }
 
@@ -614,7 +699,11 @@ impl<K: Eq + Hash + Clone + SlotKey, V> BucketedCache<K, V> {
         Some(victim)
     }
 
-    fn upsert_with(
+    /// Single-pass lookup-or-insert returning the arena index of the
+    /// (now-resident) entry — the index is the [`SlotHandle`] payload, and
+    /// it is stable across hit-path touches (only removes/migrations move
+    /// arena entries).
+    fn upsert_slot(
         &mut self,
         key: K,
         now: Nanos,
@@ -622,7 +711,7 @@ impl<K: Eq + Hash + Clone + SlotKey, V> BucketedCache<K, V> {
         refresh: bool,
         policy: EvictionPolicy,
         rng: &mut VictimRng,
-    ) -> (&mut V, UpsertOutcome<K, V>) {
+    ) -> (usize, UpsertOutcome<K, V>) {
         let h = hash_key(self.seed, &key);
         let b = self.bucket_of(h);
         self.seq += 1;
@@ -634,7 +723,7 @@ impl<K: Eq + Hash + Clone + SlotKey, V> BucketedCache<K, V> {
             }
             s.last_seen = now;
             return (
-                &mut s.value,
+                j,
                 UpsertOutcome {
                     hit: true,
                     victim: None,
@@ -645,7 +734,7 @@ impl<K: Eq + Hash + Clone + SlotKey, V> BucketedCache<K, V> {
         if (self.lens[b] as usize) < self.ways {
             let j = self.fill_slot(b, disc, exact, key, init(), now, seq);
             return (
-                &mut self.state[j].value,
+                j,
                 UpsertOutcome {
                     hit: false,
                     victim: None,
@@ -655,7 +744,7 @@ impl<K: Eq + Hash + Clone + SlotKey, V> BucketedCache<K, V> {
         let victim_slot = self.pick_victim(b, policy, rng);
         let (j, victim) = self.replace_slot(b, victim_slot, disc, exact, key, init(), now, seq);
         (
-            &mut self.state[j].value,
+            j,
             UpsertOutcome {
                 hit: false,
                 victim: Some(victim),
@@ -904,7 +993,10 @@ impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
         victim
     }
 
-    fn upsert_with(
+    /// Single-pass lookup-or-insert returning the node index of the
+    /// (now-resident) entry — stable across hit-path touches (the LRU list
+    /// relinks around a node without moving it).
+    fn upsert_slot(
         &mut self,
         key: K,
         now: Nanos,
@@ -912,7 +1004,7 @@ impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
         refresh: bool,
         policy: EvictionPolicy,
         rng: &mut VictimRng,
-    ) -> (&mut V, UpsertOutcome<K, V>) {
+    ) -> (usize, UpsertOutcome<K, V>) {
         if let Some(&idx) = self.map.get(&key) {
             if refresh {
                 self.unlink(idx);
@@ -921,7 +1013,7 @@ impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
             let n = self.nodes[idx].as_mut().expect("indexed node exists");
             n.entry.last_seen = now;
             return (
-                &mut n.entry.value,
+                idx,
                 UpsertOutcome {
                     hit: true,
                     victim: None,
@@ -935,10 +1027,8 @@ impl<K: Eq + Hash + Clone, V> FullLruCache<K, V> {
             last_seen: now,
         };
         let victim = self.insert(entry, policy, rng);
-        let idx = self.head;
-        let n = self.nodes[idx].as_mut().expect("just inserted at head");
         (
-            &mut n.entry.value,
+            self.head,
             UpsertOutcome {
                 hit: false,
                 victim,

@@ -153,7 +153,7 @@ pub use area::{
     AreaPlan, CachePlanner, PlanError, QueryAllocation, QueryDemand, StoreAllocation, StoreDemand,
 };
 pub use backing::{BackingEntry, BackingStore, Epoch, MergeMode};
-pub use cache::{CacheEntry, CacheSlotRef, SlotKey, SramCache};
+pub use cache::{CacheEntry, CacheSlotRef, SlotHandle, SlotKey, SramCache};
 pub use geometry::CacheGeometry;
 pub use key::{InlineKey, INLINE_KEY_WORDS};
 pub use policy::EvictionPolicy;

@@ -16,7 +16,7 @@
 //! counter/sum ops used by the Fig. 5 benchmark and tests.
 
 use crate::backing::{BackingEntry, BackingStore, MergeMode};
-use crate::cache::{CacheEntry, SlotKey, SramCache};
+use crate::cache::{CacheEntry, SlotHandle, SlotKey, SramCache};
 use crate::geometry::CacheGeometry;
 use crate::policy::EvictionPolicy;
 use crate::stats::StoreStats;
@@ -101,6 +101,77 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             }
         }
         value
+    }
+
+    /// Observe the first packet of a **run** of consecutive equal-key
+    /// packets: the full [`SplitStore::observe_ref`] protocol (probe,
+    /// hit/miss/eviction accounting, victim absorption, fold update), plus a
+    /// [`SlotHandle`] to the now-resident slot so the rest of the run can
+    /// re-touch it without re-probing.
+    ///
+    /// The handle is valid only while no *other* key is upserted into this
+    /// store — i.e. for the remainder of the current run. The vectorized
+    /// sweep's run detection guarantees exactly that.
+    pub fn observe_run_first(
+        &mut self,
+        key: K,
+        input: &O::Input,
+        now: Nanos,
+    ) -> (&O::Value, SlotHandle) {
+        self.stats.packets += 1;
+        let ops = &self.ops;
+        let (handle, outcome) = self.cache.upsert_slot(key, now, || ops.init());
+        if outcome.hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if let Some(victim) = outcome.victim {
+                self.stats.evictions += 1;
+                self.stats.backing_writes += 1;
+                absorb_entry(&mut self.backing, ops, victim);
+            }
+        }
+        let value = self.cache.slot_value_mut(handle);
+        ops.update(value, input);
+        (value, handle)
+    }
+
+    /// Observe one more packet of a run on the slot held by `handle` — a
+    /// guaranteed hit, folded straight into the arena slot with no hash, no
+    /// probe, and no key construction. Accounting (packet/hit counters,
+    /// recency refresh per policy, `last_seen`) is byte-identical to a hit
+    /// through [`SplitStore::observe_ref`].
+    pub fn observe_run_next(
+        &mut self,
+        handle: SlotHandle,
+        input: &O::Input,
+        now: Nanos,
+    ) -> &O::Value {
+        self.stats.packets += 1;
+        self.stats.hits += 1;
+        let value = self.cache.touch_slot(handle, 1, now);
+        self.ops.update(value, input);
+        value
+    }
+
+    /// Fold `n` pre-reduced run packets into the held slot in one step: the
+    /// caller has already combined the `n` packets' updates (legal only for
+    /// folds whose update sequence pre-reduces exactly — see
+    /// `perfq-core`'s fold ops) and applies them via `fold`. Store
+    /// bookkeeping advances as if `n` hit-observes happened, the last at
+    /// `now`.
+    pub fn observe_run_folded(
+        &mut self,
+        handle: SlotHandle,
+        n: u64,
+        now: Nanos,
+        fold: impl FnOnce(&O, &mut O::Value),
+    ) {
+        debug_assert!(n > 0, "a pre-reduced run covers at least one packet");
+        self.stats.packets += n;
+        self.stats.hits += n;
+        let value = self.cache.touch_slot(handle, n, now);
+        fold(&self.ops, value);
     }
 
     /// Evict every resident entry to the backing store (end of a measurement

@@ -8,19 +8,54 @@
 //! blocks rather than buffering unboundedly (§3.2's eviction-rate argument
 //! assumes the collection path keeps up on average, not at every instant).
 //!
-//! The implementation is a mutex-guarded ring with condvar wakeups rather
-//! than a lock-free ring (the workspace forbids `unsafe`); both sides move
-//! records in **batches**, so the lock is taken once per few hundred records
-//! and the synchronization cost stays far below the per-record processing
-//! cost it feeds.
+//! # A lock-free ring without `unsafe`
+//!
+//! The implementation is a cache-line-padded atomic head/tail ring — the
+//! classic Lamport SPSC queue with batched publication — built entirely
+//! from safe primitives. The workspace forbids `unsafe`, which rules out
+//! the textbook `UnsafeCell<MaybeUninit<T>>` slot array; instead, elements
+//! are **word-encoded**: [`RingItem`] fixes each `T` at a constant number
+//! of `u64` words, and the ring is one flat `Box<[AtomicU64]>`. Slot words
+//! are written and read with `Relaxed` ordering; the *only* synchronization
+//! is one `Release` store of the producer's `tail` per published batch and
+//! one `Release` store of the consumer's `head` per consumed batch, each
+//! `Acquire`-loaded by the peer. That pair of edges makes every slot write
+//! happen-before the read that consumes it, and every read happen-before
+//! the overwrite that recycles the slot.
+//!
+//! Per-record cost beyond the copy itself is therefore `O(1/batch_len)`
+//! shared-line traffic: both sides keep a **cached copy of the peer's
+//! index** and only touch the shared counter when the ring looks full
+//! (producer) or empty (consumer). Waiting sides climb a three-tier
+//! ladder: `spin_loop` with exponential backoff (cheapest when the peer
+//! runs on another core), then `yield_now`, then **park** — the waiter
+//! registers its thread handle and calls `thread::park_timeout`, and the
+//! peer unparks it right after the publication store. The park tier is
+//! what keeps an oversubscribed box honest: with more shards than cores, a
+//! yielding waiter stays runnable and the scheduler round-robins through
+//! spinners, while a parked waiter donates its entire slice to the thread
+//! that can actually make progress. Lost wakeups are ruled out by a
+//! Dekker-style `SeqCst` fence pair (commit-to-park re-checks the
+//! condition after raising its flag; the publisher fences before reading
+//! it), with the park timeout as defense in depth. There is no lock on
+//! the data path — the one `Mutex` guards only the parked thread handle
+//! and is touched exclusively on the cold park/unpark edges.
+//!
+//! Indices are monotonically increasing (wrapping) record counts; the
+//! physical slot is `index & mask` over a power-of-two slot array, while
+//! occupancy is capped at the exact user-requested `capacity`, preserving
+//! precise backpressure for non-power-of-two capacities.
 //!
 //! Dropping the [`Sender`] closes the channel: the consumer drains what
 //! remains and then observes end-of-stream. Dropping the [`Receiver`] makes
 //! further sends fail fast with [`SendError`], so a crashed worker
 //! backpressures into an error instead of a deadlock.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Error returned when sending into a channel whose receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,127 +69,402 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// Upper bound on [`RingItem::WORDS`] — sizes the stack encode/decode
+/// buffer (stable Rust cannot yet size it by the associated const).
+pub const MAX_RING_WORDS: usize = 16;
+
+/// A fixed-width element of the lock-free ring: encoded to and decoded
+/// from a constant number of `u64` words.
+///
+/// `decode(encode(x))` must reproduce `x` exactly — the sharded dataplane
+/// depends on records crossing the ring bit-identically (pinned by the
+/// round-trip tests in `record.rs`).
+pub trait RingItem: Sized {
+    /// Encoded width in `u64` words (`1..=MAX_RING_WORDS`).
+    const WORDS: usize;
+
+    /// Write `self` into exactly [`Self::WORDS`] words.
+    fn encode(&self, out: &mut [u64]);
+
+    /// Reconstruct from exactly [`Self::WORDS`] words.
+    fn decode(words: &[u64]) -> Self;
+}
+
+impl RingItem for u64 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = *self;
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        words[0]
+    }
+}
+
+/// One shared counter on its own cache line, so producer and consumer
+/// publication stores never false-share.
 #[derive(Debug)]
-struct Shared<T> {
-    queue: Mutex<State<T>>,
-    /// Producer waits here while the ring is full.
-    not_full: Condvar,
-    /// Consumer waits here while the ring is empty.
-    not_empty: Condvar,
+#[repr(align(64))]
+struct CachePadded(AtomicUsize);
+
+/// Insurance against a wakeup lost to a scenario the fences don't cover
+/// (there should be none): a parked side re-checks its condition at least
+/// this often regardless. Long enough that an idle parked worker does not
+/// meaningfully poll, short enough to bound the damage of a hypothetical
+/// missed wakeup.
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// One side's parking slot. The flag is the Dekker variable; the handle is
+/// only ever touched while committing to park or delivering a wakeup.
+#[derive(Debug, Default)]
+struct Waiter {
+    /// True from commit-to-park until the owner wakes (or the peer claims
+    /// the wakeup).
+    parked: AtomicBool,
+    /// The parked thread's handle, for `Thread::unpark`.
+    thread: Mutex<Option<std::thread::Thread>>,
+}
+
+impl Waiter {
+    /// Commit-to-park: register the current thread, raise the flag, then
+    /// re-verify the wait condition under a `SeqCst` fence — if `not_ready`
+    /// still holds, park (bounded by [`PARK_TIMEOUT`]). The fence pairs
+    /// with the one in [`Waiter::wake`]: either this side observes the
+    /// peer's publication, or the peer observes the raised flag.
+    fn park_if(&self, not_ready: impl FnOnce() -> bool) {
+        *self.thread.lock().expect("waiter handle lock") = Some(std::thread::current());
+        self.parked.store(true, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        if not_ready() {
+            std::thread::park_timeout(PARK_TIMEOUT);
+        }
+        self.parked.store(false, Ordering::Relaxed);
+    }
+
+    /// Deliver a wakeup if the peer is parked (called by the publishing
+    /// side right after its `Release` store, and by the `Drop` impls after
+    /// lowering an alive flag). The fast path is one relaxed load of a
+    /// line that is quiescent unless the peer actually parked.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if !self.parked.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.parked.swap(false, Ordering::SeqCst) {
+            if let Some(t) = self.thread.lock().expect("waiter handle lock").take() {
+                t.unpark();
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
-struct State<T> {
-    ring: VecDeque<T>,
+struct Shared {
+    /// The slot array: `slot_count * words` words, slot `i` at
+    /// `(i & mask) * words`.
+    slots: Box<[AtomicU64]>,
+    /// `slot_count − 1` (slot count is a power of two; the words-per-element
+    /// factor is monomorphized into the sender/receiver via
+    /// [`RingItem::WORDS`]).
+    mask: usize,
+    /// Maximum occupancy — the exact user-requested capacity, which may be
+    /// smaller than the power-of-two slot count.
     capacity: usize,
-    sender_alive: bool,
-    receiver_alive: bool,
+    /// Consumer position: the next index to read. Written only by the
+    /// receiver (`Release` after a consumed batch).
+    head: CachePadded,
+    /// Producer position: the next index to write. Written only by the
+    /// sender (`Release` after a published batch).
+    tail: CachePadded,
+    sender_alive: AtomicBool,
+    receiver_alive: AtomicBool,
+    /// Parking slot for a producer blocked on a full ring (woken by the
+    /// consumer's head publication).
+    tx_waiter: Waiter,
+    /// Parking slot for a consumer blocked on an empty ring (woken by the
+    /// producer's tail publication).
+    rx_waiter: Waiter,
 }
 
 /// The producing half of a bounded SPSC channel.
 #[derive(Debug)]
-pub struct Sender<T> {
-    shared: Arc<Shared<T>>,
+pub struct Sender<T: RingItem> {
+    shared: Arc<Shared>,
+    /// Local tail — this side is its only writer, so it never re-reads the
+    /// shared counter.
+    tail: Cell<usize>,
+    /// Cached consumer head, refreshed only when the ring looks full.
+    head_cache: Cell<usize>,
+    _marker: PhantomData<fn(T) -> T>,
 }
 
 /// The consuming half of a bounded SPSC channel.
 #[derive(Debug)]
-pub struct Receiver<T> {
-    shared: Arc<Shared<T>>,
+pub struct Receiver<T: RingItem> {
+    shared: Arc<Shared>,
+    /// Local head — this side is its only writer.
+    head: Cell<usize>,
+    /// Cached producer tail, refreshed only when the ring looks empty.
+    tail_cache: Cell<usize>,
+    _marker: PhantomData<fn(T) -> T>,
 }
 
 /// Create a bounded SPSC channel holding at most `capacity` elements.
 #[must_use]
-pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+pub fn channel<T: RingItem>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     assert!(capacity > 0, "spsc capacity must be positive");
+    assert!(
+        T::WORDS > 0 && T::WORDS <= MAX_RING_WORDS,
+        "RingItem::WORDS must be in 1..=MAX_RING_WORDS"
+    );
+    let slot_count = capacity.next_power_of_two();
+    let mut slots = Vec::new();
+    slots.resize_with(slot_count * T::WORDS, || AtomicU64::new(0));
     let shared = Arc::new(Shared {
-        queue: Mutex::new(State {
-            ring: VecDeque::with_capacity(capacity),
-            capacity,
-            sender_alive: true,
-            receiver_alive: true,
-        }),
-        not_full: Condvar::new(),
-        not_empty: Condvar::new(),
+        slots: slots.into_boxed_slice(),
+        mask: slot_count - 1,
+        capacity,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        sender_alive: AtomicBool::new(true),
+        receiver_alive: AtomicBool::new(true),
+        tx_waiter: Waiter::default(),
+        rx_waiter: Waiter::default(),
     });
     (
         Sender {
             shared: Arc::clone(&shared),
+            tail: Cell::new(0),
+            head_cache: Cell::new(0),
+            _marker: PhantomData,
         },
-        Receiver { shared },
+        Receiver {
+            shared,
+            head: Cell::new(0),
+            tail_cache: Cell::new(0),
+            _marker: PhantomData,
+        },
     )
 }
 
-impl<T> Sender<T> {
+/// Whether the box exposes exactly one CPU (checked once): with a single
+/// core the peer can never be running *while we wait*, so every spin cycle
+/// is burnt and the ladder should reach the scheduler almost immediately.
+fn single_core() -> bool {
+    static ONE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ONE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() == 1))
+}
+
+/// One rung of the wait ladder: spin briefly with exponential backoff,
+/// then yield a few times, then tell the caller to park (`true`). The box
+/// may have fewer cores than shards, so an unbounded spin could starve
+/// the very thread being waited on — and an unbounded *yield* loop merely
+/// round-robins the scheduler through every other waiter, which is why
+/// the ladder ends at `park` instead. On a single-core box the spin tier
+/// is skipped entirely and one yield (which usually schedules the peer
+/// directly) precedes the park.
+fn backoff(spins: &mut u32) -> bool {
+    let (spin_rounds, yield_rounds) = if single_core() { (0, 8) } else { (6, 8) };
+    if *spins < spin_rounds {
+        for _ in 0..(1u32 << *spins) {
+            std::hint::spin_loop();
+        }
+        *spins += 1;
+        false
+    } else if *spins < spin_rounds + yield_rounds {
+        std::thread::yield_now();
+        *spins += 1;
+        false
+    } else {
+        true
+    }
+}
+
+impl<T: RingItem> Sender<T> {
+    /// Encode `item` into slot `idx`'s words (`Relaxed` — the batch's
+    /// `Release` tail store publishes them).
+    #[inline]
+    fn write_slot(&self, idx: usize, item: &T) {
+        let mut buf = [0u64; MAX_RING_WORDS];
+        item.encode(&mut buf[..T::WORDS]);
+        let base = (idx & self.shared.mask) * T::WORDS;
+        for (slot, word) in self.shared.slots[base..base + T::WORDS]
+            .iter()
+            .zip(&buf[..T::WORDS])
+        {
+            slot.store(*word, Ordering::Relaxed);
+        }
+    }
+
+    /// Free slots under the cached head, refreshing the cache (one shared
+    /// load) only when the cached view says full.
+    #[inline]
+    fn free_slots(&self) -> usize {
+        let used = self.tail.get().wrapping_sub(self.head_cache.get());
+        if used < self.shared.capacity {
+            return self.shared.capacity - used;
+        }
+        self.head_cache
+            .set(self.shared.head.0.load(Ordering::Acquire));
+        self.shared.capacity - self.tail.get().wrapping_sub(self.head_cache.get())
+    }
+
+    /// Publish the local tail (one `Release` store per batch).
+    #[inline]
+    fn publish(&self, new_tail: usize) {
+        debug_assert!(
+            new_tail.wrapping_sub(self.tail.get()) <= self.shared.capacity,
+            "publish advances tail monotonically by at most capacity"
+        );
+        debug_assert!(
+            new_tail.wrapping_sub(self.shared.head.0.load(Ordering::Relaxed))
+                <= self.shared.capacity,
+            "ring occupancy never exceeds capacity"
+        );
+        self.tail.set(new_tail);
+        self.shared.tail.0.store(new_tail, Ordering::Release);
+        self.shared.rx_waiter.wake();
+    }
+
+    /// Park until the consumer frees a slot (or dies). `free_slots` always
+    /// re-reads the shared head while the ring looks full, so the re-check
+    /// inside the commit window is fresh.
+    fn park_until_free(&self) {
+        self.shared.tx_waiter.park_if(|| {
+            self.free_slots() == 0 && self.shared.receiver_alive.load(Ordering::Acquire)
+        });
+    }
+
     /// Send one element, blocking while the ring is full.
     pub fn send(&self, item: T) -> Result<(), SendError> {
-        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
-        loop {
-            if !state.receiver_alive {
+        if !self.shared.receiver_alive.load(Ordering::Acquire) {
+            return Err(SendError);
+        }
+        let mut spins = 0u32;
+        while self.free_slots() == 0 {
+            if !self.shared.receiver_alive.load(Ordering::Acquire) {
                 return Err(SendError);
             }
-            if state.ring.len() < state.capacity {
-                state.ring.push_back(item);
-                drop(state);
-                self.shared.not_empty.notify_one();
-                return Ok(());
+            if backoff(&mut spins) {
+                self.park_until_free();
             }
-            state = self
-                .shared
-                .not_full
-                .wait(state)
-                .expect("spsc lock poisoned");
         }
+        let tail = self.tail.get();
+        self.write_slot(tail, &item);
+        self.publish(tail.wrapping_add(1));
+        Ok(())
     }
 
     /// Drain `batch` into the ring, blocking for space as needed. The batch
     /// is emptied on success (elements are moved out in order); on a
     /// disconnected receiver the unsent remainder stays in `batch`.
     ///
-    /// One lock acquisition moves as many elements as fit, so the per-record
-    /// synchronization cost is `O(1/batch_len)` locks.
+    /// As many elements as fit are written and then published with a single
+    /// `Release` store, so the per-record synchronization cost is
+    /// `O(1/batch_len)` shared-line transfers.
     pub fn send_all(&self, batch: &mut Vec<T>) -> Result<(), SendError> {
-        let mut sent_any = false;
-        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
+        if !self.shared.receiver_alive.load(Ordering::Acquire) {
+            return Err(SendError);
+        }
+        let mut spins = 0u32;
         while !batch.is_empty() {
-            if !state.receiver_alive {
-                return Err(SendError);
-            }
-            let space = state.capacity - state.ring.len();
-            if space == 0 {
-                if sent_any {
-                    self.shared.not_empty.notify_one();
-                    sent_any = false;
+            let free = self.free_slots();
+            if free == 0 {
+                if !self.shared.receiver_alive.load(Ordering::Acquire) {
+                    return Err(SendError);
                 }
-                state = self
-                    .shared
-                    .not_full
-                    .wait(state)
-                    .expect("spsc lock poisoned");
+                if backoff(&mut spins) {
+                    self.park_until_free();
+                }
                 continue;
             }
-            let take = space.min(batch.len());
-            state.ring.extend(batch.drain(..take));
-            sent_any = true;
-        }
-        drop(state);
-        if sent_any {
-            self.shared.not_empty.notify_one();
+            spins = 0;
+            let tail = self.tail.get();
+            let take = free.min(batch.len());
+            for (off, item) in batch.drain(..take).enumerate() {
+                self.write_slot(tail.wrapping_add(off), &item);
+            }
+            self.publish(tail.wrapping_add(take));
         }
         Ok(())
     }
 }
 
-impl<T> Drop for Sender<T> {
+impl<T: RingItem> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
-        state.sender_alive = false;
-        drop(state);
-        self.shared.not_empty.notify_one();
+        // `Release` so the consumer's `Acquire` load of the flag also sees
+        // the final published tail. A parked consumer must then be woken to
+        // observe end-of-stream.
+        self.shared.sender_alive.store(false, Ordering::Release);
+        self.shared.rx_waiter.wake();
     }
 }
 
-impl<T> Receiver<T> {
+impl<T: RingItem> Receiver<T> {
+    /// Decode slot `idx` (`Relaxed` word loads — the `Acquire` tail load
+    /// that made the slot visible provides the ordering).
+    #[inline]
+    fn read_slot(&self, idx: usize) -> T {
+        let mut buf = [0u64; MAX_RING_WORDS];
+        let base = (idx & self.shared.mask) * T::WORDS;
+        for (word, slot) in buf[..T::WORDS]
+            .iter_mut()
+            .zip(&self.shared.slots[base..base + T::WORDS])
+        {
+            *word = slot.load(Ordering::Relaxed);
+        }
+        T::decode(&buf[..T::WORDS])
+    }
+
+    /// Block until at least one element is visible; `0` means the channel
+    /// is closed *and* drained (end-of-stream).
+    fn wait_available(&self) -> usize {
+        let head = self.head.get();
+        let cached = self.tail_cache.get().wrapping_sub(head);
+        if cached != 0 {
+            return cached;
+        }
+        let mut spins = 0u32;
+        loop {
+            self.tail_cache
+                .set(self.shared.tail.0.load(Ordering::Acquire));
+            let avail = self.tail_cache.get().wrapping_sub(head);
+            if avail != 0 {
+                return avail;
+            }
+            if !self.shared.sender_alive.load(Ordering::Acquire) {
+                // The flag is stored after the final publish; one re-load
+                // of tail under the flag's `Acquire` edge catches a batch
+                // that landed between our tail load and the flag check.
+                self.tail_cache
+                    .set(self.shared.tail.0.load(Ordering::Acquire));
+                return self.tail_cache.get().wrapping_sub(head);
+            }
+            if backoff(&mut spins) {
+                self.shared.rx_waiter.park_if(|| {
+                    self.shared.tail.0.load(Ordering::Acquire).wrapping_sub(head) == 0
+                        && self.shared.sender_alive.load(Ordering::Acquire)
+                });
+            }
+        }
+    }
+
+    /// Consume `take` elements from the local head and publish the new head
+    /// (one `Release` store per batch) so the producer can recycle slots.
+    #[inline]
+    fn advance(&self, take: usize) {
+        let new_head = self.head.get().wrapping_add(take);
+        debug_assert!(
+            self.shared.tail.0.load(Ordering::Relaxed).wrapping_sub(new_head)
+                < usize::MAX / 2,
+            "head never overtakes tail"
+        );
+        self.head.set(new_head);
+        self.shared.head.0.store(new_head, Ordering::Release);
+        self.shared.tx_waiter.wake();
+    }
+
     /// Receive up to `max` elements into `out` (appended), blocking until at
     /// least one element is available or the channel is closed and drained.
     /// Returns the number received; 0 means end-of-stream (so `max` must be
@@ -162,53 +472,35 @@ impl<T> Receiver<T> {
     /// end-of-stream to the caller).
     pub fn recv_many(&self, out: &mut Vec<T>, max: usize) -> usize {
         assert!(max > 0, "recv_many needs a positive max");
-        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
-        loop {
-            if !state.ring.is_empty() {
-                let take = max.min(state.ring.len());
-                out.extend(state.ring.drain(..take));
-                drop(state);
-                self.shared.not_full.notify_one();
-                return take;
-            }
-            if !state.sender_alive {
-                return 0;
-            }
-            state = self
-                .shared
-                .not_empty
-                .wait(state)
-                .expect("spsc lock poisoned");
+        let avail = self.wait_available();
+        if avail == 0 {
+            return 0;
         }
+        let head = self.head.get();
+        let take = avail.min(max);
+        for off in 0..take {
+            out.push(self.read_slot(head.wrapping_add(off)));
+        }
+        self.advance(take);
+        take
     }
 
     /// Receive one element, or `None` at end-of-stream.
     pub fn recv(&self) -> Option<T> {
-        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
-        loop {
-            if let Some(item) = state.ring.pop_front() {
-                drop(state);
-                self.shared.not_full.notify_one();
-                return Some(item);
-            }
-            if !state.sender_alive {
-                return None;
-            }
-            state = self
-                .shared
-                .not_empty
-                .wait(state)
-                .expect("spsc lock poisoned");
+        if self.wait_available() == 0 {
+            return None;
         }
+        let item = self.read_slot(self.head.get());
+        self.advance(1);
+        Some(item)
     }
 }
 
-impl<T> Drop for Receiver<T> {
+impl<T: RingItem> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.queue.lock().expect("spsc lock poisoned");
-        state.receiver_alive = false;
-        drop(state);
-        self.shared.not_full.notify_one();
+        self.shared.receiver_alive.store(false, Ordering::Release);
+        // A producer parked on a full ring must wake to observe the death.
+        self.shared.tx_waiter.wake();
     }
 }
 
@@ -273,6 +565,7 @@ mod tests {
         assert_eq!(tx.send(1), Err(SendError));
         let mut batch = vec![1, 2, 3];
         assert_eq!(tx.send_all(&mut batch), Err(SendError));
+        assert_eq!(batch, vec![1, 2, 3]);
     }
 
     #[test]
@@ -287,5 +580,25 @@ mod tests {
         tx.send_all(&mut batch).unwrap();
         drop(tx);
         assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_is_exact() {
+        // Slot array rounds up to 8, but occupancy must cap at 5.
+        let (tx, rx) = channel::<u64>(5);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        // A 6th send must block: run it on a thread and make sure it only
+        // completes after one element is consumed.
+        let t = thread::spawn(move || {
+            tx.send(5).unwrap();
+            drop(tx);
+        });
+        assert_eq!(rx.recv(), Some(0));
+        t.join().unwrap();
+        let mut rest = Vec::new();
+        while rx.recv_many(&mut rest, 8) > 0 {}
+        assert_eq!(rest, vec![1, 2, 3, 4, 5]);
     }
 }

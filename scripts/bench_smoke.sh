@@ -7,11 +7,13 @@
 # regresses more than the allowed fraction (default 10%, override with
 # BENCH_SMOKE_TOLERANCE=0.15 etc.).
 #
-# Every number is a *median of N fixed iterations* reported together with
-# its interquartile spread (p25..p75 as a percent of the median). The bench
-# box has noise phases worth +/-15-20%; a wide IQR marks a verdict as
-# NOISY so a flagged regression (or a passed floor) can be read with the
-# right confidence instead of being re-rolled blindly.
+# Every number is a *median of N fixed iterations* reported as its
+# p25/p50/p75 throughput quartiles. The bench box has noise phases worth
+# +/-15-20%; when a measurement's interquartile spread exceeds 10% of the
+# median the median itself is suspect, so a failed floor or ratio on that
+# measurement is reported as SUSPECT instead of failing the run — only a
+# regression backed by a clean (tight-IQR) measurement hard-FAILs. A clean
+# pass is still printed with its quartiles so a lucky median can be spotted.
 #
 # Usage: scripts/bench_smoke.sh
 set -euo pipefail
@@ -38,7 +40,8 @@ cargo test --release -q \
     --test store_migration \
     --test area_plan \
     --test area_sweep \
-    --test alloc_discipline
+    --test alloc_discipline \
+    --test spsc_stress
 
 echo "== doc gate: cargo doc --no-deps must be warning-free =="
 # Docs are a deliverable (ARCHITECTURE.md + the crate rustdocs form the
@@ -83,31 +86,56 @@ rows = list(by_bench.values())
 current = {r["bench"]: r["elems_per_sec"] for r in rows}
 
 # Interquartile spread of each measurement, as a fraction of its median.
-# Above this width the median itself is suspect — annotate the verdict.
+# Above this width the median itself is suspect: a verdict built on it is
+# annotated, and a FAILED verdict is demoted to SUSPECT (the box's noise
+# phases produce 30%+ spreads that would otherwise fail healthy code).
 NOISY = 0.10
 spread = {
     r["bench"]: (r["p75_ns"] - r["p25_ns"]) / r["ns_per_iter"]
     for r in rows
     if r.get("p75_ns") and r["ns_per_iter"] > 0
 }
+# Throughput quartiles: p25 throughput comes from the p75 (slow) latency
+# quartile and vice versa.
+quartiles = {
+    r["bench"]: (
+        r["elems_per_sec"] * r["ns_per_iter"] / r["p75_ns"],
+        r["elems_per_sec"],
+        r["elems_per_sec"] * r["ns_per_iter"] / r["p25_ns"],
+    )
+    for r in rows
+    if r.get("p75_ns") and r.get("p25_ns") and r["ns_per_iter"] > 0
+}
 
 failed = False
-print(f"\n{'benchmark':<48} {'baseline':>12} {'median':>12} {'IQR':>7} {'ratio':>7}")
+def M(v):
+    return f"{v / 1e6:.2f}"
+
+print(f"\n{'benchmark':<52} {'baseline':>9} {'p25':>7} {'p50':>7} {'p75':>7} {'ratio':>7}   (Melems/s)")
 for bench, want in sorted(baseline.items()):
     got = current.get(bench)
     if got is None:
-        print(f"{bench:<48} {want:>12.0f} {'MISSING':>12}")
+        print(f"{bench:<52} {M(want):>9} {'MISSING':>23}")
         failed = True
         continue
     ratio = got / want
     iqr = spread.get(bench, 0.0)
-    flag = "" if ratio >= 1.0 - tolerance else "  << REGRESSION"
-    if flag:
-        failed = True
-    if iqr > NOISY:
-        flag += "  (NOISY)"
+    p25, p50, p75 = quartiles.get(bench, (got, got, got))
+    noisy = iqr > NOISY
+    flag = ""
+    if ratio < 1.0 - tolerance:
+        # Only a clean measurement may hard-fail the run; a wide-IQR median
+        # is as likely a noise phase as a regression, so flag it for a
+        # human re-roll instead.
+        if noisy:
+            flag = "  << SUSPECT (noisy)"
+        else:
+            flag = "  << REGRESSION"
+            failed = True
+    elif noisy:
+        flag = "  (NOISY)"
     print(
-        f"{bench:<48} {want:>12.0f} {got:>12.0f} ±{iqr:>5.1%} {ratio:>6.2f}x{flag}"
+        f"{bench:<52} {M(want):>9} {M(p25):>7} {M(p50):>7} {M(p75):>7} {ratio:>6.2f}x{flag}"
     )
 
 def guard_ratio(num, den, floor):
@@ -123,9 +151,16 @@ def guard_ratio(num, den, floor):
     # guards, whose floor of 1.0 sits on top of the measured distribution
     # (fold-dominated queries run the identical fold on both paths).
     ok = ratio >= floor * (1.0 - tolerance)
-    noisy = "  (NOISY)" if max(spread.get(num, 0.0), spread.get(den, 0.0)) > NOISY else ""
-    print(f"ratio {num} / {den}: {ratio:.2f}x (floor {floor:.2f}x)"
-          + ("" if ok else "  << REGRESSION") + noisy)
+    noisy = max(spread.get(num, 0.0), spread.get(den, 0.0)) > NOISY
+    if ok:
+        flag = "  (NOISY)" if noisy else ""
+    elif noisy:
+        # Either side of the ratio being a wide-IQR median makes the ratio
+        # itself suspect — annotate, don't fail (same rule as the floors).
+        flag, ok = "  << SUSPECT (noisy)", True
+    else:
+        flag = "  << REGRESSION"
+    print(f"ratio {num} / {den}: {ratio:.2f}x (floor {floor:.2f}x){flag}")
     return ok
 
 # Relative wins must hold as RATIOS within this run (same machine-noise

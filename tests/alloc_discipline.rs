@@ -290,4 +290,74 @@ fn steady_state_batched_replay_allocates_nothing() {
             after - before,
         );
     }
+
+    // The warmed 4-shard drain. `ShardedRuntime::finish` joins the workers
+    // and funnels every shard through `Runtime::absorb_finished` — the
+    // `absorb_store` → `merge_from` → `FoldOps::merge` chain. Once the
+    // merged runtime's backing holds the full keyset and the merge scratch
+    // (exec stack, pooled ΠA delta buffer) is warm, a drain round must not
+    // allocate: every shard entry merges into a *standing* backing entry,
+    // the §3.2 correction is straight arithmetic over inline state vectors,
+    // and windowed folds replay their log through the pooled bytecode
+    // stack. Covered classes: additive (counter), constant-A fast kernel
+    // (EWMA), and windowed-linear with aux replay (out-of-sequence) — the
+    // generic path whose delta buffer is pooled on `Scratch`. Epoch-mode
+    // folds are excluded: their evicted residencies legitimately append to
+    // the standing epoch list, which is a real (and wanted) allocation.
+    {
+        let outofseq = "def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):\n    if lastseq + 1 != tcpseq:\n        oos_count = oos_count + 1\n    lastseq = tcpseq + payload_len\n\nSELECT 5tuple, outofseq GROUPBY 5tuple\n";
+        for (name, src) in [
+            ("counter", fig2::PER_FLOW_COUNTERS.source),
+            ("ewma", fig2::LATENCY_EWMA.source),
+            ("outofseq", outofseq),
+        ] {
+            let c = compile_query(src, &fig2::default_params(), Default::default()).unwrap();
+            // Four finished shard runtimes over a strided split of the
+            // trace — every flow straddles all four shards, so each drain
+            // round exercises real cross-shard merges on every key.
+            let shard_set = || -> Vec<Runtime> {
+                (0..4)
+                    .map(|s| {
+                        let mut rt = Runtime::new(c.clone());
+                        for (i, r) in recs.iter().enumerate() {
+                            if i % 4 == s {
+                                rt.process_record(r);
+                            }
+                        }
+                        rt.finish();
+                        rt
+                    })
+                    .collect()
+            };
+            let mut main = Runtime::new(c.clone());
+            main.process_batch(&recs);
+            main.finish();
+            // Warm round: populates the merged backing with the full
+            // keyset and sizes every piece of merge scratch.
+            for sh in shard_set() {
+                main.absorb_finished(sh);
+            }
+            // Rebuild identical finished shards OUTSIDE the window — shard
+            // construction and flushing allocate by design; the *drain*
+            // may not.
+            let shards = shard_set();
+            let records_before = main.records();
+            let before = allocs();
+            for sh in shards {
+                main.absorb_finished(sh);
+            }
+            let after = allocs();
+            assert_eq!(
+                after - before,
+                0,
+                "{name}: warmed 4-shard drain allocated {} times",
+                after - before,
+            );
+            assert_eq!(
+                main.records(),
+                records_before + recs.len() as u64,
+                "drain absorbed every shard record"
+            );
+        }
+    }
 }

@@ -172,6 +172,152 @@ fn all_pass_and_all_drop_batches_are_identical() {
     }
 }
 
+/// Sort each 64-record chunk by source address so flow runs form inside
+/// the vectorized sweep's lane chunks — the shape the run-coalescing fast
+/// path exists for.
+fn burstify(recs: &[QueueRecord]) -> Vec<QueueRecord> {
+    let mut out = recs.to_vec();
+    for chunk in out.chunks_mut(64) {
+        chunk.sort_by_key(|r| u32::from(r.packet.headers.ipv4.src));
+    }
+    out
+}
+
+/// Flow-run coalescing: a bursty stream (long equal-key runs inside every
+/// chunk) must be byte-identical — results *and* store statistics — to
+/// record-at-a-time processing, with coalescing on and off, for every
+/// Fig. 2 query (covering pre-reducible counters, constant-A EWMA, and
+/// per-row-fallback window/epoch folds alike).
+#[test]
+fn bursty_runs_coalesce_identically() {
+    let recs = burstify(&records(4_000));
+    for q in fig2::ALL {
+        let c = compiled(q.source, CompileOptions::default());
+        let mut single = Runtime::new(c.clone());
+        let mut coalesced = Runtime::new(c.clone());
+        let mut uncoalesced = Runtime::new(c);
+        uncoalesced.set_run_coalescing(false);
+        for r in &recs {
+            single.process_record(r);
+        }
+        for part in recs.chunks(256) {
+            coalesced.process_batch(part);
+            uncoalesced.process_batch(part);
+        }
+        single.finish();
+        coalesced.finish();
+        uncoalesced.finish();
+        for i in 0..single.compiled().program.queries.len() {
+            assert_eq!(
+                single.store_stats(i),
+                coalesced.store_stats(i),
+                "{} store {i} (coalesced)",
+                q.name
+            );
+            assert_eq!(
+                single.store_stats(i),
+                uncoalesced.store_stats(i),
+                "{} store {i} (uncoalesced)",
+                q.name
+            );
+        }
+        let want = single.collect();
+        assert_eq!(want, coalesced.collect(), "{} (coalesced)", q.name);
+        assert_eq!(want, uncoalesced.collect(), "{} (uncoalesced)", q.name);
+    }
+}
+
+/// Coalescing under eviction pressure: with a tiny cache, a run's first
+/// packet may evict a victim mid-chunk while later packets of the same run
+/// ride the held slot. Hit/miss/eviction streams and results must still be
+/// byte-identical to one-at-a-time processing.
+#[test]
+fn bursty_runs_survive_eviction_pressure_identically() {
+    let recs = burstify(&records(3_000));
+    let opts = CompileOptions {
+        cache_pairs: 16,
+        ways: 4,
+        ..Default::default()
+    };
+    for q in fig2::ALL {
+        let c = compiled(q.source, opts);
+        let mut single = Runtime::new(c.clone());
+        let mut batched = Runtime::new(c);
+        for r in &recs {
+            single.process_record(r);
+        }
+        batched.process_batch(&recs);
+        single.finish();
+        batched.finish();
+        for i in 0..single.compiled().program.queries.len() {
+            assert_eq!(
+                single.store_stats(i),
+                batched.store_stats(i),
+                "{} store {i}",
+                q.name
+            );
+        }
+        assert_eq!(single.collect(), batched.collect(), "{}", q.name);
+    }
+}
+
+/// Degenerate run shapes: a whole stream of one flow (every chunk is a
+/// single maximal run — for pre-reducible folds one store write per
+/// chunk), and a strict two-flow alternation (every run has length 1, the
+/// coalescer's worst case). Both must match record-at-a-time exactly.
+#[test]
+fn all_equal_key_and_alternating_chunks_are_identical() {
+    let base = records(64);
+    let one = &base[0];
+    let two = base
+        .iter()
+        .find(|r| r.packet.headers.ipv4.src != one.packet.headers.ipv4.src)
+        .expect("trace has at least two source addresses");
+    // One flow, varying fold inputs (times, depths) across the run.
+    let single_flow: Vec<QueueRecord> = (0..500u64)
+        .map(|i| QueueRecord {
+            tin: Nanos(1_000 * i),
+            tout: Nanos(1_000 * i + 80 + 13 * (i % 7)),
+            qsize: (i % 11) as u32,
+            qout: (i % 3) as u32,
+            ..one.clone()
+        })
+        .collect();
+    // Strict A/B/A/B alternation: runs never exceed one record.
+    let alternating: Vec<QueueRecord> = (0..500u64)
+        .map(|i| {
+            let proto = if i % 2 == 0 { one } else { two };
+            QueueRecord {
+                tin: Nanos(1_000 * i),
+                tout: Nanos(1_000 * i + 90 + 17 * (i % 5)),
+                ..proto.clone()
+            }
+        })
+        .collect();
+    for stream in [&single_flow, &alternating] {
+        for q in fig2::ALL {
+            let c = compiled(q.source, CompileOptions::default());
+            let mut single = Runtime::new(c.clone());
+            let mut batched = Runtime::new(c);
+            for r in stream.iter() {
+                single.process_record(r);
+            }
+            batched.process_batch(stream);
+            single.finish();
+            batched.finish();
+            for i in 0..single.compiled().program.queries.len() {
+                assert_eq!(
+                    single.store_stats(i),
+                    batched.store_stats(i),
+                    "{} store {i}",
+                    q.name
+                );
+            }
+            assert_eq!(single.collect(), batched.collect(), "{}", q.name);
+        }
+    }
+}
+
 /// Windowed runtimes accept batches too, rolling windows mid-batch.
 #[test]
 fn windowed_runtime_batches_roll_windows() {

@@ -56,8 +56,77 @@ fn rec_strategy() -> impl Strategy<Value = Vec<RecSpec>> {
     )
 }
 
+/// Run-structured streams: each spec repeats as a run of consecutive
+/// same-flow records (varying times/depths within the run), so the
+/// vectorized sweep's flow-run coalescing engages on real multi-record
+/// runs — including runs that straddle chunk boundaries.
+fn bursty_strategy() -> impl Strategy<Value = Vec<(RecSpec, u8)>> {
+    prop::collection::vec(
+        (
+            (0u8..6, 0u8..4, 0u16..3, 0u32..5000, prop_oneof![Just(false), Just(false), Just(false), Just(true)], 0u32..900),
+            1u8..12,
+        ),
+        1..80,
+    )
+}
+
+fn expand_runs(specs: &[(RecSpec, u8)]) -> Vec<QueueRecord> {
+    let mut recs = Vec::new();
+    for (spec, run_len) in specs {
+        for _ in 0..*run_len {
+            let i = recs.len();
+            let mut r = record(*spec, i);
+            // Vary the fold inputs inside the run so pre-reduction has
+            // non-trivial per-packet contributions to sum.
+            r.qsize = (r.qsize + i as u32) % 64;
+            recs.push(r);
+        }
+    }
+    recs
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Run-coalescing under sharding: bursty run-structured streams equal
+    /// the unbounded-state oracle for every fold class, at any shard
+    /// count, with eviction pressure from a deliberately small cache —
+    /// runs interrupted by evictions, all-equal-key stretches, and runs
+    /// straddling epoch (residency) boundaries all included.
+    #[test]
+    fn bursty_sharded_equals_oracle(
+        specs in bursty_strategy(),
+        shards in 1usize..9,
+        qsel in 0usize..4,
+        tiny_cache in prop_oneof![Just(false), Just(true)],
+    ) {
+        let recs = expand_runs(&specs);
+        // Eviction pressure is only legal for the merge-exact classes:
+        // non-linear folds (qsel 3) go to epoch mode, whose evicted
+        // residencies genuinely cannot be merged back to the oracle's
+        // unbounded state (the paper's §3.2 linear-in-state argument).
+        let opts = if tiny_cache && qsel != 3 {
+            CompileOptions { cache_pairs: 8, ways: 2, ..Default::default() }
+        } else {
+            CompileOptions::default()
+        };
+        let c = perfq_core::compile_query(QUERIES[qsel], &fig2::default_params(), opts)
+            .expect("coverage queries compile");
+        let want = Oracle::run(c.clone(), recs.iter().cloned());
+        let mut sh = ShardedRuntime::new(c, shards);
+        sh.process_batch(&recs);
+        let merged = sh.finish();
+        prop_assert_eq!(merged.records(), recs.len() as u64, "no record lost or duplicated");
+        let got = merged.collect();
+        prop_assert_eq!(got.tables.len(), want.tables.len());
+        for (a, b) in got.tables.iter().zip(&want.tables) {
+            if let Some(d) = diff_tables(a, b, 1e-9) {
+                return Err(TestCaseError::fail(format!(
+                    "bursty query {qsel}, {shards} shards (tiny_cache {tiny_cache}): {d}"
+                )));
+            }
+        }
+    }
 
     /// Sharded execution equals the unbounded-state oracle for every fold
     /// class, at any shard count.
