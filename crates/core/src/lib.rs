@@ -230,6 +230,31 @@
 //! every physical cache. See [`multi`] for the full legality rule and
 //! [`multi::SharingReport`] for what a given install shared.
 //!
+//! # Incremental reads
+//!
+//! The paper's collection story — drain the backing store at the end of
+//! the measurement window — leaves the operator blind *during* the window.
+//! The incremental read path fixes that without stopping the world:
+//! [`Runtime::poll_results`] returns, between batches, exactly what
+//! `finish()` + `collect()` would return on a clone of the live runtime,
+//! while caches stay resident and ingest continues ([`MultiRuntime::poll`],
+//! [`MultiSharded::poll`] and [`ShardedRuntime::poll_results`] are the
+//! multi-program and sharded faces; a sharded poll quiesces only the
+//! involved dataplanes between batches and resumes them with caches
+//! intact). Under the hood each store copies its backing table into a
+//! pooled `perfq_kvstore::StoreSnapshot` frame and absorbs the
+//! cache-resident pairs through the normal eviction algebra — O(distinct
+//! keys) per poll, allocation-free once the frame is warm — so the polled
+//! frame is *the* store state, not an approximation. On top of the frames,
+//! [`DeltaCursor`] turns consecutive polls into per-epoch **deltas**
+//! ([`Runtime::poll_delta`] streams only rows that changed since the last
+//! poll through the sink idiom), and [`WindowedRuntime::poll_closed`]
+//! streams each tumbling window the moment it closes — the continuous-query
+//! mode the drain-at-end API could not express. Polling is pinned
+//! non-perturbing by `tests/poll_equivalence.rs`: any poll schedule's final
+//! drain is byte-identical to a never-polled replay, and every mid-stream
+//! poll equals a fresh replay of the prefix.
+//!
 //! # Dynamic lifecycle
 //!
 //! The paper's queries "are installed at run time" — so the deployment is
@@ -301,8 +326,8 @@ pub use multi::{
     SharingReport,
 };
 pub use oracle::Oracle;
-pub use result::{diff_tables, ResultRow, ResultSet, ResultTable};
-pub use runtime::Runtime;
+pub use result::{diff_tables, DeltaCursor, DeltaRow, ResultRow, ResultSet, ResultTable};
+pub use runtime::{LifecycleError, Runtime};
 pub use sharded::{ShardRouter, ShardSpec, ShardedRuntime};
 pub use windows::{WindowResult, WindowedRuntime};
 

@@ -1445,6 +1445,38 @@ impl MultiRuntime {
         self.runtimes.iter().map(Runtime::collect).collect()
     }
 
+    /// Poll one installed program's current results **without stopping the
+    /// world** — the multi-program incremental read path. Returns `None`
+    /// for an unknown (or already uninstalled) id. The deployment is
+    /// untouched: caches stay resident, ingest continues afterwards, and
+    /// the eventual drain is byte-identical to a never-polled replay.
+    ///
+    /// Alias queries (cross-program store dedup) read the owning program's
+    /// live store through the same frame merge the drain-time substitution
+    /// uses, so a polled alias equals its never-deduplicated twin. For
+    /// per-epoch streaming on top of the returned frames, feed them to a
+    /// [`crate::DeltaCursor`].
+    #[must_use]
+    pub fn poll(&self, id: u64) -> Option<ResultSet> {
+        let pos = self.ids.iter().position(|i| *i == id)?;
+        let rt = &self.runtimes[pos];
+        let stores: Vec<Option<Vec<(&Runtime, usize)>>> = (0..rt.compiled().stores.len())
+            .map(|q| {
+                rt.compiled().stores[q].as_ref()?;
+                // A deduplicated alias never updates its own store; its
+                // live truth is the owner's store (same redirection the
+                // drain applies via `substitute_stores`, read-only here).
+                let (src_p, src_q) = self
+                    .aliases
+                    .iter()
+                    .find(|((ap, aq), _)| (*ap, *aq) == (pos, q))
+                    .map_or((pos, q), |(_, (op, oq))| (*op, *oq));
+                Some(vec![(&self.runtimes[src_p], src_q)])
+            })
+            .collect();
+        Some(crate::runtime::poll_collect(&[rt], &stores))
+    }
+
     /// Tear down into the per-program runtimes.
     #[must_use]
     pub fn into_runtimes(self) -> Vec<Runtime> {
@@ -2042,6 +2074,64 @@ impl MultiSharded {
                 ..SharingAnalysis::default()
             },
         );
+        Some(results)
+    }
+
+    /// Poll one installed program's current results **without stopping the
+    /// world** — the sharded multi-program incremental read path. Returns
+    /// `None` for an unknown (or already uninstalled) id.
+    ///
+    /// Only the programs involved quiesce, and only for the poll: the
+    /// polled program's dataplane plus the owning program of each of its
+    /// deduplicated alias stores pause between batches
+    /// (`ShardedRuntime::pause`), their per-shard frames merge through
+    /// the same normalization the drain uses, and every paused dataplane
+    /// resumes with caches resident. Uninvolved programs keep running
+    /// untouched. The eventual drain is byte-identical to a never-polled
+    /// replay (pinned by `tests/poll_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker of an involved program died.
+    #[must_use]
+    pub fn poll(&mut self, id: u64) -> Option<ResultSet> {
+        let pos = self.ids.iter().position(|i| *i == id)?;
+        // Pause the polled program and every distinct owner its aliases
+        // redirect to (index order keeps pause/resume deterministic).
+        let mut involved: Vec<usize> = std::iter::once(pos)
+            .chain(
+                self.aliases
+                    .iter()
+                    .filter(|((ap, _), _)| *ap == pos)
+                    .map(|(_, (op, _))| *op),
+            )
+            .collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let paused: Vec<(usize, Vec<Runtime>)> = involved
+            .iter()
+            .map(|&i| (i, self.sharded[i].pause()))
+            .collect();
+        let workers_of = |i: usize| {
+            &paused[involved.binary_search(&i).expect("paused above")].1
+        };
+        let shard_refs: Vec<&Runtime> = workers_of(pos).iter().collect();
+        let stores: Vec<Option<Vec<(&Runtime, usize)>>> =
+            (0..self.programs[pos].stores.len())
+                .map(|q| {
+                    self.programs[pos].stores[q].as_ref()?;
+                    let (src_p, src_q) = self
+                        .aliases
+                        .iter()
+                        .find(|((ap, aq), _)| (*ap, *aq) == (pos, q))
+                        .map_or((pos, q), |(_, (op, oq))| (*op, *oq));
+                    Some(workers_of(src_p).iter().map(|rt| (rt, src_q)).collect())
+                })
+                .collect();
+        let results = crate::runtime::poll_collect(&shard_refs, &stores);
+        for (i, workers) in paused {
+            self.sharded[i].resume(workers);
+        }
         Some(results)
     }
 

@@ -25,10 +25,10 @@
 //! joins, and reports per-key validity.
 
 use crate::compiler::CompiledProgram;
-use crate::foldops::FoldOps;
+use crate::foldops::{FoldOps, FoldState};
 use crate::plan::{lane_mask, ExecPlan, NodeKind, RowSource, CHUNK, LANES};
-use crate::result::{value_key, ResultRow, ResultSet, ResultTable};
-use perfq_kvstore::{CacheGeometry, InlineKey, SplitStore, StoreStats};
+use crate::result::{value_key, DeltaCursor, DeltaRow, ResultRow, ResultSet, ResultTable};
+use perfq_kvstore::{BackingStore, CacheGeometry, InlineKey, SplitStore, StoreSnapshot, StoreStats};
 use perfq_lang::bytecode::EvalStack;
 use perfq_lang::ir::eval;
 use perfq_lang::resolve::GroupOutput;
@@ -53,6 +53,34 @@ impl Capture {
         }
     }
 }
+
+/// Lifecycle misuse detected at a batch entry point.
+///
+/// These conditions were previously `debug_assert!`s, which vanish in
+/// release builds and let misuse silently corrupt state (records folded
+/// into already-flushed caches split residencies into spurious epochs).
+/// The checks are now always on: each public ingest entry verifies once
+/// per call — once per batch, not per record — and the `try_*` twins
+/// surface the condition as this typed error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// Records were fed to a runtime after [`Runtime::finish`]: the caches
+    /// are already flushed, so further folds would silently diverge from
+    /// the drained results.
+    ProcessAfterFinish,
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::ProcessAfterFinish => {
+                write!(f, "records processed after finish(): the measurement window is already drained")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
 
 /// The streaming executor.
 #[derive(Debug)]
@@ -93,6 +121,12 @@ pub struct Runtime {
     coalesce: bool,
     records: u64,
     finished: bool,
+    /// Incremental read path: pooled per-store snapshot frames, reused
+    /// across polls so a warmed poll refreshes its frames allocation-free.
+    poll_frames: Vec<Option<StoreSnapshot<InlineKey, FoldState>>>,
+    /// Incremental read path: previous-frame bookkeeping for
+    /// [`Runtime::poll_delta`].
+    poll_cursor: DeltaCursor,
 }
 
 impl Runtime {
@@ -165,6 +199,8 @@ impl Runtime {
             coalesce: true,
             records: 0,
             finished: false,
+            poll_frames: Vec::new(),
+            poll_cursor: DeltaCursor::default(),
         }
     }
 
@@ -236,7 +272,9 @@ impl Runtime {
     /// reads exactly what a private store would have held. Only the backing
     /// table is copied — O(distinct keys), not O(cache geometry).
     pub(crate) fn adopt_store(&mut self, dst: usize, src: &Runtime, src_idx: usize) {
-        debug_assert!(self.finished && src.finished, "adopt after finish");
+        // Always-on (not debug_assert): adopting from an unflushed owner
+        // would silently drop its cache-resident state in release builds.
+        assert!(self.finished && src.finished, "adopt after finish");
         match (self.stores[dst].as_mut(), src.stores[src_idx].as_ref()) {
             (Some(d), Some(s)) => d.adopt_results_from(s),
             _ => unreachable!("dedup only pairs aggregation stores"),
@@ -246,7 +284,7 @@ impl Runtime {
     /// [`Runtime::adopt_store`] within one runtime (two identical GROUPBYs
     /// in the *same* program; owners precede aliases, so `src_idx < dst`).
     pub(crate) fn adopt_store_within(&mut self, dst: usize, src_idx: usize) {
-        debug_assert!(self.finished, "adopt after finish");
+        assert!(self.finished, "adopt after finish");
         assert!(src_idx < dst, "owners precede aliases");
         let (left, right) = self.stores.split_at_mut(dst);
         match (right[0].as_mut(), left[src_idx].as_ref()) {
@@ -319,7 +357,7 @@ impl Runtime {
         dst: usize,
         snapshot: &SplitStore<InlineKey, FoldOps>,
     ) {
-        debug_assert!(self.finished, "adopt after finish");
+        assert!(self.finished, "adopt after finish");
         self.stores[dst]
             .as_mut()
             .expect("dedup only pairs aggregation stores")
@@ -332,15 +370,51 @@ impl Runtime {
         self.stores.get(idx)?.as_ref().map(SplitStore::stats)
     }
 
+    /// True after [`Runtime::finish`]: the caches are flushed, results are
+    /// collectable, and further ingest is a lifecycle error.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Reject ingest on a finished runtime — the always-on half of the
+    /// lifecycle guard (the per-record `debug_assert`s in the shared
+    /// internals only cover debug builds). Checked once per public entry
+    /// call, so the release-mode cost is one branch per batch.
+    #[inline]
+    fn check_live(&self) -> Result<(), LifecycleError> {
+        if self.finished {
+            Err(LifecycleError::ProcessAfterFinish)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Process one queue record. The base row materializes into a buffer
     /// reused across calls, and only the columns the compiled program reads
     /// are written — no per-record allocation, no dead column extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) when called after
+    /// [`Runtime::finish`]; use [`Runtime::try_process_record`] to handle
+    /// the condition as a typed error instead.
     pub fn process_record(&mut self, rec: &QueueRecord) {
+        self.try_process_record(rec)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible twin of [`Runtime::process_record`]: returns
+    /// [`LifecycleError::ProcessAfterFinish`] instead of panicking when the
+    /// runtime is already finished.
+    pub fn try_process_record(&mut self, rec: &QueueRecord) -> Result<(), LifecycleError> {
+        self.check_live()?;
         let now = rec.observed_at();
         let mut row = std::mem::take(&mut self.row_buf);
         rec.write_row_masked(&mut row, self.plan.base_cols);
-        self.process_row(&row, now);
+        self.process_row_shared(&row, now, &[], &[]);
         self.row_buf = row;
+        Ok(())
     }
 
     /// Process a batch of queue records — the **vectorized** entry point.
@@ -354,7 +428,23 @@ impl Runtime {
     /// the same row visit. A node's store and fold kernel stay hot across
     /// the chunk instead of being evicted by the other nodes' work after
     /// every record.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) when called after
+    /// [`Runtime::finish`]; use [`Runtime::try_process_batch`] to handle
+    /// the condition as a typed error instead.
     pub fn process_batch(&mut self, recs: &[QueueRecord]) {
+        self.try_process_batch(recs)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible twin of [`Runtime::process_batch`]: returns
+    /// [`LifecycleError::ProcessAfterFinish`] instead of panicking when the
+    /// runtime is already finished. The check runs once per batch, not per
+    /// record.
+    pub fn try_process_batch(&mut self, recs: &[QueueRecord]) -> Result<(), LifecycleError> {
+        self.check_live()?;
         let mask = self.plan.base_cols;
         let width = QueueRecord::row_width();
         let mut rows = std::mem::take(&mut self.lane_rows);
@@ -373,13 +463,20 @@ impl Runtime {
         }
         self.lane_rows = rows;
         self.lane_nows = nows;
+        Ok(())
     }
 
     /// Process one base-schema row observed at time `now`: a single flat
     /// pass over the plan in topological order. Each node reads its input
     /// from the base row or an upstream node's output slot and writes its
     /// own slot; inactive (collect-only) nodes are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) when called after
+    /// [`Runtime::finish`].
     pub fn process_row(&mut self, row: &[Value], now: Nanos) {
+        self.check_live().unwrap_or_else(|e| panic!("{e}"));
         self.process_row_shared(row, now, &[], &[]);
     }
 
@@ -810,17 +907,7 @@ impl Runtime {
         let mut group_finals: Vec<Option<Vec<(Vec<i64>, Vec<Value>, bool)>>> = Vec::new();
         for store in &self.stores {
             match store {
-                Some(s) => {
-                    let mut rows: Vec<(Vec<i64>, Vec<Value>, bool)> = s
-                        .backing()
-                        .iter()
-                        .map(|(k, entry)| {
-                            (k.to_vec(), entry.latest().vars.to_vec(), entry.is_valid())
-                        })
-                        .collect();
-                    rows.sort_by(|a, b| a.0.cmp(&b.0));
-                    group_finals.push(Some(rows));
-                }
+                Some(s) => group_finals.push(Some(group_rows(s.backing()))),
                 None => group_finals.push(None),
             }
         }
@@ -831,6 +918,141 @@ impl Runtime {
             &self.params,
         )
     }
+
+    /// Poll the current results **without stopping the world** — the
+    /// incremental read path. Returns exactly what [`Runtime::finish`] +
+    /// [`Runtime::collect`] would return on a clone of this runtime, but
+    /// the live runtime is untouched: caches stay resident, ingest
+    /// continues afterwards, and the eventual drain is byte-identical to a
+    /// never-polled replay (pinned by `tests/poll_equivalence.rs`).
+    ///
+    /// Each store's consistent frame lands in a pooled
+    /// [`StoreSnapshot`] reused across polls
+    /// ([`SplitStore::snapshot_into`]), so a warmed poll refreshes its
+    /// frames allocation-free; only the result-row materialization below
+    /// them allocates, exactly as `collect` does.
+    pub fn poll_results(&mut self) -> ResultSet {
+        self.refresh_poll_frames();
+        let mut group_finals: Vec<Option<Vec<(Vec<i64>, Vec<Value>, bool)>>> = Vec::new();
+        for frame in &self.poll_frames {
+            match frame {
+                Some(f) => group_finals.push(Some(group_rows(f.backing()))),
+                None => group_finals.push(None),
+            }
+        }
+        collect_results(
+            &self.compiled.program,
+            &group_finals,
+            &self.captures,
+            &self.params,
+        )
+    }
+
+    /// Poll and stream only the rows that are new or changed since the
+    /// previous `poll_delta` — per-epoch delta emission through the
+    /// dataplane's `FnMut` sink idiom. Returns the new epoch number (1 on
+    /// the first poll, whose delta is the whole frame). The cumulative
+    /// frame remains available via [`Runtime::poll_results`];
+    /// multi-program planes compose the same machinery from
+    /// [`crate::DeltaCursor`].
+    pub fn poll_delta(&mut self, sink: impl FnMut(DeltaRow<'_>)) -> u64 {
+        let frame = self.poll_results();
+        self.poll_cursor.advance(frame, sink)
+    }
+
+    /// Refresh the pooled per-store snapshot frames to this instant.
+    fn refresh_poll_frames(&mut self) {
+        if self.poll_frames.len() != self.stores.len() {
+            self.poll_frames = self
+                .stores
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .map(|store| StoreSnapshot::new(store.backing().mode()))
+                })
+                .collect();
+        }
+        for (frame, store) in self.poll_frames.iter_mut().zip(&self.stores) {
+            if let (Some(f), Some(s)) = (frame.as_mut(), store.as_ref()) {
+                s.snapshot_into(f);
+            }
+        }
+    }
+}
+
+/// Sorted `(key, state, valid)` rows of one aggregation's combined results —
+/// the single construction [`Runtime::collect`] and the poll paths share,
+/// so the drained and polled views of a store can never diverge.
+fn group_rows(backing: &BackingStore<InlineKey, FoldState>) -> Vec<(Vec<i64>, Vec<Value>, bool)> {
+    let mut rows: Vec<(Vec<i64>, Vec<Value>, bool)> = backing
+        .iter()
+        .map(|(k, entry)| (k.to_vec(), entry.latest().vars.to_vec(), entry.is_valid()))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Poll a program's current results across one or more runtimes — the
+/// shared engine behind [`crate::MultiRuntime::poll`],
+/// [`crate::MultiSharded::poll`] and [`crate::ShardedRuntime::poll_results`].
+///
+/// `capture_shards` lists the program's runtimes in shard order (a single
+/// element for unsharded planes): their capture buffers combine exactly as
+/// [`Runtime::absorb_finished`] combines them (prefix-then-suffix under the
+/// shared limit; totals always sum), and the first element donates the
+/// program, parameters and table schemas. `stores[q]` names, per query, the
+/// `(runtime, store index)` sources whose frames merge into that query's
+/// result — several for sharded planes, a redirected owner for deduped
+/// alias queries, `None` for storeless queries. Sources are only read:
+/// every live runtime keeps its caches resident and keeps ingesting after
+/// the poll.
+pub(crate) fn poll_collect(
+    capture_shards: &[&Runtime],
+    stores: &[Option<Vec<(&Runtime, usize)>>],
+) -> ResultSet {
+    let lead = capture_shards[0];
+    let mut group_finals: Vec<Option<Vec<(Vec<i64>, Vec<Value>, bool)>>> =
+        Vec::with_capacity(stores.len());
+    for src in stores {
+        match src {
+            Some(list) => {
+                let (rt0, q0) = list[0];
+                let store0 = rt0.stores[q0]
+                    .as_ref()
+                    .expect("poll sources are aggregation stores");
+                let mut snap = store0.snapshot();
+                for &(rt, q) in &list[1..] {
+                    rt.stores[q]
+                        .as_ref()
+                        .expect("poll sources are aggregation stores")
+                        .snapshot_merge_into(&mut snap);
+                }
+                group_finals.push(Some(group_rows(snap.backing())));
+            }
+            None => group_finals.push(None),
+        }
+    }
+    let captures: Vec<Option<Capture>> = if capture_shards.len() == 1 {
+        lead.captures.clone()
+    } else {
+        (0..lead.captures.len())
+            .map(|idx| {
+                lead.captures[idx].as_ref().map(|first| {
+                    let mut merged = first.clone();
+                    for w in &capture_shards[1..] {
+                        let b = w.captures[idx]
+                            .as_ref()
+                            .expect("shard runtimes share one program");
+                        merged.total += b.total;
+                        let room = merged.limit.saturating_sub(merged.rows.len());
+                        merged.rows.extend(b.rows.iter().take(room).cloned());
+                    }
+                    merged
+                })
+            })
+            .collect()
+    };
+    collect_results(&lead.compiled.program, &group_finals, &captures, &lead.params)
 }
 
 /// Build a `GROUPBY` key from an input row — the single construction the
@@ -1052,6 +1274,32 @@ mod tests {
             qout: 0,
             path: 0,
         }
+    }
+
+    #[test]
+    fn processing_after_finish_is_a_typed_error_in_every_build() {
+        // Release builds used to rely on debug_assert! here, so a drained
+        // runtime silently mis-folded records. The check is now an
+        // always-on typed error, paid once per batch entry.
+        let mut rt = runtime("SELECT COUNT GROUPBY srcip");
+        let rec = record(1, 1, 0, Some(50), 0);
+        rt.try_process_record(&rec).expect("live runtime accepts");
+        rt.finish();
+        assert!(rt.is_finished());
+        let err = rt.try_process_record(&rec).expect_err("finished rejects");
+        assert_eq!(err, LifecycleError::ProcessAfterFinish);
+        let err = rt
+            .try_process_batch(std::slice::from_ref(&rec))
+            .expect_err("finished rejects batches");
+        assert!(format!("{err}").contains("after finish()"));
+        // The record never folded: the count is still 1.
+        let rs = rt.collect();
+        let t = &rs.tables[0];
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(
+            t.rows[0].values[t.schema.index_of("COUNT").unwrap()].as_i64(),
+            1
+        );
     }
 
     #[test]

@@ -281,6 +281,18 @@ fn spawn_worker(
     })
 }
 
+/// Join a worker thread, re-raising its panic payload on the draining
+/// thread instead of masking it behind a generic "worker panicked"
+/// message. Pairs with the SPSC channel's poisoning: a dying worker drops
+/// its receiver, which closes the channel and unparks a blocked producer,
+/// so the drain reaches this join instead of hanging.
+fn join_worker(handle: JoinHandle<Runtime>) -> Runtime {
+    match handle.join() {
+        Ok(rt) => rt,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 impl ShardedRuntime {
     /// Spawn `shards` worker runtimes with default queue capacity and
     /// batch ([`DEFAULT_QUEUE_CAPACITY`], [`DEFAULT_BATCH`]).
@@ -367,14 +379,13 @@ impl ShardedRuntime {
             .expect("cannot pause after take_feeds handed the producer side away");
         for (buf, tx) in self.buffers.iter_mut().zip(&senders) {
             if !buf.is_empty() {
-                tx.send_all(buf).expect("shard worker disconnected");
+                // A send error means that worker died; the join below
+                // re-raises its panic, which beats a disconnect message.
+                let _ = tx.send_all(buf);
             }
         }
         drop(senders); // close the streams; workers drain their queues and exit
-        self.workers
-            .drain(..)
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+        self.workers.drain(..).map(join_worker).collect()
     }
 
     /// Dynamic lifecycle: restart a paused dataplane with the given worker
@@ -427,17 +438,29 @@ impl ShardedRuntime {
     /// Panics if the producer side was handed away via
     /// [`ShardedRuntime::take_feeds`], or a worker died.
     pub fn process_record(&mut self, rec: &QueueRecord) {
-        let senders = self
-            .senders
-            .as_ref()
-            .expect("producer side was taken by take_feeds");
+        assert!(
+            self.senders.is_some(),
+            "producer side was taken by take_feeds"
+        );
         let s = self.router.route(rec);
         self.routed[s] += 1;
         self.buffers[s].push(rec.clone());
         if self.buffers[s].len() >= self.batch {
-            senders[s]
-                .send_all(&mut self.buffers[s])
-                .expect("shard worker disconnected");
+            let disconnected = {
+                let senders = self.senders.as_ref().expect("checked above");
+                senders[s].send_all(&mut self.buffers[s]).is_err()
+            };
+            if disconnected {
+                // The worker's receiver is gone — it died mid-run. Join it
+                // so the producer re-raises the worker's own panic instead
+                // of masking it behind a generic disconnect message (a
+                // clean exit without a dropped sender cannot happen).
+                let handle = self.workers.remove(s);
+                match handle.join() {
+                    Err(payload) => std::panic::resume_unwind(payload),
+                    Ok(_) => unreachable!("worker exited without a closed queue"),
+                }
+            }
         }
     }
 
@@ -446,6 +469,39 @@ impl ShardedRuntime {
         for rec in recs {
             self.process_record(rec);
         }
+    }
+
+    /// Poll the dataplane's current results **without stopping the world**:
+    /// the sharded incremental read path. The plane quiesces between
+    /// batches (`ShardedRuntime::pause`: staged records flush, queues
+    /// drain, workers hand back their runtimes with caches resident), each
+    /// worker's per-store frame merges across shards through the same
+    /// normalization the final drain uses, and ingestion resumes. The
+    /// result equals `finish()` + `collect()` on a replay of the records
+    /// routed so far, and polling never perturbs the eventual drain
+    /// (pinned by `tests/poll_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer side was handed away via
+    /// [`ShardedRuntime::take_feeds`] (an external event loop owns the
+    /// stream; there is no between-batches point to pause at), or if a
+    /// worker died.
+    #[must_use]
+    pub fn poll_results(&mut self) -> ResultSet {
+        let workers = self.pause();
+        let refs: Vec<&Runtime> = workers.iter().collect();
+        let lead = refs[0];
+        let stores: Vec<Option<Vec<(&Runtime, usize)>>> = (0..lead.compiled().stores.len())
+            .map(|q| {
+                lead.compiled().stores[q]
+                    .as_ref()
+                    .map(|_| refs.iter().map(|rt| (*rt, q)).collect())
+            })
+            .collect();
+        let results = crate::runtime::poll_collect(&refs, &stores);
+        self.resume(workers);
+        results
     }
 
     /// Hand the producer side — the router and the per-shard queue senders
@@ -478,14 +534,15 @@ impl ShardedRuntime {
         if let Some(senders) = self.senders.take() {
             for (buf, tx) in self.buffers.iter_mut().zip(&senders) {
                 if !buf.is_empty() {
-                    tx.send_all(buf).expect("shard worker disconnected");
+                    // A dead worker surfaces at the join below instead.
+                    let _ = tx.send_all(buf);
                 }
             }
             drop(senders); // close the streams; workers drain and exit
         }
         let mut merged: Option<Runtime> = None;
         for handle in self.workers.drain(..) {
-            let mut rt = handle.join().expect("shard worker panicked");
+            let mut rt = join_worker(handle);
             rt.finish();
             match merged.as_mut() {
                 None => merged = Some(rt),

@@ -334,6 +334,91 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
         }
     }
 
+    /// Overwrite-style upsert for snapshot frames: the standing record for
+    /// `key` becomes a field-for-field copy of `entry`. Unlike
+    /// [`BackingStore::absorb_entry`] (which *combines* values), a frame
+    /// refresh must replace wholesale — and when the key is already present
+    /// from a previous frame, the standing record's epoch list is rewritten
+    /// in place, so a warmed frame re-fills allocation-free.
+    pub fn copy_entry(&mut self, key: &K, entry: &BackingEntry<V>)
+    where
+        K: Clone,
+        V: Clone,
+    {
+        if self.slots.is_empty() {
+            self.reserve_one();
+        }
+        let hash = hash_key(PROBE_SEED, key);
+        match self.find_slot(hash, key) {
+            Err(_) => {
+                // As in absorb(): grow on vacant inserts only, then re-probe.
+                self.reserve_one();
+                let i = self
+                    .find_slot(hash, key)
+                    .expect_err("key was vacant before growth");
+                self.slots[i] = Some(TableSlot {
+                    hash,
+                    key: key.clone(),
+                    entry: entry.clone(),
+                });
+                self.len += 1;
+            }
+            Ok(i) => {
+                let existing = &mut self.slots[i].as_mut().expect("found slot").entry;
+                existing.writes = entry.writes;
+                existing.epochs.clear();
+                existing.epochs.extend(entry.epochs.iter().cloned());
+            }
+        }
+    }
+
+    /// Overwrite-style upsert of a single live cache residency into a
+    /// snapshot frame: the record becomes exactly one epoch with the given
+    /// value and interval and one write — what [`BackingStore::absorb`]
+    /// produces for a never-evicted key — reusing the standing record's
+    /// allocations when present.
+    pub fn set_single_epoch(&mut self, key: &K, value: &V, first_seen: Nanos, last_seen: Nanos)
+    where
+        K: Clone,
+        V: Clone,
+    {
+        if self.slots.is_empty() {
+            self.reserve_one();
+        }
+        let hash = hash_key(PROBE_SEED, key);
+        match self.find_slot(hash, key) {
+            Err(_) => {
+                self.reserve_one();
+                let i = self
+                    .find_slot(hash, key)
+                    .expect_err("key was vacant before growth");
+                self.slots[i] = Some(TableSlot {
+                    hash,
+                    key: key.clone(),
+                    entry: BackingEntry {
+                        epochs: vec![Epoch {
+                            value: value.clone(),
+                            first_seen,
+                            last_seen,
+                        }],
+                        writes: 1,
+                    },
+                });
+                self.len += 1;
+            }
+            Ok(i) => {
+                let existing = &mut self.slots[i].as_mut().expect("found slot").entry;
+                existing.writes = 1;
+                existing.epochs.clear();
+                existing.epochs.push(Epoch {
+                    value: value.clone(),
+                    first_seen,
+                    last_seen,
+                });
+            }
+        }
+    }
+
     /// Look up a key's standing record.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<&BackingEntry<V>> {

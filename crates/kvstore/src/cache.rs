@@ -424,6 +424,28 @@ impl<K: Eq + Hash + Clone + SlotKey, V> SramCache<K, V> {
             })),
         }
     }
+
+    /// Visit every resident slot (no recency side effects). The non-boxing
+    /// twin of [`SramCache::iter`]: snapshot frames refresh on the warm read
+    /// path, where even the iterator box would show up in the allocation
+    /// discipline test.
+    pub fn for_each_slot(&self, mut f: impl FnMut(CacheSlotRef<'_, K, V>)) {
+        match &self.inner {
+            Inner::Bucketed(c) => c.iter().for_each(&mut f),
+            Inner::Full(c) => c
+                .nodes
+                .iter()
+                .filter_map(|n| {
+                    n.as_ref().map(|n| CacheSlotRef {
+                        key: &n.entry.key,
+                        value: &n.entry.value,
+                        first_seen: n.entry.first_seen,
+                        last_seen: n.entry.last_seen,
+                    })
+                })
+                .for_each(&mut f),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -158,5 +158,5 @@ pub use geometry::CacheGeometry;
 pub use key::{InlineKey, INLINE_KEY_WORDS};
 pub use policy::EvictionPolicy;
 pub use sketch::CountMinSketch;
-pub use split::{CounterOps, MaxOps, SplitStore, SumOps, ValueOps};
+pub use split::{CounterOps, MaxOps, SplitStore, StoreSnapshot, SumOps, ValueOps};
 pub use stats::StoreStats;

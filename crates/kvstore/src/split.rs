@@ -296,6 +296,105 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
         self.stats = owner.stats;
     }
 
+    /// Take a consistent read-only frame of this store's current results —
+    /// the concurrent read path. Equivalent to cloning the store and calling
+    /// [`SplitStore::flush`] on the clone, without copying the SRAM arenas
+    /// or mutating the live store. Allocates a fresh frame; pollers should
+    /// hold a [`StoreSnapshot`] and refresh it with
+    /// [`SplitStore::snapshot_into`] instead.
+    #[must_use]
+    pub fn snapshot(&self) -> StoreSnapshot<K, O::Value> {
+        let mut snap = StoreSnapshot::new(self.ops.merge_mode());
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Refresh `snap` to a consistent frame of this store's current results
+    /// (see [`SplitStore::snapshot`]).
+    ///
+    /// The frame is rebuilt copy-on-read: every backing entry is rewritten
+    /// into the frame in place, then each live cache residency is absorbed
+    /// exactly as [`SplitStore::flush`] would absorb it. Because the SoA
+    /// split keeps at most one residency per key, per-key results are
+    /// identical to a flush regardless of iteration order. A **warmed**
+    /// frame — one refreshed over a store whose key population it has seen
+    /// before — reuses its own table and epoch-list allocations and performs
+    /// zero allocations (pinned by `tests/alloc_discipline.rs`). When keys
+    /// have *disappeared* from the live store (a `reset`, or the frame was
+    /// last filled from a different store), the stale frame is detected by a
+    /// population count and rebuilt from empty.
+    pub fn snapshot_into(&self, snap: &mut StoreSnapshot<K, O::Value>) {
+        if snap.backing.mode() != self.ops.merge_mode() {
+            snap.backing = BackingStore::new(self.ops.merge_mode());
+        }
+        // Two passes at most: refresh in place, and only when stale keys
+        // linger (frame population exceeds the live key set) rebuild from
+        // empty. Live keys are a superset of the previous frame's in steady
+        // polling, so the second pass is the cold exception.
+        for attempt in 0..2 {
+            let mut expected = self.backing.len();
+            for (key, entry) in self.backing.iter() {
+                snap.backing.copy_entry(key, entry);
+            }
+            let SplitStore {
+                cache,
+                backing,
+                ops,
+                ..
+            } = self;
+            let frame = &mut snap.backing;
+            cache.for_each_slot(|slot| {
+                if backing.get(slot.key).is_some() {
+                    // The frame's standing record was just rewritten to match
+                    // the live backing entry, so this is flush()'s absorb.
+                    frame.absorb(
+                        slot.key.clone(),
+                        slot.value.clone(),
+                        slot.first_seen,
+                        slot.last_seen,
+                        |standing, evicted| ops.merge(standing, evicted),
+                    );
+                } else {
+                    expected += 1;
+                    frame.set_single_epoch(slot.key, slot.value, slot.first_seen, slot.last_seen);
+                }
+            });
+            if snap.backing.len() == expected {
+                break;
+            }
+            debug_assert_eq!(attempt, 0, "a frame rebuilt from empty cannot be stale");
+            snap.backing.clear();
+        }
+        // The frame's counters read as the clone-and-flush they stand for.
+        snap.stats = self.stats;
+        snap.stats.flush_writes += self.cache.len() as u64;
+        snap.stats.backing_writes += self.cache.len() as u64;
+    }
+
+    /// Merge a consistent frame of this store **into** `snap` — the
+    /// cross-shard poll step, where per-worker stores combine into one frame
+    /// without pausing longer than a queue drain. The first shard fills the
+    /// frame with [`SplitStore::snapshot_into`]; every other shard's
+    /// backing entries and cache residencies are then absorbed through the
+    /// same order-normalized machinery the sharded drain uses
+    /// ([`crate::BackingStore::absorb_entry`]), so the result matches
+    /// [`SplitStore::absorb_store`] over clones of the workers.
+    pub fn snapshot_merge_into(&self, snap: &mut StoreSnapshot<K, O::Value>) {
+        // In-shard combination first (a cache residency joins *this* store's
+        // standing entry exactly as flush() would), then the cross-shard
+        // entry absorption — the same two-step order `absorb_store` uses, so
+        // interval unions, latest-residency picks and epoch sorting see the
+        // same operand grouping and the frame is bit-identical to draining
+        // worker clones.
+        let frame = self.snapshot();
+        let ops = &self.ops;
+        snap.backing
+            .merge_from(frame.backing, |standing, evicted| {
+                ops.merge(standing, evicted);
+            });
+        snap.stats.absorb(&frame.stats);
+    }
+
     /// Run counters.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
@@ -356,6 +455,67 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
 /// Free-standing (takes the already-split fields) so the eviction, flush and
 /// idle-sweep paths — some of which hold other borrows of the store — share
 /// one implementation.
+/// A consistent read-only frame of a [`SplitStore`]'s current results —
+/// cache and backing combined exactly as a flush would combine them — taken
+/// by [`SplitStore::snapshot`] without mutating the live store.
+///
+/// This is the storage half of the concurrent read path: a poller holds one
+/// frame per store and refreshes it between batches with
+/// [`SplitStore::snapshot_into`] (allocation-free once warmed), while the
+/// dataplane keeps ingesting into the live cache. Sharded deployments merge
+/// per-worker frames into one with [`SplitStore::snapshot_merge_into`].
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot<K, V> {
+    backing: BackingStore<K, V>,
+    stats: StoreStats,
+}
+
+impl<K: Eq + Hash, V> StoreSnapshot<K, V> {
+    /// An empty frame with the given absorption mode, ready to be filled by
+    /// [`SplitStore::snapshot_into`] (which also fixes up a mode mismatch,
+    /// so any mode works as a placeholder).
+    #[must_use]
+    pub fn new(mode: MergeMode) -> Self {
+        StoreSnapshot {
+            backing: BackingStore::new(mode),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The frame's combined results, keyed like the live backing store.
+    #[must_use]
+    pub fn backing(&self) -> &BackingStore<K, V> {
+        &self.backing
+    }
+
+    /// The live store's counters as of the frame, stated as if the cache had
+    /// been flushed (so they satisfy the same
+    /// `backing_writes == evictions + flush_writes` identity a drained
+    /// store's do).
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Number of distinct keys in the frame.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// True when the frame holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.backing.is_empty()
+    }
+}
+
+impl<K: Eq + Hash, V> Default for StoreSnapshot<K, V> {
+    fn default() -> Self {
+        StoreSnapshot::new(MergeMode::Merge)
+    }
+}
+
 fn absorb_entry<K: Eq + Hash, O: ValueOps>(
     backing: &mut BackingStore<K, O::Value>,
     ops: &O,
@@ -674,6 +834,117 @@ mod tests {
         s.migrate_geometry(CacheGeometry::fully_associative(4));
         assert_eq!(s.stats(), stats);
         assert!(s.cache().contains(&1));
+    }
+
+    /// Frame must equal clone-and-flush: same key set, same entries, same
+    /// (as-if-flushed) stats.
+    fn assert_frame_is_clone_flush<O: ValueOps + Clone>(
+        live: &SplitStore<u64, O>,
+        snap: &StoreSnapshot<u64, O::Value>,
+    ) where
+        O::Value: PartialEq + std::fmt::Debug,
+    {
+        let mut reference = live.clone();
+        reference.flush();
+        assert_eq!(snap.len(), reference.backing().len());
+        for (k, want) in reference.backing().iter() {
+            assert_eq!(snap.backing().get(k), Some(want), "key {k}");
+        }
+        assert_eq!(snap.stats(), reference.stats());
+    }
+
+    #[test]
+    fn snapshot_equals_clone_flush_and_leaves_live_store_alone() {
+        let mut s = counter_store(2);
+        for (i, k) in [1u64, 2, 3, 1, 2, 3, 1].iter().enumerate() {
+            s.observe(*k, &(), Nanos(i as u64));
+        }
+        let stats_before = s.stats();
+        let cache_before = s.cache().len();
+        let snap = s.snapshot();
+        assert_frame_is_clone_flush(&s, &snap);
+        // The live store never noticed.
+        assert_eq!(s.stats(), stats_before);
+        assert_eq!(s.cache().len(), cache_before);
+        // Ingest continues unaffected and the final flush is still exact.
+        for (i, k) in [1u64, 2, 3].iter().enumerate() {
+            s.observe(*k, &(), Nanos(100 + i as u64));
+        }
+        s.flush();
+        assert_eq!(*s.result(&1).unwrap().value().unwrap(), 4);
+        assert_eq!(*s.result(&2).unwrap().value().unwrap(), 3);
+        assert_eq!(*s.result(&3).unwrap().value().unwrap(), 3);
+    }
+
+    #[test]
+    fn snapshot_into_refreshes_a_warmed_frame() {
+        let mut s = counter_store(2);
+        let mut snap = StoreSnapshot::new(MergeMode::Overwrite); // wrong mode on purpose
+        for round in 0..5u64 {
+            for (i, k) in [1u64, 2, 3, 4, 1, 2].iter().enumerate() {
+                s.observe(*k, &(), Nanos(round * 100 + i as u64));
+            }
+            s.snapshot_into(&mut snap);
+            assert_frame_is_clone_flush(&s, &snap);
+        }
+        assert_eq!(*snap.backing().get(&1).unwrap().value().unwrap(), 10);
+    }
+
+    #[test]
+    fn snapshot_into_rebuilds_after_reset() {
+        let mut s = counter_store(4);
+        for k in [1u64, 2, 3] {
+            s.observe(k, &(), Nanos(0));
+        }
+        let mut snap = s.snapshot();
+        assert_eq!(snap.len(), 3);
+        s.reset();
+        s.observe(9, &(), Nanos(1));
+        s.snapshot_into(&mut snap);
+        assert_eq!(snap.len(), 1, "stale keys must not linger in the frame");
+        assert_frame_is_clone_flush(&s, &snap);
+    }
+
+    #[test]
+    fn snapshot_epoch_mode_matches_flush_including_invalid_keys() {
+        let mut s: SplitStore<u64, MaxOps> = SplitStore::new(
+            CacheGeometry::fully_associative(1),
+            EvictionPolicy::Lru,
+            1,
+            MaxOps,
+        );
+        s.observe(1, &5, Nanos(0));
+        s.observe(2, &7, Nanos(1)); // evicts 1 (epoch 1)
+        s.observe(1, &9, Nanos(2)); // evicts 2; key 1 re-enters
+        let snap = s.snapshot();
+        assert_frame_is_clone_flush(&s, &snap);
+        assert!(!snap.backing().get(&1).unwrap().is_valid());
+        assert!(snap.backing().get(&2).unwrap().is_valid());
+        assert!((snap.backing().accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge_into_matches_absorb_store() {
+        let mut a = counter_store(2);
+        let mut b = counter_store(2);
+        for (i, k) in [1u64, 2, 3, 1, 2, 3].iter().enumerate() {
+            a.observe(*k, &(), Nanos(i as u64));
+        }
+        for (i, k) in [3u64, 4, 3, 4, 3].iter().enumerate() {
+            b.observe(*k, &(), Nanos(100 + i as u64));
+        }
+        let mut snap = a.snapshot();
+        b.snapshot_merge_into(&mut snap);
+        let mut reference = a.clone();
+        reference.absorb_store(b.clone());
+        assert_eq!(snap.len(), reference.backing().len());
+        for (k, want) in reference.backing().iter() {
+            assert_eq!(snap.backing().get(k), Some(want), "key {k}");
+        }
+        assert_eq!(snap.stats(), reference.stats());
+        // Neither source store was touched.
+        assert!(!a.cache().is_empty());
+        assert!(!b.cache().is_empty());
     }
 }
 

@@ -49,7 +49,12 @@
 //! Dropping the [`Sender`] closes the channel: the consumer drains what
 //! remains and then observes end-of-stream. Dropping the [`Receiver`] makes
 //! further sends fail fast with [`SendError`], so a crashed worker
-//! backpressures into an error instead of a deadlock.
+//! backpressures into an error instead of a deadlock. Either drop also
+//! **permanently closes the peer's parking slot** — the `Drop` impls run
+//! during a panic unwind too, so a worker that dies mid-run unparks a
+//! blocked producer immediately and bars it from ever parking again;
+//! liveness after a peer death rests on this closed flag, not on the park
+//! timeout.
 
 use std::cell::Cell;
 use std::marker::PhantomData;
@@ -122,24 +127,49 @@ struct Waiter {
     /// True from commit-to-park until the owner wakes (or the peer claims
     /// the wakeup).
     parked: AtomicBool,
+    /// Permanently true once the peer half is gone (its `Drop` ran —
+    /// normally or mid-panic-unwind). The owner checks it in the
+    /// park/backoff loop and never parks again: liveness after a peer
+    /// death is guaranteed by this flag, not by the park timeout.
+    closed: AtomicBool,
     /// The parked thread's handle, for `Thread::unpark`.
     thread: Mutex<Option<std::thread::Thread>>,
 }
 
 impl Waiter {
+    /// Whether the peer half is gone (no wakeups will ever arrive again).
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
     /// Commit-to-park: register the current thread, raise the flag, then
     /// re-verify the wait condition under a `SeqCst` fence — if `not_ready`
     /// still holds, park (bounded by [`PARK_TIMEOUT`]). The fence pairs
     /// with the one in [`Waiter::wake`]: either this side observes the
-    /// peer's publication, or the peer observes the raised flag.
+    /// peer's publication, or the peer observes the raised flag. A closed
+    /// waiter never parks: its peer can no longer deliver a wakeup, so
+    /// the caller's loop must re-check its exit condition instead.
     fn park_if(&self, not_ready: impl FnOnce() -> bool) {
+        if self.is_closed() {
+            return;
+        }
         *self.thread.lock().expect("waiter handle lock") = Some(std::thread::current());
         self.parked.store(true, Ordering::Relaxed);
         fence(Ordering::SeqCst);
-        if not_ready() {
+        if not_ready() && !self.is_closed() {
             std::thread::park_timeout(PARK_TIMEOUT);
         }
         self.parked.store(false, Ordering::Relaxed);
+    }
+
+    /// Close the slot on behalf of a dying peer: raise the permanent flag,
+    /// then deliver one final wakeup so an already-parked owner re-checks
+    /// immediately. Called from the `Drop` impls (which also run during a
+    /// panic unwind — a crashed shard worker closes its producer's slot on
+    /// the way down instead of leaving it parked).
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake();
     }
 
     /// Deliver a wakeup if the peer is parked (called by the publishing
@@ -394,10 +424,11 @@ impl<T: RingItem> Sender<T> {
 impl<T: RingItem> Drop for Sender<T> {
     fn drop(&mut self) {
         // `Release` so the consumer's `Acquire` load of the flag also sees
-        // the final published tail. A parked consumer must then be woken to
-        // observe end-of-stream.
+        // the final published tail. Closing the consumer's waiter both
+        // wakes it now and prevents any future park — no wakeup can ever
+        // arrive again from this side.
         self.shared.sender_alive.store(false, Ordering::Release);
-        self.shared.rx_waiter.wake();
+        self.shared.rx_waiter.close();
     }
 }
 
@@ -499,8 +530,11 @@ impl<T: RingItem> Receiver<T> {
 impl<T: RingItem> Drop for Receiver<T> {
     fn drop(&mut self) {
         self.shared.receiver_alive.store(false, Ordering::Release);
-        // A producer parked on a full ring must wake to observe the death.
-        self.shared.tx_waiter.wake();
+        // A producer parked on a full ring must wake to observe the death —
+        // including a death by panic (this `Drop` runs during the worker's
+        // unwind). Closing rather than waking also bars any future park,
+        // so the producer's error path never re-blocks on a dead consumer.
+        self.shared.tx_waiter.close();
     }
 }
 

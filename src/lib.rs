@@ -57,9 +57,9 @@ pub use perfq_trace as trace;
 /// The names most programs need.
 pub mod prelude {
     pub use perfq_core::{
-        compile_program, compile_query, CompileOptions, CompiledProgram, MultiRuntime,
-        MultiSharded, Oracle, ResultSet, ResultTable, Runtime, ShardRouter, ShardSpec,
-        ShardedRuntime,
+        compile_program, compile_query, CompileOptions, CompiledProgram, DeltaCursor, DeltaRow,
+        MultiRuntime, MultiSharded, Oracle, ResultSet, ResultTable, Runtime, ShardRouter,
+        ShardSpec, ShardedRuntime, WindowedRuntime,
     };
     pub use perfq_kvstore::{AreaPlan, CacheGeometry, CachePlanner, EvictionPolicy, SplitStore};
     pub use perfq_lang::{compile as compile_source, fig2, Value};

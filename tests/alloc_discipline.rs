@@ -291,6 +291,43 @@ fn steady_state_batched_replay_allocates_nothing() {
         );
     }
 
+    // The incremental read path: refreshing a *warmed* snapshot frame
+    // (`SplitStore::snapshot_into`, the kernel under every poll entry
+    // point) must allocate nothing. The first snapshot sizes the frame's
+    // table and per-entry epoch vectors; after that, a poll rewrites the
+    // standing entries in place — backing copy, cache absorption through
+    // the eviction algebra, stats — and the stable keyset means no table
+    // growth, no fresh epoch vectors, no key clones that allocate. Only
+    // the result-row materialization above the frame (which `collect`
+    // pays identically) may allocate.
+    {
+        let mut store: SplitStore<u64, CounterOps> = SplitStore::new(
+            CacheGeometry::set_associative(64, 4),
+            EvictionPolicy::Lru,
+            11,
+            CounterOps,
+        );
+        for i in 0..8192u64 {
+            store.observe(i % 512, &(), Nanos(i));
+        }
+        // Warm frame: every key (cache-resident and evicted) enters once.
+        let mut frame = store.snapshot();
+        // More traffic over the same keyset, then the warmed refresh.
+        for i in 0..8192u64 {
+            store.observe(i % 512, &(), Nanos(8192 + i));
+        }
+        let before = allocs();
+        store.snapshot_into(&mut frame);
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "warmed snapshot refresh allocated {} times",
+            after - before,
+        );
+        assert_eq!(frame.len(), 512, "frame holds the full keyset");
+    }
+
     // The warmed 4-shard drain. `ShardedRuntime::finish` joins the workers
     // and funnels every shard through `Runtime::absorb_finished` — the
     // `absorb_store` → `merge_from` → `FoldOps::merge` chain. Once the

@@ -8,7 +8,7 @@
 //! of corrupting a record.
 
 use perfq_packet::{Nanos, PacketBuilder};
-use perfq_switch::spsc::channel;
+use perfq_switch::spsc::{channel, SendError};
 use perfq_switch::QueueRecord;
 use std::net::Ipv4Addr;
 use std::thread;
@@ -137,6 +137,71 @@ fn receiver_death_mid_stream_errors_instead_of_deadlocking() {
     assert_eq!(format!("{err}"), "spsc receiver disconnected");
     let got = consumer.join().unwrap();
     assert!(got.iter().copied().eq(0..got.len() as u64), "prefix intact");
+}
+
+#[test]
+fn consumer_panic_unparks_a_blocked_producer() {
+    // Regression: a shard worker that panics mid-run drops its Receiver
+    // during the unwind. A producer blocked on the full ring — all the way
+    // down the spin → yield → park ladder — must wake *because the waiter
+    // was closed*, not because a park timeout happened to expire, and then
+    // surface the death as SendError.
+    let (tx, rx) = channel::<u64>(1);
+    let worker = thread::spawn(move || {
+        let mut got = Vec::new();
+        rx.recv_many(&mut got, 2);
+        panic!("worker died mid-run");
+    });
+    let mut i = 0u64;
+    let err = loop {
+        match tx.send(i) {
+            Ok(()) => i += 1,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, SendError);
+    // The worker's own panic payload is intact for the drain to re-raise.
+    let payload = worker.join().unwrap_err();
+    assert_eq!(payload.downcast_ref::<&str>(), Some(&"worker died mid-run"));
+}
+
+#[test]
+fn consumer_panic_unblocks_a_parked_send_all() {
+    // Same liveness property through the batch path: send_all parked on a
+    // full ring must error out (leaving the remainder staged) when the
+    // consumer dies, never hang.
+    let (tx, rx) = channel::<u64>(2);
+    let worker = thread::spawn(move || {
+        let mut got = Vec::new();
+        rx.recv_many(&mut got, 1);
+        panic!("worker died mid-batch");
+    });
+    let mut pending: Vec<u64> = (0..10_000).collect();
+    let err = loop {
+        match tx.send_all(&mut pending) {
+            Ok(()) => pending = (0..10_000).collect(),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, SendError);
+    assert!(!pending.is_empty(), "unsent remainder stays staged");
+    assert!(worker.join().is_err());
+}
+
+#[test]
+fn producer_panic_wakes_a_waiting_consumer_as_end_of_stream() {
+    // The mirror image: a consumer parked on the empty ring must observe
+    // end-of-stream when the producer's unwind drops the Sender.
+    let (tx, rx) = channel::<u64>(8);
+    let producer = thread::spawn(move || {
+        tx.send(7).unwrap();
+        // Let the consumer drain and commit to parking on the empty ring.
+        thread::sleep(std::time::Duration::from_millis(50));
+        panic!("producer died");
+    });
+    assert_eq!(rx.recv(), Some(7));
+    assert_eq!(rx.recv(), None, "closed waiter surfaces end-of-stream");
+    assert!(producer.join().is_err());
 }
 
 #[test]
