@@ -3,8 +3,10 @@
 //! the full query dataplane.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use perfq_core::{compile_query, MultiRuntime, Runtime, ShardedRuntime};
-use perfq_kvstore::{CacheGeometry, CounterOps, EvictionPolicy, SplitStore};
+use perfq_core::{compile_query, Durability, MultiRuntime, Runtime, ShardedRuntime};
+use perfq_kvstore::{
+    shared, CacheGeometry, CounterOps, EvictionPolicy, MemBackend, SpillConfig, SplitStore,
+};
 use perfq_lang::fig2;
 use perfq_packet::{Nanos, Packet};
 use perfq_switch::{Network, NetworkConfig, OutputQueue, QueueRecord, Topology};
@@ -556,6 +558,111 @@ fn bench_poll_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The durable tier priced against the replay it protects (PR 10). Three
+/// benches in one group:
+///
+/// * `ingest_wal_off` / `ingest_wal_on` — the same 20k-record batched
+///   counter replay, plain vs. with a spill tier attached (1024-record
+///   in-RAM high-water, so the trace's ~2.4k flows actually spill) and a
+///   checkpoint persisted every 16 batches. The pair runs back-to-back so
+///   the BENCH_pipeline.json `wal_on over wal_off` ratio guard compares
+///   numbers from the same machine-noise phase; the floor pins the
+///   durability tax (spill-gate branch + frame encode + group commit +
+///   periodic snapshot) so it can't silently grow. WAL-off is the
+///   default-configuration replay, so its floor doubles as the
+///   "Durability::Off costs nothing" regression check.
+/// * `recover_100k_pairs` — cold recovery throughput: replay a WAL holding
+///   100k disk-confined counter records (high-water 0: every victim
+///   spills) into a fresh store, per iteration on a forked copy of the
+///   in-memory filesystem. Throughput is pairs/sec; the MemBackend clone
+///   (~5 MB memcpy) is part of each iteration but is small next to the
+///   frame decode + absorb work being priced.
+fn bench_durability(c: &mut Criterion) {
+    let records = small_records(20_000);
+    let compiled = compile_query(
+        fig2::PER_FLOW_COUNTERS.source,
+        &fig2::default_params(),
+        Default::default(),
+    )
+    .unwrap();
+    let spill = SpillConfig {
+        high_water: 1024,
+        group_commit_bytes: 64 * 1024,
+    };
+
+    let mut group = c.benchmark_group("durability");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("ingest_wal_off", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new(compiled.clone());
+            for chunk in records.chunks(256) {
+                rt.process_batch(black_box(chunk));
+            }
+            rt.finish();
+            black_box(rt.records())
+        });
+    });
+    group.bench_function("ingest_wal_on", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new(compiled.clone());
+            rt.enable_durability(Durability::new(shared(MemBackend::new())).with_spill(spill))
+                .expect("mem backend never fails");
+            for (i, chunk) in records.chunks(256).enumerate() {
+                rt.process_batch(black_box(chunk));
+                if (i + 1) % 16 == 0 {
+                    rt.persist().expect("mem backend never fails");
+                }
+            }
+            rt.finish();
+            black_box(rt.records())
+        });
+    });
+
+    // Build the 100k-pair spilled state once; each iteration recovers a
+    // forked copy of the filesystem, exactly the crash-restart path.
+    const PAIRS: u64 = 100_000;
+    let everything_spills = SpillConfig {
+        high_water: 0,
+        group_commit_bytes: 64 * 1024,
+    };
+    let seed_disk = std::sync::Arc::new(std::sync::Mutex::new(MemBackend::new()));
+    let mut seed_store: SplitStore<u128, CounterOps> = SplitStore::new(
+        CacheGeometry::set_associative(1 << 10, 4),
+        EvictionPolicy::Lru,
+        0xd07,
+        CounterOps,
+    );
+    seed_store
+        .enable_spill(seed_disk.clone(), "bench_", everything_spills)
+        .expect("mem backend never fails");
+    for k in 0..PAIRS {
+        seed_store.observe(k as u128, &(), Nanos(k));
+    }
+    seed_store.persist(PAIRS).expect("mem backend never fails");
+    let disk: MemBackend = seed_disk.lock().unwrap().clone();
+    group.throughput(Throughput::Elements(PAIRS));
+    group.bench_function("recover_100k_pairs", |b| {
+        b.iter(|| {
+            let mut store: SplitStore<u128, CounterOps> = SplitStore::new(
+                CacheGeometry::set_associative(1 << 10, 4),
+                EvictionPolicy::Lru,
+                0xd07,
+                CounterOps,
+            );
+            store
+                .recover_spill(
+                    shared(disk.clone()),
+                    "bench_",
+                    everything_spills,
+                    Some(PAIRS),
+                )
+                .expect("recovery from a clean checkpoint succeeds");
+            black_box(store.result(&0).is_some())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_queue,
@@ -568,6 +675,7 @@ criterion_group!(
     bench_multi_query_shared,
     bench_install_churn,
     bench_poll_overhead,
+    bench_durability,
     bench_fig5_sweep
 );
 criterion_main!(benches);

@@ -28,7 +28,8 @@
 //! update is *additive* in state (`A = I`, e.g. COUNT/SUM and guarded
 //! counters) skip extraction entirely — `ΠA` stays the identity.
 
-use perfq_kvstore::{MergeMode, ValueOps};
+use perfq_kvstore::wal::{ByteReader, ByteWriter as _};
+use perfq_kvstore::{MergeMode, Persist, ValueOps};
 use perfq_lang::bytecode::{self, EvalStack, Program};
 use perfq_lang::ir::{FoldIr, RExpr, RStmt, VarClass};
 use perfq_lang::{FoldClass, Value};
@@ -1009,6 +1010,110 @@ pub fn var_classes(fold: &FoldIr) -> Vec<(String, VarClass)> {
         .zip(&fold.var_classes)
         .map(|(v, c)| (v.name.clone(), *c))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Durable spill-tier codec
+// ---------------------------------------------------------------------------
+
+fn put_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            out.put_u8(0);
+            out.put_i64(*i);
+        }
+        Value::Float(f) => {
+            out.put_u8(1);
+            out.put_f64(*f);
+        }
+        Value::Bool(b) => {
+            out.put_u8(2);
+            out.put_u8(u8::from(*b));
+        }
+    }
+}
+
+fn get_value(r: &mut ByteReader<'_>) -> Option<Value> {
+    match r.u8()? {
+        0 => Some(Value::Int(r.i64()?)),
+        1 => Some(Value::Float(r.f64()?)),
+        2 => Some(Value::Bool(r.u8()? != 0)),
+        _ => None,
+    }
+}
+
+fn put_values(vals: &[Value], out: &mut Vec<u8>) {
+    out.put_u32(vals.len() as u32);
+    for v in vals {
+        put_value(v, out);
+    }
+}
+
+fn get_values(r: &mut ByteReader<'_>) -> Option<Vec<Value>> {
+    let n = r.u32()? as usize;
+    let mut vals = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        vals.push(get_value(r)?);
+    }
+    Some(vals)
+}
+
+/// [`FoldState`] round-trips through the spill tier's WAL byte-exactly:
+/// floats persist as their bit patterns and [`StateVec`] re-canonicalizes
+/// through [`StateVec::from_slice`], so a recovered fold state compares
+/// equal to the never-spilled original for every fold class — including
+/// the linear-merge bookkeeping in [`LinearAux`].
+impl Persist for FoldState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_values(&self.vars, out);
+        out.put_u64(self.packets);
+        match &self.aux {
+            None => out.put_u8(0),
+            Some(aux) => {
+                out.put_u8(1);
+                out.put_u64(aux.packets);
+                out.put_u32(aux.window_log.len() as u32);
+                for row in &aux.window_log {
+                    put_values(row, out);
+                }
+                put_values(&aux.snapshot, out);
+                out.put_u32(aux.prod.len() as u32);
+                for x in &aux.prod {
+                    out.put_f64(*x);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let vars = StateVec::from_slice(&get_values(r)?);
+        let packets = r.u64()?;
+        let aux = match r.u8()? {
+            0 => None,
+            1 => {
+                let aux_packets = r.u64()?;
+                let n_rows = r.u32()? as usize;
+                let mut window_log = Vec::with_capacity(n_rows.min(1024));
+                for _ in 0..n_rows {
+                    window_log.push(get_values(r)?);
+                }
+                let snapshot = get_values(r)?;
+                let n_prod = r.u32()? as usize;
+                let mut prod = Vec::with_capacity(n_prod.min(1024));
+                for _ in 0..n_prod {
+                    prod.push(r.f64()?);
+                }
+                Some(Box::new(LinearAux {
+                    packets: aux_packets,
+                    window_log,
+                    snapshot,
+                    prod,
+                }))
+            }
+            _ => return None,
+        };
+        Some(FoldState { vars, packets, aux })
+    }
 }
 
 #[cfg(test)]

@@ -310,6 +310,7 @@
 #![warn(missing_docs)]
 
 pub mod compiler;
+pub mod durable;
 pub mod foldops;
 pub mod multi;
 pub mod oracle;
@@ -320,6 +321,7 @@ pub mod sharded;
 pub mod windows;
 
 pub use compiler::{compile_program, CompileError, CompileOptions, CompiledProgram, StorePlan};
+pub use durable::{decode_results, encode_results, read_retired, write_retired, Durability};
 pub use foldops::{FoldOps, FoldState};
 pub use multi::{
     demand_of, provision, shard_programs, MultiRuntime, MultiSharded, SharedSlot, SharedStore,

@@ -97,13 +97,14 @@
 //! of the batched path still allocates nothing, `tests/alloc_discipline.rs`).
 
 use crate::compiler::{CompiledProgram, StorePlan};
+use crate::durable::{read_retired, write_retired, Durability};
 use crate::plan::{lane_mask, ExecPlan, Filter, NodeKind, RowSource, CHUNK, LANES};
 use crate::result::ResultSet;
 use crate::runtime::Runtime;
 use crate::sharded::{ShardSpec, ShardedRuntime, DEFAULT_BATCH, DEFAULT_QUEUE_CAPACITY};
 use perfq_kvstore::{
-    AreaPlan, CacheGeometry, CachePlanner, InlineKey, PlanError, QueryAllocation, QueryDemand,
-    StoreDemand,
+    read_manifest, write_manifest, AreaPlan, CacheGeometry, CachePlanner, InlineKey, PlanError,
+    QueryAllocation, QueryDemand, StoreDemand,
 };
 use perfq_lang::bytecode::EvalStack;
 use perfq_lang::{fingerprint, QueryInput, Value};
@@ -871,6 +872,14 @@ pub struct MultiRuntime {
     /// Whether the cross-query sharing pass is enabled (lifecycle events
     /// re-run it).
     share: bool,
+    /// Durable-tier configuration ([`MultiRuntime::enable_durability`]).
+    /// Program `id` persists under the `p<id>_` name component; uninstall
+    /// additionally publishes the departing program's final results as a
+    /// retired file ([`MultiRuntime::retired`]).
+    durability: Option<Durability>,
+    /// Record index of the last manifested checkpoint (stale-capture
+    /// cleanup; see [`Runtime`]'s field of the same name).
+    persisted_at: Option<u64>,
 }
 
 /// Evaluate the shared prefix for one row, appending `n_filters` verdicts
@@ -973,6 +982,8 @@ impl MultiRuntime {
             budget: None,
             records: 0,
             share,
+            durability: None,
+            persisted_at: None,
         }
     }
 
@@ -1025,6 +1036,92 @@ impl MultiRuntime {
     #[must_use]
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Attach a durable spill tier to every installed program's stores
+    /// (off by default; see [`crate::durable`]). Program `id` persists
+    /// under the `p<id>_` name component — stable across the index shifts
+    /// of install/uninstall — and programs installed later
+    /// ([`MultiRuntime::install`]) join the durable tier on arrival.
+    /// Uninstall additionally publishes the departing program's final
+    /// results as a retired file ([`MultiRuntime::retired`]). The sharded
+    /// frontend ([`MultiSharded`]) does not take a durable tier — persist
+    /// from the single-threaded plane, or use [`ShardedRuntime`] for a
+    /// durable sharded single program.
+    pub fn enable_durability(&mut self, d: Durability) -> std::io::Result<()> {
+        for (i, rt) in self.runtimes.iter_mut().enumerate() {
+            let id = self.ids[i];
+            rt.enable_durability_prefixed(&d, &format!("p{id}_"))?;
+        }
+        self.durability = Some(d);
+        Ok(())
+    }
+
+    /// Durably checkpoint the whole deployment at the current record
+    /// index: every program's stores checkpoint, the single deployment
+    /// manifest advances atomically, then the WALs compact
+    /// (see [`Runtime::persist`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`MultiRuntime::enable_durability`] was called.
+    pub fn persist(&mut self) -> std::io::Result<()> {
+        let d = self
+            .durability
+            .clone()
+            .expect("persist requires enable_durability");
+        let at = self.records;
+        for (i, rt) in self.runtimes.iter_mut().enumerate() {
+            let id = self.ids[i];
+            rt.persist_stores(at, &d, &format!("p{id}_"))?;
+        }
+        write_manifest(d.backend(), &d.manifest_name(), at)?;
+        let stale = self.persisted_at.filter(|&old| old != at);
+        self.persisted_at = Some(at);
+        for (i, rt) in self.runtimes.iter_mut().enumerate() {
+            let id = self.ids[i];
+            rt.compact_stores(&d, &format!("p{id}_"), stale)?;
+        }
+        Ok(())
+    }
+
+    /// Recover a crashed multi-query deployment that had **no mid-stream
+    /// lifecycle events**: rebuild over the same program list (the sharing
+    /// analysis is deterministic, so aliases, store layout, and durable
+    /// file names all reproduce) and repair each program's files against
+    /// the single deployment manifest. Returns the plane with the resume
+    /// index (see [`Runtime::recover`]). Deployments that installed or
+    /// uninstalled mid-stream are out of recovery's scope — but their
+    /// retired files stay readable ([`MultiRuntime::retired`]).
+    pub fn recover(
+        programs: Vec<CompiledProgram>,
+        d: Durability,
+    ) -> std::io::Result<(Self, u64)> {
+        let mut multi = Self::new(programs);
+        let resume = read_manifest(d.backend(), &d.manifest_name())?;
+        for (i, rt) in multi.runtimes.iter_mut().enumerate() {
+            let id = multi.ids[i];
+            rt.recover_stores(&d, &format!("p{id}_"), resume)?;
+        }
+        let at = resume.unwrap_or(0);
+        multi.records = at;
+        multi.persisted_at = resume;
+        multi.durability = Some(d);
+        Ok((multi, at))
+    }
+
+    /// Read back a retired program's durably published final results.
+    /// `Ok(None)` when this id never left under durability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`MultiRuntime::enable_durability`] was called.
+    pub fn retired(&self, id: u64) -> std::io::Result<Option<ResultSet>> {
+        let d = self
+            .durability
+            .as_ref()
+            .expect("retired requires enable_durability");
+        read_retired(d, id)
     }
 
     /// Install one more compiled program into the **live** deployment —
@@ -1112,6 +1209,13 @@ impl MultiRuntime {
         self.ids.push(id);
         self.epochs.push(self.records);
         self.next_id += 1;
+        if let Some(d) = self.durability.clone() {
+            self.runtimes
+                .last_mut()
+                .expect("the new runtime was just pushed")
+                .enable_durability_prefixed(&d, &format!("p{id}_"))
+                .expect("durable-tier attach on install");
+        }
         if let Some(budget) = self.budget {
             self.replan_and_migrate(budget);
         }
@@ -1179,6 +1283,12 @@ impl MultiRuntime {
             rt.adopt_store_within(*aq, *oq);
         }
         let results = rt.collect();
+        // The drain above read through the durable tier ([`Runtime::finish`]
+        // materializes every spilled pair); publish the retired results so
+        // they outlive the deployment.
+        if let Some(d) = &self.durability {
+            write_retired(d, id, &results).expect("retired-results publish");
+        }
 
         // Bookkeeping: drop every pair touching the departing program,
         // shift indices past it down by one.

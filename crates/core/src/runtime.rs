@@ -25,10 +25,14 @@
 //! joins, and reports per-key validity.
 
 use crate::compiler::CompiledProgram;
+use crate::durable::Durability;
 use crate::foldops::{FoldOps, FoldState};
 use crate::plan::{lane_mask, ExecPlan, NodeKind, RowSource, CHUNK, LANES};
 use crate::result::{value_key, DeltaCursor, DeltaRow, ResultRow, ResultSet, ResultTable};
-use perfq_kvstore::{BackingStore, CacheGeometry, InlineKey, SplitStore, StoreSnapshot, StoreStats};
+use perfq_kvstore::{
+    read_manifest, write_manifest, BackingStore, CacheGeometry, InlineKey, SplitStore,
+    StoreSnapshot, StoreStats,
+};
 use perfq_lang::bytecode::EvalStack;
 use perfq_lang::ir::eval;
 use perfq_lang::resolve::GroupOutput;
@@ -127,6 +131,14 @@ pub struct Runtime {
     /// Incremental read path: previous-frame bookkeeping for
     /// [`Runtime::poll_delta`].
     poll_cursor: DeltaCursor,
+    /// Record index of the last manifested checkpoint — names the capture
+    /// files safe to drop once the next checkpoint's manifest lands.
+    persisted_at: Option<u64>,
+    /// Durable-tier configuration, when [`Runtime::enable_durability`] was
+    /// called on this (stand-alone) runtime. Worker runtimes inside a
+    /// sharded or multi-program deployment leave this `None` — the owning
+    /// plane holds the config and the manifest.
+    durability: Option<Durability>,
 }
 
 impl Runtime {
@@ -201,6 +213,8 @@ impl Runtime {
             finished: false,
             poll_frames: Vec::new(),
             poll_cursor: DeltaCursor::default(),
+            persisted_at: None,
+            durability: None,
         }
     }
 
@@ -845,8 +859,16 @@ impl Runtime {
     }
 
     /// Flush all caches to the backing stores (end of measurement window).
+    /// Durable stores first fold their spill tier's on-disk truth back into
+    /// RAM ([`SplitStore::materialize_spill`]: disk frames, then the newer
+    /// RAM records, then the flushed cache on top — temporal merge order),
+    /// so [`Runtime::collect`] and every drain that follows — including
+    /// `MultiRuntime::uninstall`'s — read through the tier.
     pub fn finish(&mut self) {
         for store in self.stores.iter_mut().flatten() {
+            store
+                .materialize_spill()
+                .expect("spill-tier read at finish");
             store.flush();
         }
         self.finished = true;
@@ -958,6 +980,168 @@ impl Runtime {
     pub fn poll_delta(&mut self, sink: impl FnMut(DeltaRow<'_>)) -> u64 {
         let frame = self.poll_results();
         self.poll_cursor.advance(frame, sink)
+    }
+
+    /// Attach a durable spill tier to every aggregation store (off by
+    /// default; see [`crate::durable`]). Evictions past the configured
+    /// high-water mark append to per-store WALs on the config's backend;
+    /// [`Runtime::persist`] checkpoints, and [`Runtime::recover`] resumes
+    /// a crashed deployment.
+    pub fn enable_durability(&mut self, d: Durability) -> std::io::Result<()> {
+        self.enable_durability_prefixed(&d, "")?;
+        self.durability = Some(d);
+        Ok(())
+    }
+
+    /// Attach spill tiers with an extra deployment-level name component
+    /// (`s<i>_` per shard, `p<id>_` per installed program) — the plane
+    /// keeps the [`Durability`] config and the manifest.
+    pub(crate) fn enable_durability_prefixed(
+        &mut self,
+        d: &Durability,
+        sub: &str,
+    ) -> std::io::Result<()> {
+        for (idx, store) in self.stores.iter_mut().enumerate() {
+            if let Some(s) = store {
+                s.enable_spill(
+                    d.backend().clone(),
+                    &format!("{}{}q{idx}_", d.prefix(), sub),
+                    d.spill(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint every durable store at `record_index` (flush, snapshot
+    /// the RAM table, write a checkpoint frame, group-commit), then persist the
+    /// bounded capture buffers — base-table selections carry stream-order
+    /// state the stores don't, so a recovered deployment's captures must
+    /// cover the full prefix, not just the re-ingested suffix. The caller
+    /// owns the manifest write that makes the checkpoint recoverable.
+    pub(crate) fn persist_stores(
+        &mut self,
+        record_index: u64,
+        d: &Durability,
+        sub: &str,
+    ) -> std::io::Result<()> {
+        for store in self.stores.iter_mut().flatten() {
+            if store.spill().is_some() {
+                store.persist(record_index)?;
+            }
+        }
+        for (idx, cap) in self.captures.iter().enumerate() {
+            if let Some(cap) = cap {
+                let bytes = crate::durable::encode_capture(&cap.rows, cap.total);
+                // The record index is part of the name: the previous
+                // checkpoint's capture file stays intact until the manifest
+                // advances past it, so a crash mid-persist recovers the old
+                // captures, not a torn mix of old stores and new rows.
+                let name = format!("{}{}cap{idx}_{record_index}", d.prefix(), sub);
+                let mut be = d.backend().lock().expect("backend mutex");
+                be.write_atomic(&name, &bytes)?;
+                be.sync(&name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold every durable store's WAL into its segment and drop the
+    /// previous checkpoint's capture files (`stale`, when it differs from
+    /// the index just manifested). Call only after a manifested checkpoint.
+    pub(crate) fn compact_stores(
+        &mut self,
+        d: &Durability,
+        sub: &str,
+        stale: Option<u64>,
+    ) -> std::io::Result<()> {
+        for store in self.stores.iter_mut().flatten() {
+            store.compact_spill()?;
+        }
+        if let Some(old) = stale {
+            for (idx, cap) in self.captures.iter().enumerate() {
+                if cap.is_some() {
+                    let name = format!("{}{}cap{idx}_{old}", d.prefix(), sub);
+                    d.backend().lock().expect("backend mutex").remove(&name)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Repair and re-attach every store's spill tier after a crash.
+    pub(crate) fn recover_stores(
+        &mut self,
+        d: &Durability,
+        sub: &str,
+        manifest: Option<u64>,
+    ) -> std::io::Result<()> {
+        for (idx, store) in self.stores.iter_mut().enumerate() {
+            if let Some(s) = store {
+                s.recover_spill(
+                    d.backend().clone(),
+                    &format!("{}{}q{idx}_", d.prefix(), sub),
+                    d.spill(),
+                    manifest,
+                )?;
+            }
+        }
+        if let Some(at) = manifest {
+            for (idx, cap) in self.captures.iter_mut().enumerate() {
+                let Some(cap) = cap else { continue };
+                let name = format!("{}{}cap{idx}_{at}", d.prefix(), sub);
+                let bytes = {
+                    let mut be = d.backend().lock().expect("backend mutex");
+                    be.read(&name)?
+                };
+                if let Some((rows, total)) = bytes.as_deref().and_then(crate::durable::decode_capture)
+                {
+                    cap.rows = rows;
+                    cap.total = total;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Durably checkpoint the deployment at the current record index:
+    /// every store checkpoints ([`SplitStore::persist`]), then the single
+    /// deployment manifest advances atomically, then the WALs compact into
+    /// their segments. On success a crash at *any* later point recovers to
+    /// exactly this state ([`Runtime::recover`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Runtime::enable_durability`] was called.
+    pub fn persist(&mut self) -> std::io::Result<()> {
+        let d = self
+            .durability
+            .clone()
+            .expect("persist requires enable_durability");
+        let at = self.records;
+        self.persist_stores(at, &d, "")?;
+        write_manifest(d.backend(), &d.manifest_name(), at)?;
+        let stale = self.persisted_at.filter(|&old| old != at);
+        self.persisted_at = Some(at);
+        self.compact_stores(&d, "", stale)
+    }
+
+    /// Recover a crashed deployment from its durable tier: read the
+    /// manifest, repair every store's files against it
+    /// ([`SplitStore::recover_spill`]), and return the runtime together
+    /// with the **resume index** — the record count at the recovered
+    /// checkpoint. The caller re-ingests the stream from that record on;
+    /// results are then byte-identical to a never-crashed deployment that
+    /// persisted at the same indices (`tests/durability_crash.rs`).
+    pub fn recover(compiled: CompiledProgram, d: Durability) -> std::io::Result<(Runtime, u64)> {
+        let mut rt = Runtime::new(compiled);
+        let resume = read_manifest(d.backend(), &d.manifest_name())?;
+        rt.recover_stores(&d, "", resume)?;
+        let at = resume.unwrap_or(0);
+        rt.records = at;
+        rt.persisted_at = resume;
+        rt.durability = Some(d);
+        Ok((rt, at))
     }
 
     /// Refresh the pooled per-store snapshot frames to this instant.

@@ -62,8 +62,10 @@
 //! (`tests/shard_equivalence.rs` pins both behaviours).
 
 use crate::compiler::CompiledProgram;
+use crate::durable::Durability;
 use crate::result::{value_key, ResultSet};
 use crate::runtime::Runtime;
+use perfq_kvstore::{read_manifest, write_manifest};
 use perfq_lang::{QueryInput, ResolvedKind, Value};
 use perfq_lang::ir::FoldClass;
 use perfq_switch::{spsc, QueueRecord};
@@ -258,6 +260,16 @@ pub struct ShardedRuntime {
     queue_capacity: usize,
     workers: Vec<JoinHandle<Runtime>>,
     routed: Vec<u64>,
+    /// Durable-tier configuration ([`ShardedRuntime::enable_durability`]);
+    /// the plane owns the single deployment manifest.
+    durability: Option<Durability>,
+    /// Record index of the last manifested checkpoint (stale-capture
+    /// cleanup; see [`Runtime`]'s field of the same name).
+    persisted_at: Option<u64>,
+    /// Records covered by the recovered checkpoint
+    /// ([`ShardedRuntime::recover`]); the deployment-wide record index is
+    /// this base plus the records routed since.
+    record_base: u64,
 }
 
 /// Spawn one worker thread: drain the queue in batches into the runtime,
@@ -356,6 +368,9 @@ impl ShardedRuntime {
             queue_capacity,
             workers,
             routed: vec![0; shards],
+            durability: None,
+            persisted_at: None,
+            record_base: 0,
         }
     }
 
@@ -523,6 +538,81 @@ impl ShardedRuntime {
         );
         let senders = self.senders.take().expect("feeds already taken");
         (self.router.clone(), senders)
+    }
+
+    /// Attach a durable spill tier to every store of every worker (off by
+    /// default; see [`crate::durable`]). The plane quiesces between
+    /// batches, each shard's stores get their own WAL/segment files
+    /// (`s<i>_q<j>_` under the config's prefix), and ingestion resumes.
+    /// One deployment manifest covers all shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as a poll (producer side taken, or
+    /// a worker died).
+    pub fn enable_durability(&mut self, d: Durability) -> std::io::Result<()> {
+        let mut workers = self.pause();
+        for (i, rt) in workers.iter_mut().enumerate() {
+            rt.enable_durability_prefixed(&d, &format!("s{i}_"))?;
+        }
+        self.resume(workers);
+        self.durability = Some(d);
+        Ok(())
+    }
+
+    /// Durably checkpoint the whole plane at the current deployment record
+    /// index: quiesce, checkpoint every shard's stores, advance the single
+    /// manifest, compact, resume. The key-hash router is deterministic, so
+    /// a recovered plane re-ingesting from the returned index routes every
+    /// record to the same shard it originally reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ShardedRuntime::enable_durability`] was called, and
+    /// under the same conditions as a poll.
+    pub fn persist(&mut self) -> std::io::Result<()> {
+        let d = self
+            .durability
+            .clone()
+            .expect("persist requires enable_durability");
+        let at = self.record_base + self.routed.iter().sum::<u64>();
+        let mut workers = self.pause();
+        for (i, rt) in workers.iter_mut().enumerate() {
+            rt.persist_stores(at, &d, &format!("s{i}_"))?;
+        }
+        write_manifest(d.backend(), &d.manifest_name(), at)?;
+        let stale = self.persisted_at.filter(|&old| old != at);
+        self.persisted_at = Some(at);
+        for (i, rt) in workers.iter_mut().enumerate() {
+            rt.compact_stores(&d, &format!("s{i}_"), stale)?;
+        }
+        self.resume(workers);
+        Ok(())
+    }
+
+    /// Recover a crashed sharded deployment: rebuild the plane at the same
+    /// shard count, repair every shard's durable files against the
+    /// deployment manifest, and return the plane with the **resume index**
+    /// (see [`Runtime::recover`]). Routing is a pure function of the key,
+    /// so re-ingesting the stream from the resume index reproduces each
+    /// shard's exact sub-stream.
+    pub fn recover(
+        compiled: CompiledProgram,
+        shards: usize,
+        d: Durability,
+    ) -> std::io::Result<(Self, u64)> {
+        let mut plane = Self::new(compiled, shards);
+        let resume = read_manifest(d.backend(), &d.manifest_name())?;
+        let mut workers = plane.pause();
+        for (i, rt) in workers.iter_mut().enumerate() {
+            rt.recover_stores(&d, &format!("s{i}_"), resume)?;
+        }
+        plane.resume(workers);
+        let at = resume.unwrap_or(0);
+        plane.record_base = at;
+        plane.persisted_at = resume;
+        plane.durability = Some(d);
+        Ok((plane, at))
     }
 
     /// Drain the dataplane: flush staged records, close the queues, join

@@ -334,6 +334,20 @@ impl<K: Eq + Hash, V> BackingStore<K, V> {
         }
     }
 
+    /// Drain `other` into this store with *supersession* semantics: each of
+    /// `other`'s records replaces the record standing here wholesale rather
+    /// than merging into it. This is the materialization drain for a durable
+    /// tier running under checkpoints — a live RAM record is the complete
+    /// truth for its key and supersedes every snapshot frame the disk replay
+    /// folded to, and re-merging the two composites would double-count.
+    pub fn replace_from(&mut self, other: BackingStore<K, V>) {
+        debug_assert_eq!(self.mode, other.mode, "stores must share a merge mode");
+        for slot in other.slots.into_iter().flatten() {
+            self.remove(&slot.key);
+            self.absorb_entry(slot.key, slot.entry, |_, _| {});
+        }
+    }
+
     /// Overwrite-style upsert for snapshot frames: the standing record for
     /// `key` becomes a field-for-field copy of `entry`. Unlike
     /// [`BackingStore::absorb_entry`] (which *combines* values), a frame

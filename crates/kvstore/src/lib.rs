@@ -110,6 +110,66 @@
 //! paper's back-of-the-envelope arithmetic into the geometries the
 //! multi-query dataplane actually runs. See [`area`] for the arithmetic.
 //!
+//! # Durability & recovery
+//!
+//! The backing tier can optionally spill past a configurable in-RAM
+//! high-water mark to a WAL-style log on an [`IoBackend`] (ROADMAP item 4:
+//! the paper's §3.2 software collection tier must outlive any single
+//! collection pass). Three modules implement it:
+//!
+//! * [`wal`] — the byte substrate: CRC-framed log format, [`Persist`]
+//!   codecs, and the [`IoBackend`] abstraction with a real filesystem
+//!   backend plus in-memory and fault-injecting test doubles;
+//! * [`spill`] — [`SpillTier`]: tier-confined victim routing, group-commit
+//!   batching, checkpoint frames, and generation-numbered compaction;
+//! * [`recover`] — the deployment manifest and
+//!   [`BackingStore::recover`][crate::backing::BackingStore::recover].
+//!
+//! Every durable file starts with `[magic u32][generation u64]` and then
+//! carries self-describing frames:
+//!
+//! ```text
+//!   ┌─────────┬─────────┬────────────────────────────────────────────┐
+//!   │ len u32 │ crc u32 │ payload (len bytes, CRC-32 over payload)   │
+//!   └─────────┴─────────┴────────────────────────────────────────────┘
+//!   payload := tag u8 ++ body
+//!     tag 1 ENTRY      key ++ writes u32 ++ n u32 ++ n × (first u64,
+//!                      last u64, value)        — one spilled residency
+//!     tag 2 TOMBSTONE  key                     — key deleted as of here
+//!     tag 3 CHECKPOINT record_index u64        — all records ≤ index are
+//!                                                durably folded below
+//!     tag 4 SNAPSHOT   same body as ENTRY      — full standing record;
+//!                                                replaces, never merges
+//! ```
+//!
+//! **Recovery = absorb.** A WAL entry frame is exactly the argument of one
+//! [`BackingStore::absorb_entry`][crate::backing::BackingStore::absorb_entry]
+//! call, and `absorb_entry` is *order-normalized*: merge-mode folds apply
+//! per-epoch with `min(first_seen)` / `max(last_seen)` bookkeeping,
+//! overwrite mode keeps the greatest `last_seen` epoch, and epoch mode
+//! sorts the concatenation by `(first_seen, last_seen)` — so replaying any
+//! interleaving of a key's frames (log vs. compacted segment, one shard's
+//! file vs. another's) reaches the same merged record the live store would
+//! have held. Non-commutative linear folds (EWMA's `merge` is
+//! order-sensitive) are covered by two invariants. *Tier confinement*: a
+//! victim spills only when its key has no in-RAM record, so a disk-confined
+//! key's entry frames are temporally ordered on disk and fold exactly.
+//! *Snapshot supersession*: a standing RAM record is already a composite,
+//! and a fold-state merge is only exact when the incoming operand is a
+//! fresh cache residency — so checkpoints dump RAM records as SNAPSHOT
+//! frames that **replace** older frames at replay rather than merging, and
+//! a live RAM record in turn supersedes (replaces) its own snapshots at
+//! materialization. No composite is ever the evicted side of a merge. Crash
+//! atomicity comes from the frame CRCs (a torn tail scans as garbage and
+//! is truncated), the manifest (checkpoints commit before it advances, and
+//! uncovered frames are cut because the resumed deployment re-ingests
+//! them), and generation numbers (a compaction that crashed between its
+//! two atomic file replacements leaves a WAL older than the segment, which
+//! readers skip as already-folded). `tests/durability_crash.rs` pins all
+//! of this differentially against never-crashed references;
+//! `tests/durability_property.rs` pins the order/geometry-independence
+//! claim property-style.
+//!
 //! # Example: the Fig. 5 query
 //!
 //! ```
@@ -145,9 +205,12 @@ pub mod geometry;
 pub mod hash;
 pub mod key;
 pub mod policy;
+pub mod recover;
 pub mod sketch;
+pub mod spill;
 pub mod split;
 pub mod stats;
+pub mod wal;
 
 pub use area::{
     AreaPlan, CachePlanner, PlanError, QueryAllocation, QueryDemand, StoreAllocation, StoreDemand,
@@ -157,6 +220,11 @@ pub use cache::{CacheEntry, CacheSlotRef, SlotHandle, SlotKey, SramCache};
 pub use geometry::CacheGeometry;
 pub use key::{InlineKey, INLINE_KEY_WORDS};
 pub use policy::EvictionPolicy;
+pub use recover::{read_manifest, write_manifest};
 pub use sketch::CountMinSketch;
+pub use spill::{SpillConfig, SpillStats, SpillTier};
 pub use split::{CounterOps, MaxOps, SplitStore, StoreSnapshot, SumOps, ValueOps};
 pub use stats::StoreStats;
+pub use wal::{
+    shared, DiskBackend, FaultBackend, IoBackend, MemBackend, Persist, SharedBackend,
+};

@@ -1,0 +1,93 @@
+//! Crash recovery: the deployment manifest and the headline
+//! [`BackingStore::recover`] entry point.
+//!
+//! A *manifest* is one tiny atomically-replaced file per deployment
+//! recording the highest record index whose state is durably checkpointed
+//! across **all** of the deployment's stores. Per-store checkpoint frames
+//! land first (each store's WAL `append` + `sync`), and only then is the
+//! manifest advanced — so a manifest value is a promise that every store
+//! holds a covered checkpoint, and recovery can truncate each WAL to its
+//! last covered checkpoint and resume ingest from the manifest index.
+//!
+//! Recovery itself is deliberately thin: repair the files
+//! ([`SpillTier::recover`]), then replay them through the same order-free
+//! [`BackingStore::absorb_entry`] fold that built them. There is no
+//! separate recovery interpretation of a frame — replay *is* the merge
+//! machinery, which is what makes it exact for every mergeable fold class.
+
+use crate::backing::{BackingStore, MergeMode};
+use crate::spill::{SpillConfig, SpillTier};
+use crate::wal::{crc32, ByteReader, ByteWriter as _, Persist, SharedBackend};
+use std::hash::Hash;
+use std::io;
+
+/// Magic number leading a manifest file (`"PQMF"` little-endian).
+pub const MANIFEST_MAGIC: u32 = 0x5051_4d46;
+
+/// Atomically publish `record_index` as the deployment's committed
+/// checkpoint. Layout: `[magic u32][crc32 u32][record_index u64]`, CRC over
+/// the index bytes.
+pub fn write_manifest(backend: &SharedBackend, name: &str, record_index: u64) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(8);
+    payload.put_u64(record_index);
+    let mut bytes = Vec::with_capacity(16);
+    bytes.put_u32(MANIFEST_MAGIC);
+    bytes.put_u32(crc32(&payload));
+    bytes.extend_from_slice(&payload);
+    let mut be = backend.lock().expect("backend mutex");
+    be.write_atomic(name, &bytes)?;
+    be.sync(name)
+}
+
+/// Read a manifest. `Ok(None)` when the file is absent or fails
+/// validation — i.e. no checkpoint was ever durably committed, and
+/// recovery must resume from record 0.
+pub fn read_manifest(backend: &SharedBackend, name: &str) -> io::Result<Option<u64>> {
+    let mut be = backend.lock().expect("backend mutex");
+    let Some(bytes) = be.read(name)? else {
+        return Ok(None);
+    };
+    drop(be);
+    let mut r = ByteReader::new(&bytes);
+    if r.u32() != Some(MANIFEST_MAGIC) {
+        return Ok(None);
+    }
+    let Some(crc) = r.u32() else { return Ok(None) };
+    let Some(payload) = bytes.get(8..) else {
+        return Ok(None);
+    };
+    if payload.len() != 8 || crc32(payload) != crc {
+        return Ok(None);
+    }
+    Ok(ByteReader::new(payload).u64())
+}
+
+impl<K: Eq + Hash, V> BackingStore<K, V> {
+    /// Recover one store's durable truth after a crash.
+    ///
+    /// Opens the spill tier files under `prefix` on `backend`, repairs them
+    /// (generation reconciliation, torn-tail/uncovered-frame truncation
+    /// against `manifest` — see [`SpillTier::recover`]), and replays the
+    /// repaired log + segment through [`BackingStore::absorb_entry`] /
+    /// [`BackingStore::remove`] into the merged truth. Returns the
+    /// materialized store together with the repaired tier, ready to keep
+    /// absorbing once the deployment resumes ingest at the manifest index.
+    pub fn recover(
+        backend: SharedBackend,
+        prefix: &str,
+        mode: MergeMode,
+        cfg: SpillConfig,
+        manifest: Option<u64>,
+        merge: impl Fn(&mut V, V),
+    ) -> io::Result<(Self, SpillTier<K, V>)>
+    where
+        K: Persist,
+        V: Persist,
+    {
+        let mut tier = SpillTier::open(backend, prefix, mode, cfg)?;
+        tier.recover(manifest)?;
+        let mut store = BackingStore::new(mode);
+        tier.materialize_into(&mut store, merge)?;
+        Ok((store, tier))
+    }
+}

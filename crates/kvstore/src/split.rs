@@ -19,9 +19,12 @@ use crate::backing::{BackingEntry, BackingStore, MergeMode};
 use crate::cache::{CacheEntry, SlotHandle, SlotKey, SramCache};
 use crate::geometry::CacheGeometry;
 use crate::policy::EvictionPolicy;
+use crate::spill::{SpillConfig, SpillStats, SpillTier};
 use crate::stats::StoreStats;
+use crate::wal::{Persist, SharedBackend};
 use perfq_packet::Nanos;
 use std::hash::Hash;
+use std::io;
 
 /// Value semantics for a split store.
 pub trait ValueOps {
@@ -56,6 +59,11 @@ pub struct SplitStore<K, O: ValueOps> {
     policy: EvictionPolicy,
     /// Placement hash seed, kept for the same reason.
     hash_seed: u64,
+    /// Optional durable spill tier ([`SpillTier`]): evictions of keys with
+    /// no standing in-RAM record past the tier's high-water mark append to
+    /// its WAL instead of growing the backing table. `None` (the default)
+    /// keeps every path exactly as before.
+    spill: Option<SpillTier<K, O::Value>>,
 }
 
 impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
@@ -70,6 +78,7 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             stats: StoreStats::default(),
             policy,
             hash_seed,
+            spill: None,
         }
     }
 
@@ -97,7 +106,7 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             if let Some(victim) = outcome.victim {
                 self.stats.evictions += 1;
                 self.stats.backing_writes += 1;
-                absorb_entry(&mut self.backing, ops, victim);
+                route_entry(&mut self.backing, &mut self.spill, ops, victim);
             }
         }
         value
@@ -128,7 +137,7 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             if let Some(victim) = outcome.victim {
                 self.stats.evictions += 1;
                 self.stats.backing_writes += 1;
-                absorb_entry(&mut self.backing, ops, victim);
+                route_entry(&mut self.backing, &mut self.spill, ops, victim);
             }
         }
         let value = self.cache.slot_value_mut(handle);
@@ -184,12 +193,13 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             backing,
             ops,
             stats,
+            spill,
             ..
         } = self;
         cache.drain_into(|entry| {
             stats.flush_writes += 1;
             stats.backing_writes += 1;
-            absorb_entry(backing, ops, entry);
+            route_entry(backing, spill, ops, entry);
         });
     }
 
@@ -205,12 +215,13 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             backing,
             ops,
             stats,
+            spill,
             ..
         } = self;
         cache.evict_idle_into(cutoff, |entry| {
             stats.backing_writes += 1;
             stats.flush_writes += 1;
-            absorb_entry(backing, ops, entry);
+            route_entry(backing, spill, ops, entry);
         });
     }
 
@@ -239,13 +250,14 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
             backing,
             ops,
             stats,
+            spill,
             ..
         } = self;
         cache.drain_into(|entry| {
             if let Some(victim) = next.insert_entry(entry) {
                 stats.evictions += 1;
                 stats.backing_writes += 1;
-                absorb_entry(backing, ops, victim);
+                route_entry(backing, spill, ops, victim);
             }
         });
         self.cache = next;
@@ -264,6 +276,11 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
     /// confined to one of the two stores (the sharded runtime's partitioning
     /// invariant) or the fold merge is order-free (additive folds).
     pub fn absorb_store(&mut self, mut other: SplitStore<K, O>) {
+        self.materialize_spill()
+            .expect("spill-tier read during drain");
+        other
+            .materialize_spill()
+            .expect("spill-tier read during drain");
         self.flush();
         other.flush();
         let ops = &self.ops;
@@ -291,6 +308,10 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
         assert!(
             owner.cache.is_empty(),
             "adopt_results_from requires a flushed owner store"
+        );
+        assert!(
+            owner.spill.as_ref().map_or(true, |t| !t.is_dirty()),
+            "adopt_results_from requires a materialized owner store"
         );
         self.backing = owner.backing.clone();
         self.stats = owner.stats;
@@ -326,6 +347,41 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
     pub fn snapshot_into(&self, snap: &mut StoreSnapshot<K, O::Value>) {
         if snap.backing.mode() != self.ops.merge_mode() {
             snap.backing = BackingStore::new(self.ops.merge_mode());
+        }
+        // A dirty spill tier holds part of the truth on disk; the frame is
+        // rebuilt from empty in temporal order — durable frames first, then
+        // the (newer) in-RAM backing records, then the (newest) cache
+        // residencies. The staleness machinery below is unnecessary here
+        // because the rebuild starts from a cleared frame; the price is
+        // that polls over a spilled store are not allocation-free.
+        if let Some(tier) = &self.spill {
+            if tier.is_dirty() {
+                let ops = &self.ops;
+                snap.backing.clear();
+                tier.materialize_into(&mut snap.backing, |standing, evicted| {
+                    ops.merge(standing, evicted);
+                })
+                .expect("spill-tier read during poll");
+                // A standing RAM record is the complete truth for its key
+                // and supersedes its own snapshot frames on disk — copy, do
+                // not merge (the two are composites of the same history).
+                for (key, entry) in self.backing.iter() {
+                    snap.backing.copy_entry(key, entry);
+                }
+                self.cache.for_each_slot(|slot| {
+                    snap.backing.absorb(
+                        slot.key.clone(),
+                        slot.value.clone(),
+                        slot.first_seen,
+                        slot.last_seen,
+                        |standing, evicted| ops.merge(standing, evicted),
+                    );
+                });
+                snap.stats = self.stats;
+                snap.stats.flush_writes += self.cache.len() as u64;
+                snap.stats.backing_writes += self.cache.len() as u64;
+                return;
+            }
         }
         // Two passes at most: refresh in place, and only when stale keys
         // linger (frame population exceeds the live key set) rebuild from
@@ -395,6 +451,148 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
         snap.stats.absorb(&frame.stats);
     }
 
+    /// Enable the durable spill tier: evictions of keys with no standing
+    /// in-RAM record past `cfg.high_water` append to a WAL under `prefix`
+    /// on `backend` instead of growing the backing table. The `Persist`
+    /// bounds live here only — the per-packet paths stay bound-free (the
+    /// tier captures the codecs as function pointers).
+    pub fn enable_spill(
+        &mut self,
+        backend: SharedBackend,
+        prefix: &str,
+        cfg: SpillConfig,
+    ) -> io::Result<()>
+    where
+        K: Persist,
+        O::Value: Persist,
+    {
+        let tier = SpillTier::open(backend, prefix, self.ops.merge_mode(), cfg)?;
+        self.spill = Some(tier);
+        Ok(())
+    }
+
+    /// Checkpoint this store's full state to the spill tier: flush the
+    /// cache (through spill routing), dump every in-RAM backing record as a
+    /// [snapshot frame](crate::wal::TAG_SNAPSHOT), write a
+    /// [checkpoint frame](crate::wal::TAG_CHECKPOINT) for `record_index`,
+    /// and group-commit. The RAM table stays authoritative: a standing RAM
+    /// record *supersedes* its own snapshot frames, which exist solely for a
+    /// crashed-and-recovered deployment to resume from. Snapshots replace at
+    /// replay rather than merging, because a standing record is already a
+    /// composite and fold-state merges are only exact when the incoming
+    /// operand is a fresh cache residency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill tier is not enabled.
+    pub fn persist(&mut self, record_index: u64) -> io::Result<()> {
+        self.flush();
+        let SplitStore { backing, spill, .. } = self;
+        let tier = spill
+            .as_mut()
+            .expect("persist requires an enabled spill tier");
+        for (key, entry) in backing.iter() {
+            tier.append_snapshot(key, entry);
+        }
+        tier.checkpoint(record_index)
+    }
+
+    /// Fold the spill tier's WAL into its segment ([`SpillTier::compact`]).
+    /// Call only directly after a manifested [`SplitStore::persist`] — see
+    /// the tier's crash-consistency contract. A no-op without a tier.
+    pub fn compact_spill(&mut self) -> io::Result<()> {
+        let SplitStore { ops, spill, .. } = self;
+        if let Some(tier) = spill {
+            tier.compact(|standing, evicted| ops.merge(standing, evicted))?;
+        }
+        Ok(())
+    }
+
+    /// Re-attach and repair the spill tier after a crash
+    /// ([`SpillTier::recover`] against the deployment `manifest`), then
+    /// materialize the repaired durable truth back into the in-RAM backing
+    /// table. Every recovered key thereby becomes a standing RAM record —
+    /// the supersession invariant's anchor — so post-recovery ingest merges
+    /// into composites exactly as an uncrashed run would, and the next
+    /// [`SplitStore::persist`] re-snapshots them over their stale frames.
+    /// The tier stays attached and dirty; ingest resumes at the manifest's
+    /// record index.
+    pub fn recover_spill(
+        &mut self,
+        backend: SharedBackend,
+        prefix: &str,
+        cfg: SpillConfig,
+        manifest: Option<u64>,
+    ) -> io::Result<()>
+    where
+        K: Persist,
+        O::Value: Persist,
+    {
+        let mut tier = SpillTier::open(backend, prefix, self.ops.merge_mode(), cfg)?;
+        tier.recover(manifest)?;
+        self.backing.clear();
+        let SplitStore { backing, ops, .. } = self;
+        tier.materialize_into(backing, |standing, evicted| {
+            ops.merge(standing, evicted);
+        })?;
+        self.spill = Some(tier);
+        Ok(())
+    }
+
+    /// Fold the spill tier's durable truth back into the in-RAM backing
+    /// table — the collect step of a durable store. Replays disk into a
+    /// fresh table first (per-key chains of fresh spill frames, snapshot
+    /// replacements, and tombstones), then lets the standing in-RAM records
+    /// *replace* their disk counterparts: a live RAM record is the complete
+    /// truth for its key and supersedes every snapshot frame it ever wrote.
+    /// Keys confined to disk keep the replayed fold. Idempotent: the tier
+    /// is retired afterwards and a clean tier is a no-op.
+    pub fn materialize_spill(&mut self) -> io::Result<()> {
+        let SplitStore {
+            backing, ops, spill, ..
+        } = self;
+        let Some(tier) = spill else { return Ok(()) };
+        if !tier.is_dirty() {
+            return Ok(());
+        }
+        let mut disk = BackingStore::new(ops.merge_mode());
+        tier.materialize_into(&mut disk, |standing, evicted| {
+            ops.merge(standing, evicted);
+        })?;
+        let ram = std::mem::replace(backing, disk);
+        backing.replace_from(ram);
+        tier.retire();
+        Ok(())
+    }
+
+    /// Remove a key's merged record — from the in-RAM backing table *and*,
+    /// via a tombstone frame, from the durable tier. Removing only the RAM
+    /// record would let the key resurrect out of older WAL/segment frames
+    /// at the next compaction or materialization
+    /// (`tests/durability_property.rs` pins the regression).
+    pub fn remove_key(&mut self, key: &K) -> Option<BackingEntry<O::Value>> {
+        let SplitStore { backing, spill, .. } = self;
+        let removed = backing.remove(key);
+        if let Some(tier) = spill {
+            if tier.is_dirty() {
+                tier.tombstone(key);
+            }
+        }
+        removed
+    }
+
+    /// The spill tier's counters, when one is enabled.
+    #[must_use]
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill.as_ref().map(SpillTier::stats)
+    }
+
+    /// The spill tier, when one is enabled.
+    #[must_use]
+    pub fn spill(&self) -> Option<&SpillTier<K, O::Value>> {
+        self.spill.as_ref()
+    }
+
     /// Run counters.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
@@ -451,10 +649,6 @@ impl<K: Eq + Hash + Clone + SlotKey, O: ValueOps> SplitStore<K, O> {
     }
 }
 
-/// Write an evicted entry into the backing store with the fold's merge.
-/// Free-standing (takes the already-split fields) so the eviction, flush and
-/// idle-sweep paths — some of which hold other borrows of the store — share
-/// one implementation.
 /// A consistent read-only frame of a [`SplitStore`]'s current results —
 /// cache and backing combined exactly as a flush would combine them — taken
 /// by [`SplitStore::snapshot`] without mutating the live store.
@@ -516,11 +710,28 @@ impl<K: Eq + Hash, V> Default for StoreSnapshot<K, V> {
     }
 }
 
-fn absorb_entry<K: Eq + Hash, O: ValueOps>(
+// Route an evicted entry into the collection tier with the fold's merge.
+// Free-standing (takes the already-split fields) so the eviction, flush and
+// idle-sweep paths — some of which hold other borrows of the store — share
+// one implementation. Tier confinement: a victim whose key has a standing
+// in-RAM record always merges there (keeping each key's durable frames
+// temporally ordered and older than any RAM record); only a new key past
+// the high-water mark spills.
+fn route_entry<K: Eq + Hash, O: ValueOps>(
     backing: &mut BackingStore<K, O::Value>,
+    spill: &mut Option<SpillTier<K, O::Value>>,
     ops: &O,
     entry: CacheEntry<K, O::Value>,
 ) {
+    if let Some(tier) = spill {
+        if !tier.is_retired()
+            && backing.get(&entry.key).is_none()
+            && backing.len() >= tier.high_water()
+        {
+            tier.offer_victim(&entry.key, &entry.value, entry.first_seen, entry.last_seen);
+            return;
+        }
+    }
     backing.absorb(
         entry.key,
         entry.value,
@@ -921,6 +1132,37 @@ mod tests {
         assert!(!snap.backing().get(&1).unwrap().is_valid());
         assert!(snap.backing().get(&2).unwrap().is_valid());
         assert!((snap.backing().accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_round_trip_counters_match_in_ram_reference() {
+        use crate::spill::SpillConfig;
+        use crate::wal::{shared, MemBackend};
+        let cfg = SpillConfig {
+            high_water: 2,
+            group_commit_bytes: 64,
+        };
+        let backend = shared(MemBackend::new());
+        let mut s = counter_store(2);
+        s.enable_spill(backend.clone(), "t_", cfg).unwrap();
+        let mut reference = counter_store(2);
+        for i in 0..200u64 {
+            let k = i % 9;
+            s.observe(k, &(), Nanos(i));
+            reference.observe(k, &(), Nanos(i));
+        }
+        assert!(s.spill_stats().unwrap().spilled_frames > 0, "tier exercised");
+        s.persist(200).unwrap();
+        s.compact_spill().unwrap();
+        // A fresh store recovers the durable truth and reads identically.
+        let mut r = counter_store(2);
+        r.recover_spill(backend, "t_", cfg, Some(200)).unwrap();
+        r.materialize_spill().unwrap();
+        reference.flush();
+        assert_eq!(r.backing().len(), reference.backing().len());
+        for (k, want) in reference.backing().iter() {
+            assert_eq!(r.backing().get(k), Some(want), "key {k}");
+        }
     }
 
     #[test]

@@ -57,11 +57,14 @@ pub use perfq_trace as trace;
 /// The names most programs need.
 pub mod prelude {
     pub use perfq_core::{
-        compile_program, compile_query, CompileOptions, CompiledProgram, DeltaCursor, DeltaRow,
-        MultiRuntime, MultiSharded, Oracle, ResultSet, ResultTable, Runtime, ShardRouter,
-        ShardSpec, ShardedRuntime, WindowedRuntime,
+        compile_program, compile_query, read_retired, write_retired, CompileOptions,
+        CompiledProgram, DeltaCursor, DeltaRow, Durability, MultiRuntime, MultiSharded, Oracle,
+        ResultSet, ResultTable, Runtime, ShardRouter, ShardSpec, ShardedRuntime, WindowedRuntime,
     };
-    pub use perfq_kvstore::{AreaPlan, CacheGeometry, CachePlanner, EvictionPolicy, SplitStore};
+    pub use perfq_kvstore::{
+        shared, AreaPlan, CacheGeometry, CachePlanner, DiskBackend, EvictionPolicy, FaultBackend,
+        IoBackend, MemBackend, SharedBackend, SpillConfig, SplitStore,
+    };
     pub use perfq_lang::{compile as compile_source, fig2, Value};
     pub use perfq_packet::{Nanos, Packet, PacketBuilder};
     pub use perfq_switch::{Network, NetworkConfig, QueueRecord, SwitchConfig, Topology};

@@ -13,14 +13,17 @@
 //! all — at any chunking, including ragged chunk sizes that force partial
 //! mask words.
 
-use perfq_core::{compile_query, MultiRuntime, Runtime};
-use perfq_kvstore::{CacheGeometry, CounterOps, EvictionPolicy, SplitStore};
+use perfq_core::{compile_query, Durability, MultiRuntime, Runtime};
+use perfq_kvstore::{
+    CacheGeometry, CounterOps, EvictionPolicy, MemBackend, SharedBackend, SpillConfig, SplitStore,
+};
 use perfq_lang::fig2;
 use perfq_packet::Nanos;
 use perfq_switch::{Network, NetworkConfig, Topology};
 use perfq_trace::{SyntheticTrace, TraceConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Counts every allocation-path entry (alloc, alloc_zeroed, realloc); frees
 /// are not counted — the assertion is about *acquiring* memory.
@@ -326,6 +329,43 @@ fn steady_state_batched_replay_allocates_nothing() {
             after - before,
         );
         assert_eq!(frame.len(), 512, "frame holds the full keyset");
+    }
+
+    // Durability enabled but idle: with the spill tier attached and the
+    // backing table below its high-water mark, the ingest path takes one
+    // extra branch (the spill-routing gate) and nothing else — no frame
+    // encoding, no group-commit buffer traffic, no backend I/O. A warmed
+    // durable runtime must therefore match the plain runtime's discipline
+    // exactly: zero allocations in steady state. (Above the high-water
+    // mark, spilled frames legitimately extend the backend's file — that
+    // cost is the WAL-on/WAL-off ratio pinned by the durability benches.)
+    {
+        let backend: SharedBackend = Arc::new(Mutex::new(MemBackend::new()));
+        let compiled = compile_query(
+            fig2::PER_FLOW_COUNTERS.source,
+            &fig2::default_params(),
+            Default::default(),
+        )
+        .unwrap();
+        let mut rt = Runtime::new(compiled);
+        rt.enable_durability(Durability::new(backend).with_spill(SpillConfig {
+            high_water: 1 << 20,
+            group_commit_bytes: 64 * 1024,
+        }))
+        .unwrap();
+        rt.process_batch(&recs);
+        let processed_warmup = rt.records();
+
+        let before = allocs();
+        rt.process_batch(&recs);
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "durable-below-high-water steady-state replay allocated {} times",
+            after - before,
+        );
+        assert_eq!(rt.records(), processed_warmup * 2, "second replay ran fully");
     }
 
     // The warmed 4-shard drain. `ShardedRuntime::finish` joins the workers

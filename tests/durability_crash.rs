@@ -1,0 +1,363 @@
+//! Crash-injection differential harness for the durable tier
+//! ([`perfq_kvstore::spill`], [`perfq_core::durable`]).
+//!
+//! The oracle is a **never-crashed reference**: the same trace through the
+//! same deployment with durability enabled and the same persist schedule,
+//! on a healthy backend. The harness then re-runs that exact schedule on a
+//! [`FaultBackend`] armed to die at the `i`-th mutating I/O operation —
+//! for **every** `i` in the reference run's operation count, so every WAL
+//! frame boundary, every group commit, the manifest write, and every
+//! mid-compaction segment replace each get their own crash — "restarts"
+//! the process ([`FaultBackend::heal`] keeps the surviving bytes exactly
+//! as the crash left them), recovers, re-ingests the stream from the
+//! returned resume index, and requires the final drain to be identical to
+//! the reference. Torn appends ride along: each armed fault applies a
+//! different prefix of its payload before dying.
+//!
+//! Covered planes: the single-stream [`Runtime`] (small group-commit
+//! threshold, so crashes also land mid-ingest inside group commits) and
+//! the [`ShardedRuntime`] dataplane (deterministic key routing makes the
+//! resumed re-ingest reproduce each shard's exact sub-stream). A torn-tail
+//! suite chops every suffix off a live WAL, and a double-crash suite
+//! injects a second fault *during recovery itself* — repair is repair-only
+//! and idempotent, so recovering again after a crashed recovery must still
+//! converge to the reference.
+
+use perfq::prelude::*;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Records 150 and 300 checkpoint; 400 total.
+const PERSIST_AT: [usize; 2] = [150, 300];
+const TOTAL: usize = 400;
+
+/// A trace with drops, TCP anomalies and multi-queue records.
+fn records(n: usize) -> Vec<QueueRecord> {
+    let mut net = Network::new(NetworkConfig {
+        topology: Topology::Linear(2),
+        ..Default::default()
+    });
+    net.run_collect(SyntheticTrace::new(TraceConfig::test_small(21)).take(n))
+}
+
+/// Tight cache geometry: evictions (and with a low high-water mark, spill
+/// traffic) on a few hundred records.
+fn compiled(src: &str) -> CompiledProgram {
+    let opts = CompileOptions {
+        cache_pairs: 16,
+        ways: 4,
+        ..Default::default()
+    };
+    perfq_core::compile_query(src, &fig2::default_params(), opts).expect("fig2 compiles")
+}
+
+/// The concrete fault handle and its type-erased alias for the runtime.
+fn fault_pair() -> (Arc<Mutex<FaultBackend>>, SharedBackend) {
+    let handle = Arc::new(Mutex::new(FaultBackend::new()));
+    let backend: SharedBackend = handle.clone();
+    (handle, backend)
+}
+
+/// Spill config for the single-stream sweeps: a low high-water mark and a
+/// small group-commit threshold, so ingest itself appends to the WAL and
+/// crashes land inside group commits, not only inside `persist`.
+fn durable_small(backend: &SharedBackend) -> Durability {
+    Durability::new(backend.clone()).with_spill(SpillConfig {
+        high_water: 8,
+        group_commit_bytes: 96,
+    })
+}
+
+/// Spill config for the sharded sweeps: same high-water mark, but a
+/// group-commit threshold no ingest reaches — worker threads buffer their
+/// frames in RAM and every backend operation happens on the harness
+/// thread (inside `persist`, workers quiesced), where an injected fault
+/// surfaces as an `Err` instead of a cross-thread panic.
+fn durable_buffered(backend: &SharedBackend) -> Durability {
+    Durability::new(backend.clone()).with_spill(SpillConfig {
+        high_water: 8,
+        group_commit_bytes: 1 << 20,
+    })
+}
+
+fn sorted(mut rs: ResultSet) -> ResultSet {
+    rs.sort();
+    rs
+}
+
+/// The full schedule on a single-stream runtime: ingest, checkpoint at
+/// each persist point, drain.
+fn run_single(src: &str, recs: &[QueueRecord], backend: &SharedBackend) -> std::io::Result<ResultSet> {
+    let mut rt = Runtime::new(compiled(src));
+    rt.enable_durability(durable_small(backend))?;
+    let mut fed = 0;
+    for &p in &PERSIST_AT {
+        rt.process_batch(&recs[fed..p]);
+        fed = p;
+        rt.persist()?;
+    }
+    rt.process_batch(&recs[fed..]);
+    rt.finish();
+    Ok(rt.collect())
+}
+
+/// Recover a crashed single-stream deployment and finish the schedule:
+/// re-ingest from the resume index, re-persisting at every remaining
+/// persist point, then drain.
+fn recover_single(
+    src: &str,
+    recs: &[QueueRecord],
+    backend: &SharedBackend,
+) -> std::io::Result<ResultSet> {
+    let (mut rt, resume) = Runtime::recover(compiled(src), durable_small(backend))?;
+    let mut fed = resume as usize;
+    for &p in &PERSIST_AT {
+        if p > fed {
+            rt.process_batch(&recs[fed..p]);
+            fed = p;
+            rt.persist()?;
+        }
+    }
+    rt.process_batch(&recs[fed..]);
+    rt.finish();
+    Ok(rt.collect())
+}
+
+/// The same schedule on the sharded dataplane.
+fn run_sharded(
+    src: &str,
+    recs: &[QueueRecord],
+    backend: &SharedBackend,
+    shards: usize,
+) -> std::io::Result<ResultSet> {
+    let mut plane = ShardedRuntime::new(compiled(src), shards);
+    plane.enable_durability(durable_buffered(backend))?;
+    let mut fed = 0;
+    for &p in &PERSIST_AT {
+        plane.process_batch(&recs[fed..p]);
+        fed = p;
+        plane.persist()?;
+    }
+    plane.process_batch(&recs[fed..]);
+    Ok(sorted(plane.finish().collect()))
+}
+
+fn recover_sharded(
+    src: &str,
+    recs: &[QueueRecord],
+    backend: &SharedBackend,
+    shards: usize,
+) -> std::io::Result<ResultSet> {
+    let (mut plane, resume) =
+        ShardedRuntime::recover(compiled(src), shards, durable_buffered(backend))?;
+    let mut fed = resume as usize;
+    for &p in &PERSIST_AT {
+        if p > fed {
+            plane.process_batch(&recs[fed..p]);
+            fed = p;
+            plane.persist()?;
+        }
+    }
+    plane.process_batch(&recs[fed..]);
+    Ok(sorted(plane.finish().collect()))
+}
+
+/// Run `schedule` with a fault armed at operation `fail_at`; report
+/// whether the injected fault actually fired. Faults inside ingest-time
+/// group commits surface as panics (the dataplane treats a dead durable
+/// tier as fatal), faults inside `persist` as `Err` — both count.
+fn crash_at(
+    handle: &Arc<Mutex<FaultBackend>>,
+    fail_at: u64,
+    torn_bytes: usize,
+    schedule: impl FnOnce() -> std::io::Result<ResultSet>,
+) -> Option<ResultSet> {
+    handle.lock().expect("fault mutex").arm(fail_at, torn_bytes);
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(schedule));
+    panic::set_hook(hook);
+    let died = handle.lock().expect("fault mutex").died();
+    handle.lock().expect("fault mutex").heal();
+    match outcome {
+        Ok(Ok(rs)) if !died => Some(rs),
+        _ => None,
+    }
+}
+
+/// Single-stream sweep: crash at **every** mutating I/O boundary of the
+/// reference schedule — WAL group commits mid-ingest, checkpoint frames,
+/// capture files, the manifest write, and the two mid-compaction segment /
+/// WAL replaces — then recover, re-ingest, and hold the drain to the
+/// never-crashed reference. Also pins durability transparency: the
+/// durable reference itself equals a plain in-RAM run.
+#[test]
+fn single_stream_recovers_at_every_io_boundary() {
+    let recs = records(TOTAL);
+    for q in fig2::ALL {
+        let mut plain_rt = Runtime::new(compiled(q.source));
+        plain_rt.process_batch(&recs);
+        plain_rt.finish();
+        let plain = plain_rt.collect();
+
+        let (handle, backend) = fault_pair();
+        let reference = run_single(q.source, &recs, &backend).expect("healthy run");
+        if q.paper_linear {
+            assert_eq!(plain, reference, "{}: durability must be transparent", q.name);
+        } else {
+            // A checkpoint flushes the cache — an eviction barrier. The
+            // paper's non-linear folds are invalidated by re-eviction
+            // (§3.2), so checkpointing may additionally invalidate keys
+            // whose residency spans a persist point; it must never change
+            // the key population, and any row valid under both schedules
+            // must be bit-identical.
+            assert_eq!(plain.tables.len(), reference.tables.len(), "{}", q.name);
+            for (pt, rt) in plain.tables.iter().zip(&reference.tables) {
+                assert_eq!(pt.rows.len(), rt.rows.len(), "{}: key population", q.name);
+                for (pr, rr) in pt.rows.iter().zip(&rt.rows) {
+                    if pr.valid && rr.valid {
+                        assert_eq!(pr, rr, "{}: row valid in both schedules", q.name);
+                    }
+                }
+            }
+        }
+        let total_ops = handle.lock().expect("fault mutex").ops();
+        assert!(total_ops > 0, "{}: schedule never touched the backend", q.name);
+
+        for fail_at in 0..total_ops {
+            let (h, b) = fault_pair();
+            let survived = crash_at(&h, fail_at, fail_at as usize % 23, || {
+                run_single(q.source, &recs, &b)
+            });
+            if let Some(rs) = survived {
+                assert_eq!(rs, reference, "{} fail_at={fail_at}: uncrashed", q.name);
+                continue;
+            }
+            let got = recover_single(q.source, &recs, &b)
+                .unwrap_or_else(|e| panic!("{} fail_at={fail_at}: recovery failed: {e}", q.name));
+            assert_eq!(got, reference, "{} fail_at={fail_at}", q.name);
+        }
+    }
+}
+
+/// Sharded sweep: same contract on the two-shard dataplane. Routing is a
+/// pure function of the key, so the recovered plane re-ingesting from the
+/// resume index reproduces each shard's exact sub-stream.
+#[test]
+fn sharded_recovers_at_every_io_boundary() {
+    let recs = records(TOTAL);
+    for q in fig2::ALL {
+        let (handle, backend) = fault_pair();
+        let reference = run_sharded(q.source, &recs, &backend, 2).expect("healthy run");
+        let total_ops = handle.lock().expect("fault mutex").ops();
+        assert!(total_ops > 0, "{}: schedule never touched the backend", q.name);
+
+        for fail_at in 0..total_ops {
+            let (h, b) = fault_pair();
+            let survived = crash_at(&h, fail_at, fail_at as usize % 23, || {
+                run_sharded(q.source, &recs, &b, 2)
+            });
+            if let Some(rs) = survived {
+                assert_eq!(rs, reference, "{} fail_at={fail_at}: uncrashed", q.name);
+                continue;
+            }
+            let got = recover_sharded(q.source, &recs, &b, 2)
+                .unwrap_or_else(|e| panic!("{} fail_at={fail_at}: recovery failed: {e}", q.name));
+            assert_eq!(got, reference, "{} fail_at={fail_at}", q.name);
+        }
+    }
+}
+
+/// Torn tail: stop a deployment between checkpoints (live WAL frames past
+/// the manifested one), then chop every possible suffix off every WAL —
+/// from one byte to several whole frames. The scanner must stop at the
+/// torn frame and recovery must roll back to the manifested checkpoint,
+/// whatever the chop.
+#[test]
+fn torn_wal_tail_rolls_back_to_the_checkpoint() {
+    let recs = records(TOTAL);
+    for q in fig2::ALL {
+        let (_, backend) = fault_pair();
+        let reference = run_single(q.source, &recs, &backend).expect("healthy run");
+
+        // Find how many bytes the largest WAL carries so the chop sweep
+        // covers several frames without quadratic blowup.
+        for chop in 1..64usize {
+            let (h, b) = fault_pair();
+            {
+                // Ingest past the last checkpoint, then "crash" by drop.
+                let mut rt = Runtime::new(compiled(q.source));
+                rt.enable_durability(durable_small(&b)).expect("enable");
+                let mut fed = 0;
+                for &p in &PERSIST_AT {
+                    rt.process_batch(&recs[fed..p]);
+                    fed = p;
+                    rt.persist().expect("persist");
+                }
+                rt.process_batch(&recs[fed..]);
+                // No finish: the post-checkpoint WAL frames stay live.
+            }
+            let mut guard = h.lock().expect("fault mutex");
+            let wals: Vec<(String, usize)> = guard
+                .mem()
+                .names()
+                .into_iter()
+                .filter(|n| n.ends_with("_wal"))
+                .map(|n| {
+                    let len = guard.mem().bytes(&n).expect("live wal").len();
+                    (n, len)
+                })
+                .collect();
+            assert!(!wals.is_empty(), "{}: no WAL files", q.name);
+            for (name, len) in wals {
+                guard
+                    .mem()
+                    .truncate(&name, len.saturating_sub(chop) as u64)
+                    .expect("chop tail");
+            }
+            drop(guard);
+            let got = recover_single(q.source, &recs, &b).expect("recovery after torn tail");
+            assert_eq!(got, reference, "{} chop={chop}", q.name);
+        }
+    }
+}
+
+/// Double crash: die mid-schedule, then die **again at every I/O boundary
+/// of the recovery itself** (file repair, re-ingest commits, the re-run
+/// checkpoints). Repair only ever discards unreachable suffixes, so a
+/// third, clean recovery must still land on the reference.
+#[test]
+fn crashed_recovery_recovers() {
+    let recs = records(TOTAL);
+    let q = fig2::PER_FLOW_LOSS_RATE;
+    let (handle, backend) = fault_pair();
+    let reference = run_single(q.source, &recs, &backend).expect("healthy run");
+    let total_ops = handle.lock().expect("fault mutex").ops();
+
+    // First crash points: a spread across the schedule (every 7th op).
+    for fail_at in (0..total_ops).step_by(7) {
+        for second in (0..24u64).step_by(3) {
+            let (h, b) = fault_pair();
+            if crash_at(&h, fail_at, fail_at as usize % 23, || {
+                run_single(q.source, &recs, &b)
+            })
+            .is_some()
+            {
+                continue;
+            }
+            // Second crash, during recovery + re-ingest.
+            let survived = crash_at(&h, second, second as usize % 17, || {
+                recover_single(q.source, &recs, &b)
+            });
+            if let Some(rs) = survived {
+                assert_eq!(rs, reference, "fail_at={fail_at} second={second}: uncrashed");
+                continue;
+            }
+            // Third attempt, healed: must converge.
+            let got = recover_single(q.source, &recs, &b).unwrap_or_else(|e| {
+                panic!("fail_at={fail_at} second={second}: recovery failed: {e}")
+            });
+            assert_eq!(got, reference, "fail_at={fail_at} second={second}");
+        }
+    }
+}

@@ -9,10 +9,12 @@
 //!   iterations per benchmark (default 5 when set without a number). Fast and
 //!   stable enough for CI smoke comparisons.
 //! * `PERFQ_BENCH_JSON=<path>` — write every result as a JSON array of
-//!   `{"bench", "ns_per_iter", "p25_ns", "p75_ns", "elems_per_sec"}`
-//!   objects to `path`. `ns_per_iter` is the median; the quartiles carry
-//!   the run-to-run spread so consumers can report *median with IQR*
-//!   instead of a bare point estimate.
+//!   `{"bench", "ns_per_iter", "p5_ns", "p25_ns", "p75_ns", "p95_ns",
+//!   "elems_per_sec"}` objects to `path`. `ns_per_iter` is the median; the
+//!   quartiles carry the run-to-run spread so consumers can report *median
+//!   with IQR* instead of a bare point estimate, and the p5/p95 tail pair
+//!   supports PASTRAMI-style `p5 / p50 / p95` reporting (floors are judged
+//!   on the median, tails are context).
 //!
 //! A positional command-line argument filters benchmarks by substring of
 //! their `group/name` id, mirroring criterion's CLI.
@@ -76,10 +78,14 @@ pub struct BenchResult {
     pub id: String,
     /// Median nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// 5th-percentile (near-best) nanoseconds per iteration.
+    pub p5_ns: f64,
     /// 25th-percentile (fastest-quartile) nanoseconds per iteration.
     pub p25_ns: f64,
     /// 75th-percentile (slowest-quartile) nanoseconds per iteration.
     pub p75_ns: f64,
+    /// 95th-percentile (near-worst) nanoseconds per iteration.
+    pub p95_ns: f64,
     /// Elements per second (when the group declared element throughput).
     pub elems_per_sec: Option<f64>,
 }
@@ -148,9 +154,10 @@ impl Criterion {
                 .elems_per_sec
                 .map_or("null".to_string(), |v| format!("{v:.1}"));
             out.push_str(&format!(
-                "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"p25_ns\": {:.1}, \
-                 \"p75_ns\": {:.1}, \"elems_per_sec\": {}}}{}\n",
-                r.id, r.ns_per_iter, r.p25_ns, r.p75_ns, eps, sep
+                "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"p5_ns\": {:.1}, \
+                 \"p25_ns\": {:.1}, \"p75_ns\": {:.1}, \"p95_ns\": {:.1}, \
+                 \"elems_per_sec\": {}}}{}\n",
+                r.id, r.ns_per_iter, r.p5_ns, r.p25_ns, r.p75_ns, r.p95_ns, eps, sep
             ));
         }
         out.push_str("]\n");
@@ -187,8 +194,10 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             smoke_iters: self.criterion.smoke_iters,
             median_ns: 0.0,
+            p5_ns: 0.0,
             p25_ns: 0.0,
             p75_ns: 0.0,
+            p95_ns: 0.0,
         };
         f(&mut bencher);
         let ns = bencher.median_ns;
@@ -199,8 +208,10 @@ impl BenchmarkGroup<'_> {
         let result = BenchResult {
             id: id.clone(),
             ns_per_iter: ns,
+            p5_ns: bencher.p5_ns,
             p25_ns: bencher.p25_ns,
             p75_ns: bencher.p75_ns,
+            p95_ns: bencher.p95_ns,
             elems_per_sec,
         };
         let spread = result.spread() * 100.0;
@@ -234,8 +245,10 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     smoke_iters: Option<u32>,
     median_ns: f64,
+    p5_ns: f64,
     p25_ns: f64,
     p75_ns: f64,
+    p95_ns: f64,
 }
 
 impl Bencher {
@@ -266,8 +279,10 @@ impl Bencher {
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
         self.median_ns = samples[samples.len() / 2];
+        self.p5_ns = samples[samples.len() / 20];
         self.p25_ns = samples[samples.len() / 4];
         self.p75_ns = samples[(samples.len() * 3) / 4];
+        self.p95_ns = samples[(samples.len() * 19) / 20];
     }
 }
 
@@ -329,6 +344,8 @@ mod tests {
         assert!(r.elems_per_sec.unwrap() > 0.0);
         assert!(r.p25_ns > 0.0 && r.p25_ns <= r.ns_per_iter);
         assert!(r.p75_ns >= r.ns_per_iter);
+        assert!(r.p5_ns > 0.0 && r.p5_ns <= r.p25_ns, "p5 is the near-best tail");
+        assert!(r.p95_ns >= r.p75_ns, "p95 is the near-worst tail");
         assert!(r.spread() >= 0.0);
     }
 
