@@ -1,0 +1,34 @@
+use perfq_kvstore::wal::{shared, MemBackend};
+use perfq_kvstore::{
+    CacheGeometry, CounterOps, EvictionPolicy, SpillConfig, SplitStore,
+};
+use perfq_packet::Nanos;
+
+#[test]
+fn disk_confined_key_survives_table_shrink() {
+    let cfg = SpillConfig { high_water: 2, group_commit_bytes: 16 };
+    let backend = shared(MemBackend::new());
+    let mut s: SplitStore<u64, CounterOps> = SplitStore::new(
+        CacheGeometry::fully_associative(1),
+        EvictionPolicy::Lru,
+        1,
+        CounterOps,
+    );
+    s.enable_spill(backend, "t_", cfg).unwrap();
+    // Fill backing to the high-water mark (2 keys), then spill key 3.
+    s.observe(1, &(), Nanos(0));
+    s.observe(2, &(), Nanos(1)); // evicts 1 -> RAM
+    s.observe(3, &(), Nanos(2)); // evicts 2 -> RAM (len 2 = HW)
+    s.observe(4, &(), Nanos(3)); // evicts 3 -> spilled to WAL (count 1)
+    s.observe(5, &(), Nanos(4)); // evicts 4 -> spilled
+    // Shrink the RAM table below the high-water mark.
+    s.remove_key(&1);
+    s.remove_key(&2);
+    // Key 3 returns and is evicted again: now lands in RAM (len < HW).
+    s.observe(3, &(), Nanos(5));
+    s.observe(6, &(), Nanos(6)); // evicts 3 -> RAM record (count 1)
+    s.materialize_spill().unwrap();
+    s.flush();
+    // Truth: key 3 observed twice.
+    assert_eq!(*s.result(&3).unwrap().value().unwrap(), 2, "key 3 count");
+}
